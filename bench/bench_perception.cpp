@@ -1,0 +1,92 @@
+// Microbenchmarks of the perception substrate (google-benchmark):
+// Hungarian assignment, Kalman updates, MOT steps, fusion, full pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "perception/detector_model.hpp"
+#include "perception/hungarian.hpp"
+#include "perception/mot_tracker.hpp"
+#include "perception/perception_system.hpp"
+#include "sim/scenario.hpp"
+
+using namespace rt;
+
+namespace {
+
+void BM_Hungarian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(1);
+  math::Matrix cost(n, n);
+  for (auto& v : cost.data()) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perception::solve_assignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KalmanPredictUpdate(benchmark::State& state) {
+  perception::Detection d;
+  d.bbox = {100.0, 100.0, 40.0, 40.0};
+  perception::BboxTrack track(
+      1, d, 1.0 / 15.0,
+      perception::DetectorNoiseModel::paper_defaults().vehicle);
+  for (auto _ : state) {
+    track.predict();
+    track.update(d);
+  }
+}
+BENCHMARK(BM_KalmanPredictUpdate);
+
+void BM_MotTrackerStep(benchmark::State& state) {
+  const auto n_objects = static_cast<int>(state.range(0));
+  perception::MotTracker mot(1.0 / 15.0);
+  perception::CameraFrame frame;
+  for (int i = 0; i < n_objects; ++i) {
+    perception::Detection d;
+    d.bbox = {100.0 + 120.0 * i, 300.0, 50.0, 50.0};
+    frame.detections.push_back(d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mot.update(frame));
+  }
+}
+BENCHMARK(BM_MotTrackerStep)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_DetectorModel(benchmark::State& state) {
+  perception::DetectorModel det(perception::CameraModel{},
+                                perception::DetectorNoiseModel::paper_defaults(),
+                                stats::Rng(3));
+  stats::Rng rng(4);
+  sim::Scenario sc = sim::make_ds5(rng);
+  sim::World world = sc.make_world();
+  const auto gt = world.ground_truth();
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.detect(gt, t));
+    t += 1.0 / 15.0;
+  }
+}
+BENCHMARK(BM_DetectorModel);
+
+void BM_FullPerceptionStep(benchmark::State& state) {
+  perception::CameraModel cam;
+  perception::PerceptionSystem sys(cam, 1.0 / 15.0, 0.1);
+  perception::DetectorModel det(
+      cam, perception::DetectorNoiseModel::paper_defaults(), stats::Rng(5));
+  perception::LidarModel lidar(perception::LidarConfig{}, stats::Rng(6));
+  stats::Rng rng(7);
+  sim::Scenario sc = sim::make_ds5(rng);
+  sim::World world = sc.make_world();
+  const auto gt = world.ground_truth();
+  double t = 0.0;
+  for (auto _ : state) {
+    sys.ingest_lidar(lidar.scan(gt));
+    benchmark::DoNotOptimize(sys.step(det.detect(gt, t)));
+    t += 1.0 / 15.0;
+  }
+}
+BENCHMARK(BM_FullPerceptionStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

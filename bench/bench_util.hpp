@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared helpers for the benchmark/reproduction binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "experiments/campaign.hpp"
+#include "experiments/sh_training.hpp"
+
+namespace rt::bench {
+
+/// Number of runs per campaign: paper uses 131-185; default is sized to
+/// keep every bench binary under ~a minute. Override with ROBOTACK_RUNS.
+inline int runs_per_campaign() {
+  if (const char* env = std::getenv("ROBOTACK_RUNS")) {
+    return std::max(4, std::atoi(env));
+  }
+  return 60;
+}
+
+/// Loads (or trains once and caches under data/) the three per-vector
+/// safety-hijacker oracles.
+inline experiments::OracleSet oracles(const experiments::LoopConfig& loop) {
+  experiments::ShTrainingConfig cfg;
+  return experiments::load_or_train_oracles(
+      experiments::default_cache_dir(), loop, cfg);
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rt::bench

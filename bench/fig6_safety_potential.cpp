@@ -1,0 +1,95 @@
+// Reproduces Fig. 6: minimum safety potential (from attack start to scenario
+// end), RoboTack ("R") vs RoboTack-without-safety-hijacker ("R w/o SH"),
+// plus the §VI-D improvement ratios.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/reporting.hpp"
+#include "stats/summary.hpp"
+
+using namespace rt;
+
+namespace {
+
+struct Panel {
+  const char* name;
+  sim::ScenarioId scenario;
+  core::AttackVector vector;
+  double paper_median_nosh;
+  double paper_median_r;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 6 — min safety potential: R w/o SH vs R");
+  experiments::LoopConfig loop;
+  const auto oracles = bench::oracles(loop);
+  experiments::CampaignRunner runner(loop, oracles);
+  const int n = bench::runs_per_campaign();
+
+  const Panel panels[] = {
+      {"DS-1-Disappear", sim::ScenarioId::kDs1, core::AttackVector::kDisappear,
+       19.0, 9.0},
+      {"DS-1-Move_Out", sim::ScenarioId::kDs1, core::AttackVector::kMoveOut,
+       19.0, 13.0},
+      {"DS-2-Disappear", sim::ScenarioId::kDs2, core::AttackVector::kDisappear,
+       7.0, 3.0},
+      {"DS-2-Move_Out", sim::ScenarioId::kDs2, core::AttackVector::kMoveOut,
+       9.0, 3.0},
+  };
+
+  for (const Panel& p : panels) {
+    experiments::CampaignSpec nosh{std::string(p.name) + "-RwoSH", p.scenario,
+                                   p.vector, experiments::AttackMode::kNoSh,
+                                   n, 555};
+    experiments::CampaignSpec smart{std::string(p.name) + "-R", p.scenario,
+                                    p.vector,
+                                    experiments::AttackMode::kRobotack, n,
+                                    777};
+    const auto rn = runner.run(nosh);
+    const auto rs = runner.run(smart);
+    const auto dn = rn.min_deltas();
+    const auto ds = rs.min_deltas();
+    std::printf("\n%s (paper medians: R w/o SH %.0f, R %.0f; delta<4 = accident)\n",
+                p.name, p.paper_median_nosh, p.paper_median_r);
+    if (!dn.empty()) {
+      std::printf("  R w/o SH: %s\n", stats::boxplot(dn).to_string().c_str());
+    }
+    if (!ds.empty()) {
+      std::printf("  R:        %s\n", stats::boxplot(ds).to_string().c_str());
+    }
+    const double eb_ratio =
+        rn.eb_rate() > 0 ? rs.eb_rate() / rn.eb_rate() : 0.0;
+    const double crash_ratio =
+        rn.crash_rate() > 0 ? rs.crash_rate() / rn.crash_rate() : 0.0;
+    std::printf(
+        "  EB: %s vs %s (x%.1f)   crashes: %s vs %s (x%.1f)\n",
+        experiments::fmt_pct(rs.eb_rate()).c_str(),
+        experiments::fmt_pct(rn.eb_rate()).c_str(), eb_ratio,
+        experiments::fmt_pct(rs.crash_rate()).c_str(),
+        experiments::fmt_pct(rn.crash_rate()).c_str(), crash_ratio);
+  }
+
+  // Move_In scenarios: EB-only comparison (paper: 1.9x / 1.6x more EB).
+  bench::header("Move_In EB comparison (paper: DS-3 1.9x, DS-4 1.6x)");
+  for (const auto& [name, sid] :
+       {std::pair{"DS-3-Move_In", sim::ScenarioId::kDs3},
+        std::pair{"DS-4-Move_In", sim::ScenarioId::kDs4}}) {
+    experiments::CampaignSpec nosh{std::string(name) + "-RwoSH", sid,
+                                   core::AttackVector::kMoveIn,
+                                   experiments::AttackMode::kNoSh, n, 999};
+    experiments::CampaignSpec smart{std::string(name) + "-R", sid,
+                                    core::AttackVector::kMoveIn,
+                                    experiments::AttackMode::kRobotack, n,
+                                    333};
+    const auto rn = runner.run(nosh);
+    const auto rs = runner.run(smart);
+    std::printf("  %s: EB %s (R) vs %s (R w/o SH), ratio x%.1f\n", name,
+                experiments::fmt_pct(rs.eb_rate()).c_str(),
+                experiments::fmt_pct(rn.eb_rate()).c_str(),
+                rn.eb_rate() > 0 ? rs.eb_rate() / rn.eb_rate() : 0.0);
+  }
+  return 0;
+}

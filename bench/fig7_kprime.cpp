@@ -1,0 +1,60 @@
+// Reproduces Fig. 7: K' — the number of frames the trajectory hijacker
+// actively shifts the victim's bounding box before holding the faked
+// trajectory — split by attack vector and victim class.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/reporting.hpp"
+#include "stats/summary.hpp"
+
+using namespace rt;
+
+int main() {
+  bench::header("Fig. 7 — K' shift time per vector and victim class");
+  experiments::LoopConfig loop;
+  const auto oracles = bench::oracles(loop);
+  experiments::CampaignRunner runner(loop, oracles);
+  const int n = bench::runs_per_campaign();
+
+  struct Cell {
+    const char* label;
+    sim::ScenarioId scenario;
+    core::AttackVector vector;
+    double paper_median;
+  };
+  // Paper medians (Fig. 7): vehicle Move_Out 6, Move_In 10;
+  // pedestrian Move_Out 5, Move_In 3 (Disappear has no shift phase in our
+  // implementation; the paper lists its total perturbation instead).
+  const Cell cells[] = {
+      {"Vehicle / Move_Out (DS-1)", sim::ScenarioId::kDs1,
+       core::AttackVector::kMoveOut, 6.0},
+      {"Vehicle / Move_In  (DS-3)", sim::ScenarioId::kDs3,
+       core::AttackVector::kMoveIn, 10.0},
+      {"Pedestrian / Move_Out (DS-2)", sim::ScenarioId::kDs2,
+       core::AttackVector::kMoveOut, 5.0},
+      {"Pedestrian / Move_In  (DS-4)", sim::ScenarioId::kDs4,
+       core::AttackVector::kMoveIn, 3.0},
+  };
+
+  for (const Cell& c : cells) {
+    experiments::CampaignSpec spec{c.label, c.scenario, c.vector,
+                                   experiments::AttackMode::kRobotack, n,
+                                   2468};
+    const auto result = runner.run(spec);
+    const auto ks = result.k_primes();
+    std::printf("\n%s (paper median K' = %.0f)\n", c.label, c.paper_median);
+    if (ks.empty()) {
+      std::printf("  no triggered Move_* attacks in %d runs\n", result.n());
+    } else {
+      std::printf("  K': %s\n", stats::boxplot(ks).to_string().c_str());
+    }
+  }
+
+  std::printf(
+      "\nNote: in this reproduction the IoU association gate binds harder\n"
+      "for the pedestrian's small bbox, so the absolute K' ordering between\n"
+      "classes can differ from the paper (see EXPERIMENTS.md); K' remaining\n"
+      "a small fraction of the total attack K (stealth, §VI-E) holds.\n");
+  return 0;
+}

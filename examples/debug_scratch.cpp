@@ -1,0 +1,190 @@
+// Temporary debugging harness (not part of the public examples).
+#include <algorithm>
+#include <cstdio>
+
+#include "experiments/campaign.hpp"
+#include "experiments/sh_training.hpp"
+
+using namespace rt;
+
+static void run_timeline(sim::ScenarioId sid, core::AttackVector v,
+                         core::TimingPolicy timing, double delta_trigger,
+                         int fixed_k) {
+  experiments::LoopConfig loop;
+  loop.keep_timeline = true;
+  stats::Rng rng(7);
+  sim::Scenario sc = sim::make_scenario(sid, rng);
+  experiments::ClosedLoop cl(sc, loop, 1001);
+  if (timing != core::TimingPolicy::kSafetyHijacker || true) {
+    auto cfg = experiments::make_attacker_config(loop, v, timing);
+    cfg.delta_trigger = delta_trigger;
+    cfg.fixed_k = fixed_k;
+    cl.set_attacker(std::make_unique<core::Robotack>(cfg, loop.camera,
+                                                     loop.noise, loop.mot,
+                                                     2002));
+  }
+  auto r = cl.run();
+  std::printf("%s %s: EB=%d crash=%d coll=%d minD=%.2f trig=%d t=%.2f K=%d K'=%d pert=%d\n",
+              sim::to_string(sid), core::to_string(v), r.eb, r.crash,
+              r.collision, r.min_delta_since_attack, r.attack.triggered,
+              r.attack.start_time, r.attack.planned_k, r.attack.k_prime,
+              r.attack.frames_perturbed);
+  for (std::size_t i = 0; i < r.timeline.size(); i += 8) {
+    const auto& s = r.timeline[i];
+    std::printf("  t=%5.2f delta=%7.2f dsafe=%7.2f v=%5.2f eb=%d atk=%d\n",
+                s.time, s.delta, s.d_safe, s.ego_speed, s.eb_active,
+                s.attack_active);
+  }
+}
+
+static void golden_timeline(sim::ScenarioId sid) {
+  experiments::LoopConfig loop;
+  loop.keep_timeline = true;
+  stats::Rng rng(7);
+  sim::Scenario sc = sim::make_scenario(sid, rng);
+  experiments::ClosedLoop cl(sc, loop, 1001);
+  auto r = cl.run();
+  std::printf("GOLDEN %s: EB=%d crash=%d coll=%d minD=%.2f end=%.1f\n",
+              sim::to_string(sid), r.eb, r.crash, r.collision, r.min_delta,
+              r.end_time);
+  for (std::size_t i = 0; i < r.timeline.size(); i += 8) {
+    const auto& s = r.timeline[i];
+    std::printf("  t=%5.2f delta=%7.2f dsafe=%7.2f v=%5.2f eb=%d\n", s.time,
+                s.delta, s.d_safe, s.ego_speed, s.eb_active);
+  }
+}
+
+int main(int argc, char** argv) {
+  const int mode = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (mode == 0) {
+    for (auto sid : {sim::ScenarioId::kDs1, sim::ScenarioId::kDs2,
+                     sim::ScenarioId::kDs3, sim::ScenarioId::kDs4}) {
+      golden_timeline(sid);
+    }
+  } else if (mode == 1) {
+    run_timeline(sim::ScenarioId::kDs2, core::AttackVector::kDisappear,
+                 core::TimingPolicy::kAtDeltaThreshold, 20.0, 30);
+    run_timeline(sim::ScenarioId::kDs2, core::AttackVector::kMoveOut,
+                 core::TimingPolicy::kAtDeltaThreshold, 20.0, 40);
+    run_timeline(sim::ScenarioId::kDs1, core::AttackVector::kDisappear,
+                 core::TimingPolicy::kAtDeltaThreshold, 14.0, 50);
+    run_timeline(sim::ScenarioId::kDs1, core::AttackVector::kMoveOut,
+                 core::TimingPolicy::kAtDeltaThreshold, 14.0, 65);
+    run_timeline(sim::ScenarioId::kDs3, core::AttackVector::kMoveIn,
+                 core::TimingPolicy::kAtDeltaThreshold, 30.0, 48);
+    run_timeline(sim::ScenarioId::kDs4, core::AttackVector::kMoveIn,
+                 core::TimingPolicy::kAtDeltaThreshold, 30.0, 24);
+  } else if (mode == 3) {
+    // Golden sweep across seeds.
+    for (auto sid : {sim::ScenarioId::kDs1, sim::ScenarioId::kDs2,
+                     sim::ScenarioId::kDs3, sim::ScenarioId::kDs4,
+                     sim::ScenarioId::kDs5}) {
+      int eb = 0, crash = 0;
+      double worst = 1e9;
+      const int N = 40;
+      for (int i = 0; i < N; ++i) {
+        experiments::LoopConfig loop;
+        stats::Rng rng(100 + i);
+        sim::Scenario sc = sim::make_scenario(sid, rng);
+        experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
+        auto r = cl.run();
+        eb += r.eb;
+        crash += r.crash;
+        worst = std::min(worst, r.min_delta);
+      }
+      std::printf("GOLDEN-SWEEP %s: EB=%d/%d crash=%d/%d worst_minD=%.2f\n",
+                  sim::to_string(sid), eb, N, crash, N, worst);
+    }
+  } else if (mode == 8) {
+    for (double dt2 : {12.0, 16.0, 20.0}) {
+      for (int k : {20, 31}) {
+        int crash = 0, eb = 0;
+        for (int i = 0; i < 8; ++i) {
+          experiments::LoopConfig loop;
+          stats::Rng rng(7);
+          sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+          experiments::ClosedLoop cl(sc, loop, 1001 + i);
+          auto cfg = experiments::make_attacker_config(
+              loop, core::AttackVector::kDisappear,
+              core::TimingPolicy::kAtDeltaThreshold);
+          cfg.delta_trigger = dt2;
+          cfg.fixed_k = k;
+          cl.set_attacker(std::make_unique<core::Robotack>(
+              cfg, loop.camera, loop.noise, loop.mot, 2002 + i));
+          auto r = cl.run();
+          crash += r.crash;
+          eb += r.eb;
+        }
+        std::printf("DS2 disappear trig=%.0f k=%d crash=%d/8 eb=%d/8\n", dt2,
+                    k, crash, eb);
+      }
+    }
+  } else if (mode == 7) {
+    // Mini Table II: train/load oracles, run reduced campaigns.
+    experiments::LoopConfig loop;
+    experiments::ShTrainingConfig sh_cfg;
+    auto oracles = experiments::load_or_train_oracles(
+        experiments::default_cache_dir(), loop, sh_cfg);
+    experiments::CampaignRunner runner(loop, oracles);
+    const int N = argc > 2 ? std::atoi(argv[2]) : 30;
+    for (auto spec : experiments::table2_campaigns(N, 777)) {
+      auto r = runner.run(spec);
+      std::printf("%-24s n=%d trig=%d K=%.0f EB=%d (%.1f%%) crash=%d (%.1f%%)\n",
+                  spec.name.c_str(), r.n(), r.triggered_count(), r.median_k(),
+                  r.eb_count(), 100.0 * r.eb_rate(), r.crash_count(),
+                  100.0 * r.crash_rate());
+    }
+  } else if (mode == 6) {
+    // EB forensics for a given scenario id (argv[2]).
+    for (int i = 0; i < 40; ++i) {
+      experiments::LoopConfig loop;
+      stats::Rng rng(100 + i);
+      sim::Scenario sc = sim::make_scenario(
+          static_cast<sim::ScenarioId>(4 - 1), rng);  // DS-3 hmm placeholder
+      experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
+      auto r = cl.run();
+      if (r.eb) std::printf("EB run seed=%d\n", i);
+    }
+  } else if (mode == 5) {
+    // Forensics: find failing DS-1 golden seeds, dump dense timeline.
+    for (int i = 0; i < 40; ++i) {
+      experiments::LoopConfig loop;
+      loop.keep_timeline = true;
+      stats::Rng rng(100 + i);
+      sim::Scenario sc = sim::make_scenario(
+          argc > 2 && std::atoi(argv[2]) == 2 ? sim::ScenarioId::kDs2
+                                              : sim::ScenarioId::kDs1,
+          rng);
+      experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
+      auto r = cl.run();
+      if (!r.crash) continue;
+      std::printf("FAIL seed=%d minD=%.2f end=%.2f\n", i, r.min_delta,
+                  r.end_time);
+      // find first index where delta < 6
+      std::size_t first = 0;
+      for (std::size_t j = 0; j < r.timeline.size(); ++j) {
+        if (r.timeline[j].delta < 6.0) { first = j > 30 ? j - 30 : 0; break; }
+      }
+      for (std::size_t j = first;
+           j < r.timeline.size() && j < first + 90; j += 2) {
+        const auto& s2 = r.timeline[j];
+        std::printf("  t=%5.2f delta=%6.2f dsafe=%6.2f v=%5.2f eb=%d\n",
+                    s2.time, s2.delta, s2.d_safe, s2.ego_speed, s2.eb_active);
+      }
+      break;
+    }
+  } else if (mode == 2) {
+    experiments::LoopConfig loop;
+    experiments::ShTrainingConfig cfg;
+    cfg.repeats = 1;
+    auto ds = experiments::generate_sh_dataset(core::AttackVector::kDisappear,
+                                               loop, cfg);
+    std::printf("Disappear dataset: %zu samples\n", ds.size());
+    for (std::size_t j = 0; j < ds.size() && j < 12; ++j) {
+      std::printf("  delta=%6.2f vx=%6.2f vy=%6.2f ax=%6.2f ay=%6.2f k=%4.0f -> %6.2f\n",
+                  ds.x(0, j), ds.x(1, j), ds.x(2, j), ds.x(3, j), ds.x(4, j),
+                  ds.x(5, j), ds.y(0, j));
+    }
+  }
+  return 0;
+}

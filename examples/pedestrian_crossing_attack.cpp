@@ -1,0 +1,68 @@
+// Domain example: DS-2, the pedestrian-crossing scenario, attacked with the
+// full RoboTack pipeline. Prints the per-frame safety timeline around the
+// attack so you can watch the deception unfold: the safety hijacker fires
+// when the predicted post-attack safety potential collapses, the trajectory
+// hijacker erases the crossing belief, and the EV discovers the pedestrian
+// too late.
+
+#include <cstdio>
+
+#include "experiments/campaign.hpp"
+#include "experiments/sh_training.hpp"
+
+using namespace rt;
+
+int main() {
+  experiments::LoopConfig loop;
+  loop.keep_timeline = true;
+
+  std::printf("training/loading safety-hijacker oracles...\n");
+  const auto oracles = experiments::load_or_train_oracles(
+      experiments::default_cache_dir(), loop, {});
+
+  stats::Rng rng(7);
+  sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+  std::printf("\nscenario: %s — %s\n", ds2.name.c_str(),
+              ds2.description.c_str());
+
+  experiments::ClosedLoop cl(ds2, loop, 4243);
+  auto cfg = experiments::make_attacker_config(
+      loop, core::AttackVector::kMoveOut,
+      core::TimingPolicy::kSafetyHijacker);
+  auto attacker = std::make_unique<core::Robotack>(
+      cfg, loop.camera, loop.noise, loop.mot, 777);
+  for (const auto& [v, o] : oracles) attacker->set_oracle(v, o);
+  cl.set_attacker(std::move(attacker));
+
+  const auto r = cl.run();
+
+  if (r.attack.triggered) {
+    std::printf(
+        "\nattack: vector=%s victim=%s launch t=%.2fs\n"
+        "        delta at launch=%.1fm  SH-predicted delta_{t+K}=%.1fm\n"
+        "        K=%d frames (K'=%d shift + %d hold)\n",
+        core::to_string(r.attack.vector), sim::to_string(r.attack.victim_cls),
+        r.attack.start_time, r.attack.delta_at_launch,
+        r.attack.predicted_delta, r.attack.planned_k, r.attack.k_prime,
+        r.attack.planned_k - r.attack.k_prime);
+  } else {
+    std::printf("\nthe safety hijacker never saw a profitable moment.\n");
+  }
+
+  std::printf("\n   t      delta   d_safe   ego v   EB  attack\n");
+  for (std::size_t i = 0; i < r.timeline.size(); i += 4) {
+    const auto& s = r.timeline[i];
+    if (s.time < r.attack.start_time - 1.5) continue;
+    if (s.time > r.attack.start_time + 8.0) break;
+    std::printf("  %5.2f  %6.1f  %6.1f  %6.2f   %s   %s\n", s.time,
+                s.delta > 150 ? 999.9 : s.delta,
+                s.d_safe > 150 ? 999.9 : s.d_safe, s.ego_speed,
+                s.eb_active ? "*" : " ", s.attack_active ? "*" : " ");
+  }
+
+  std::printf("\noutcome: EB=%s  accident=%s  min delta=%.2f m%s\n",
+              r.eb ? "yes" : "no", r.crash ? "yes" : "no",
+              r.min_delta_since_attack,
+              r.crash ? "  (below the 4 m accident threshold)" : "");
+  return 0;
+}

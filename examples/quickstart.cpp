@@ -1,0 +1,89 @@
+// Quickstart: one golden run and one attacked run of DS-2 (pedestrian
+// illegally crossing), printed as a timeline.
+//
+// Demonstrates the core public API:
+//   sim::make_scenario      -> a driving scenario (ground truth)
+//   experiments::ClosedLoop -> the simulated LGSVL+Apollo rig
+//   core::Robotack          -> the malware on the camera link
+//   experiments oracles     -> training/caching the safety hijacker NN
+
+#include <cstdio>
+
+#include "experiments/campaign.hpp"
+#include "experiments/sh_training.hpp"
+
+using namespace rt;
+
+namespace {
+
+void print_result(const char* label, const experiments::RunResult& r) {
+  std::printf("%-18s EB=%s crash=%s collision=%s min_delta=%.2fm", label,
+              r.eb ? "yes" : "no ", r.crash ? "yes" : "no ",
+              r.collision ? "yes" : "no ", r.min_delta_since_attack);
+  if (r.attack.triggered) {
+    std::printf("  [attack t=%.2fs K=%d K'=%d vector=%s victim=%s]",
+                r.attack.start_time, r.attack.planned_k, r.attack.k_prime,
+                core::to_string(r.attack.vector),
+                sim::to_string(r.attack.victim_cls));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  experiments::LoopConfig loop;
+
+  std::printf("== RoboTack quickstart: DS-2 (pedestrian crossing) ==\n\n");
+
+  // Train (or load cached) safety-hijacker oracles.
+  std::printf("loading/training safety-hijacker oracles...\n");
+  experiments::ShTrainingConfig sh_cfg;
+  const auto oracles = experiments::load_or_train_oracles(
+      experiments::default_cache_dir(), loop, sh_cfg);
+  std::printf("oracles ready.\n\n");
+
+  // Golden run: no malware.
+  {
+    stats::Rng rng(7);
+    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    experiments::ClosedLoop golden(ds2, loop, /*seed=*/1001);
+    print_result("golden:", golden.run());
+  }
+
+  // Attacked run: RoboTack with the Move_Out vector.
+  {
+    stats::Rng rng(7);
+    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    experiments::ClosedLoop attacked(ds2, loop, /*seed=*/1001);
+    auto cfg = experiments::make_attacker_config(
+        loop, core::AttackVector::kMoveOut,
+        core::TimingPolicy::kSafetyHijacker);
+    auto attacker = std::make_unique<core::Robotack>(
+        cfg, loop.camera, loop.noise, loop.mot, /*seed=*/2002);
+    for (const auto& [v, o] : oracles) attacker->set_oracle(v, o);
+    attacked.set_attacker(std::move(attacker));
+    print_result("Move_Out attack:", attacked.run());
+  }
+
+  // Attacked run: Disappear.
+  {
+    stats::Rng rng(7);
+    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    experiments::ClosedLoop attacked(ds2, loop, /*seed=*/1001);
+    auto cfg = experiments::make_attacker_config(
+        loop, core::AttackVector::kDisappear,
+        core::TimingPolicy::kSafetyHijacker);
+    auto attacker = std::make_unique<core::Robotack>(
+        cfg, loop.camera, loop.noise, loop.mot, /*seed=*/2002);
+    for (const auto& [v, o] : oracles) attacker->set_oracle(v, o);
+    attacked.set_attacker(std::move(attacker));
+    print_result("Disappear attack:", attacked.run());
+  }
+
+  std::printf(
+      "\nThe golden run brakes comfortably and stops short; the attacked\n"
+      "runs hide or displace the pedestrian at the worst moment, forcing\n"
+      "late emergency braking and (usually) an accident (min delta < 4 m).\n");
+  return 0;
+}

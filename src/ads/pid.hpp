@@ -1,0 +1,60 @@
+#pragma once
+
+#include <algorithm>
+
+namespace rt::ads {
+
+/// Textbook PID controller (Astrom & Hagglund [17]).
+///
+/// The ADS uses it to smooth the planner's acceleration request into the
+/// actuation command (§II-A: "commands are smoothed out using a PID
+/// controller... ensures that the AV does not make any sudden changes").
+/// Includes output clamping with integrator anti-windup.
+class PidController {
+ public:
+  struct Gains {
+    double kp{0.0};
+    double ki{0.0};
+    double kd{0.0};
+  };
+
+  PidController(Gains gains, double out_min, double out_max)
+      : gains_(gains), out_min_(out_min), out_max_(out_max) {}
+
+  /// One control step on the given error; returns the clamped output.
+  double step(double error, double dt) {
+    integral_ += error * dt;
+    const double derivative = has_prev_ ? (error - prev_error_) / dt : 0.0;
+    prev_error_ = error;
+    has_prev_ = true;
+    double u = gains_.kp * error + gains_.ki * integral_ +
+               gains_.kd * derivative;
+    if (u > out_max_) {
+      // Anti-windup: stop integrating into the saturation.
+      if (gains_.ki != 0.0) integral_ -= error * dt;
+      u = out_max_;
+    } else if (u < out_min_) {
+      if (gains_.ki != 0.0) integral_ -= error * dt;
+      u = out_min_;
+    }
+    return u;
+  }
+
+  void reset() {
+    integral_ = 0.0;
+    prev_error_ = 0.0;
+    has_prev_ = false;
+  }
+
+  [[nodiscard]] double integral() const { return integral_; }
+
+ private:
+  Gains gains_;
+  double out_min_;
+  double out_max_;
+  double integral_{0.0};
+  double prev_error_{0.0};
+  bool has_prev_{false};
+};
+
+}  // namespace rt::ads

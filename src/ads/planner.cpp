@@ -1,0 +1,204 @@
+#include "ads/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ads/prediction.hpp"
+#include "sim/types.hpp"
+
+namespace rt::ads {
+
+namespace {
+
+/// IDM desired-gap term.
+double idm_desired_gap(double v, double dv, const PlannerConfig& c,
+                       double s0) {
+  const double dynamic = v * c.time_headway +
+                         v * dv / (2.0 * std::sqrt(c.max_accel *
+                                                   c.comfort_decel));
+  return s0 + std::max(0.0, dynamic);
+}
+
+}  // namespace
+
+PlanOutput LongitudinalPlanner::plan(const WorldModel& world,
+                                     double ego_width, double ego_length) {
+  PlanOutput out;
+  const double v = world.ego_speed;
+  ++frame_;
+  constexpr int kTrendFrames = 9;
+  constexpr double kTrendDisplacement = 0.55;  // meters toward the lane
+
+  // 1. Lead selection: nearest object ahead that is in, or predicted to
+  //    enter, the EV corridor.
+  const perception::FusedObject* lead = nullptr;
+  double lead_gap = 0.0;
+  bool lead_surprise = false;
+  bool lead_cut_in = false;
+  bool ped_caution = false;
+  for (const auto& o : world.objects) {
+    if (o.rel_position.x <= 0.0) continue;
+    // Predicted corridor entry / pedestrian crossing must persist for
+    // several consecutive frames before it counts (perception noise
+    // produces 1-2 frame spurts).
+    int& streak = entry_streak_[o.id];
+    // Velocity-based predicates need a mature track AND non-contradicted
+    // evidence: a camera-only track the LiDAR should corroborate (but does
+    // not) is most likely a mislocalized detection streak.
+    const bool velocity_trustworthy =
+        o.camera_hits >= config_.mature_hits &&
+        (o.lidar_corroborated || !o.lidar_expected);
+    streak = velocity_trustworthy &&
+                     (Prediction::enters_corridor_within(
+                          o, ego_width, config_.prediction_horizon, v) ||
+                      Prediction::pedestrian_crossing(o, ego_width))
+                 ? streak + 1
+                 : 0;
+    // A pedestrian that committed to crossing stays a yield target until it
+    // leaves the roadway or clearly walks away (latched — the momentary vy
+    // dips of a noisy estimate must not toggle the brake).
+    bool latched = yield_latch_[o.id];
+    if (streak >= config_.threat_persistence) latched = true;
+    // Position-trend crossing detector: a sustained decrease of |y| over
+    // ~0.8 s is crossing evidence robust to velocity-estimate noise.
+    if (Prediction::pedestrian_on_road(o) &&
+        o.camera_hits >= config_.mature_hits) {
+      YTrend& trend = y_trend_[o.id];
+      const double abs_y = std::abs(o.rel_position.y);
+      if (!trend.valid) {
+        trend = {abs_y, frame_, true};
+      } else if (frame_ - trend.anchor_frame >= kTrendFrames) {
+        if (abs_y - trend.anchor_abs_y <= -kTrendDisplacement) {
+          latched = true;
+        }
+        trend = {abs_y, frame_, true};
+      }
+    }
+    if (latched && (!Prediction::pedestrian_on_road(o) ||
+                    Prediction::pedestrian_receding(o))) {
+      latched = false;
+    }
+    yield_latch_[o.id] = latched;
+    // Coasting ghosts (no fresh camera evidence) do not *start* a reaction;
+    // they only exist to bridge one-or-two-frame dropouts.
+    const bool threat = (!o.coasting &&
+                         Prediction::in_corridor_now(o, ego_width)) ||
+                        streak >= config_.threat_persistence || latched;
+    if (Prediction::pedestrian_on_road(o) &&
+        o.rel_position.x < config_.ped_caution_range) {
+      ped_caution = true;
+    }
+    if (!threat) continue;
+    const bool was_recent_threat =
+        last_threat_frame_.contains(o.id) &&
+        frame_ - last_threat_frame_[o.id] <= config_.surprise_memory_frames;
+    last_threat_frame_[o.id] = frame_;
+    const double obj_len = sim::default_dimensions(o.cls).length;
+    const double gap =
+        std::max(0.1, o.rel_position.x - obj_len / 2.0 - ego_length / 2.0);
+    const bool in_corridor = Prediction::in_corridor_now(o, ego_width);
+    const bool newly_seen = !first_seen_frame_.contains(o.id);
+    if (newly_seen) first_seen_frame_[o.id] = frame_;
+    // Cut-in: crossed the corridor boundary this frame, or materialized
+    // inside the corridor, close ahead.
+    const bool entered = in_corridor && !o.coasting &&
+                         was_in_corridor_.contains(o.id) &&
+                         !was_in_corridor_[o.id];
+    const bool materialized = in_corridor && !o.coasting && newly_seen;
+    was_in_corridor_[o.id] = in_corridor;
+    if (lead == nullptr || gap < lead_gap) {
+      lead = &o;
+      lead_gap = gap;
+      lead_surprise = !was_recent_threat;
+      lead_cut_in = (entered || materialized) &&
+                    o.rel_position.x < config_.cut_in_panic_range;
+    }
+  }
+
+  // 2.+3. Car following / emergency braking against the lead.
+  double accel = config_.max_accel;
+  if (lead != nullptr) {
+    out.lead_id = lead->id;
+    const double lead_speed = std::max(0.0, v + lead->rel_velocity.x);
+    const double dv = v - lead_speed;  // closing speed (>0 approaching)
+    const double s0 = lead->cls == sim::ActorType::kPedestrian
+                          ? config_.min_gap_pedestrian
+                          : config_.min_gap_vehicle;
+
+    // Kinematically required constant deceleration to avoid closing the
+    // remaining gap (beyond half the margin).
+    const double usable = std::max(0.5, lead_gap - s0 / 2.0);
+    if (dv > 0.0 || lead_speed < 0.3) {
+      out.required_decel =
+          std::max(0.0, (v * v - lead_speed * lead_speed) / (2.0 * usable));
+    }
+
+    // IDM following term.
+    const double s_star = idm_desired_gap(v, dv, config_, s0);
+    const double idm =
+        config_.max_accel *
+        (1.0 - std::pow(v / std::max(config_.cruise_speed, 0.1), 4.0) -
+         std::pow(s_star / lead_gap, 2.0));
+    accel = std::min(accel, idm);
+
+    // Safety-envelope cap: keep the comfortable stopping distance inside
+    // the perceived gap (with a buffer) even while the IDM is converging.
+    const double v_cap = std::sqrt(
+        2.0 * config_.envelope_decel *
+        std::max(0.1, lead_gap - config_.envelope_buffer));
+    if (v > v_cap) {
+      accel = std::min(accel, 2.0 * config_.cruise_gain * (v_cap - v));
+    }
+
+    // Cut-in reflex: hard braking for objects that enter (or materialize
+    // inside) the corridor close ahead while the EV is at speed.
+    if (lead_cut_in && v > config_.cut_in_min_speed &&
+        out.required_decel > config_.cut_in_min_required_decel) {
+      eb_latched_ = true;
+    }
+    // EB hysteresis. A *newly appeared* threat already demanding more than
+    // the comfortable envelope triggers the panic response immediately.
+    const double trigger = lead_surprise ? config_.eb_surprise_decel
+                                         : config_.eb_trigger_decel;
+    if (out.required_decel > trigger) {
+      if (!eb_latched_ && std::getenv("ROBOTACK_DEBUG_EB") != nullptr) {
+        std::fprintf(stderr,
+                     "[planner] EB: lead id=%d cls=%d pos=(%.1f, %.2f) "
+                     "vel=(%.2f, %.2f) gap=%.1f req=%.2f v=%.2f lidar=%d "
+                     "coast=%d\n",
+                     lead->id, static_cast<int>(lead->cls),
+                     lead->rel_position.x, lead->rel_position.y,
+                     lead->rel_velocity.x, lead->rel_velocity.y, lead_gap,
+                     out.required_decel, v, lead->lidar_corroborated,
+                     lead->coasting);
+      }
+      eb_latched_ = true;
+    } else if (out.required_decel < config_.eb_release_decel) {
+      eb_latched_ = false;
+    }
+  } else {
+    eb_latched_ = false;
+    // 5. Free-road cruise.
+    accel = std::min(accel,
+                     config_.cruise_gain * (config_.cruise_speed - v));
+  }
+
+  // 4. On-road pedestrian caution (speed cap).
+  if (ped_caution && v > config_.ped_caution_speed) {
+    accel = std::min(accel,
+                     config_.cruise_gain *
+                         (config_.ped_caution_speed - v));
+  }
+
+  if (eb_latched_) {
+    out.eb_active = true;
+    accel = -config_.eb_command_decel;
+  }
+  out.accel_command = std::clamp(accel, -config_.eb_command_decel,
+                                 config_.max_accel);
+  return out;
+}
+
+}  // namespace rt::ads

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cmath>
+
+#include "ads/world_model.hpp"
+#include "sim/road.hpp"
+#include "sim/types.hpp"
+
+namespace rt::ads {
+
+/// Short-horizon trajectory prediction over fused objects (the "Prediction"
+/// stage of Fig. 1): constant-velocity extrapolation, plus the derived
+/// predicates the planner consumes.
+///
+/// These predicates are precisely what the attack vectors manipulate:
+/// Move_Out forges "will be outside the corridor", Move_In forges "will be
+/// inside", Disappear removes the object before prediction sees it.
+struct Prediction {
+  /// Lateral half-width of the corridor the EV sweeps, for an object of the
+  /// given class (object and ego half-widths plus a small margin).
+  [[nodiscard]] static double corridor_half_width(sim::ActorType cls,
+                                                  double ego_width) {
+    const double obj_width = sim::default_dimensions(cls).width;
+    return (obj_width + ego_width) / 2.0 + 0.1;
+  }
+
+  /// Predicted relative position after `horizon` seconds (constant
+  /// relative velocity).
+  [[nodiscard]] static math::Vec2 position_in(
+      const perception::FusedObject& o, double horizon) {
+    return o.rel_position + o.rel_velocity * horizon;
+  }
+
+  /// True if the object currently overlaps the EV corridor.
+  [[nodiscard]] static bool in_corridor_now(const perception::FusedObject& o,
+                                            double ego_width) {
+    return std::abs(o.rel_position.y) <
+           corridor_half_width(o.cls, ego_width);
+  }
+
+  /// True if the object is predicted to overlap the corridor within
+  /// `horizon` seconds (evaluated at the horizon end and midpoint).
+  /// The horizon is additionally capped by the time the EV needs to *reach*
+  /// the object at `ego_speed` — an object the EV passes in 0.3 s cannot
+  /// become a threat by drifting laterally for 1.5 s.
+  [[nodiscard]] static bool enters_corridor_within(
+      const perception::FusedObject& o, double ego_width, double horizon,
+      double ego_speed) {
+    const double time_to_reach =
+        o.rel_position.x / std::max(1.0, ego_speed);
+    const double h = std::min(horizon, time_to_reach);
+    const double half = corridor_half_width(o.cls, ego_width);
+    const auto mid = position_in(o, h / 2.0);
+    const auto end = position_in(o, h);
+    return std::abs(mid.y) < half || std::abs(end.y) < half;
+  }
+
+  /// True for a pedestrian anywhere on the roadway (|y| within the paved
+  /// width) — the planner treats those with extra caution (DS-4 behaviour).
+  [[nodiscard]] static bool pedestrian_on_road(
+      const perception::FusedObject& o) {
+    return o.cls == sim::ActorType::kPedestrian &&
+           std::abs(o.rel_position.y) <
+               sim::Road::kLaneWidth * 1.5;  // ~5.55 m
+  }
+
+  /// True for an on-road pedestrian walking laterally *toward* the EV lane
+  /// (the DS-2 "illegal crossing" signature). The planner yields to these
+  /// well before the corridor-entry prediction fires — and this is exactly
+  /// the belief the Move_Out/Disappear vectors erase.
+  [[nodiscard]] static bool pedestrian_crossing(
+      const perception::FusedObject& o, double ego_width,
+      double min_lateral_speed = 0.5) {
+    if (!pedestrian_on_road(o)) return false;
+    const double y = o.rel_position.y;
+    if (std::abs(y) < corridor_half_width(o.cls, ego_width)) {
+      return false;  // already in the corridor: handled as a lead obstacle
+    }
+    const double toward = y > 0.0 ? -o.rel_velocity.y : o.rel_velocity.y;
+    return toward > min_lateral_speed;
+  }
+
+  /// True when an on-road pedestrian is clearly walking *away* from the EV
+  /// lane — the release condition for a latched yield.
+  [[nodiscard]] static bool pedestrian_receding(
+      const perception::FusedObject& o, double min_lateral_speed = 0.3) {
+    const double y = o.rel_position.y;
+    const double toward = y > 0.0 ? -o.rel_velocity.y : o.rel_velocity.y;
+    return toward < -min_lateral_speed;
+  }
+};
+
+}  // namespace rt::ads

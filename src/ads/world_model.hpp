@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "perception/fusion.hpp"
+
+namespace rt::ads {
+
+/// The ADS's belief about the world ("W_t" in §II-A): the fused perception
+/// output plus the ego's own speed (from wheel odometry / GPS-IMU, which the
+/// threat model leaves untouched).
+struct WorldModel {
+  double time{0.0};
+  double ego_speed{0.0};
+  std::vector<perception::FusedObject> objects;
+};
+
+}  // namespace rt::ads

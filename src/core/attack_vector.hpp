@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rt::core {
+
+/// The three attack vectors of §III-C.
+enum class AttackVector : std::uint8_t {
+  /// Fool the EV into believing the target object is leaving (or staying
+  /// out of) the EV's lane -> EV keeps speed / accelerates -> collision.
+  kMoveOut,
+  /// Fool the EV into believing the target object is entering the EV's
+  /// lane -> forced emergency braking.
+  kMoveIn,
+  /// Fool the EV into believing the target object vanished -> same effect
+  /// as Move_Out.
+  kDisappear,
+};
+
+[[nodiscard]] constexpr const char* to_string(AttackVector v) {
+  switch (v) {
+    case AttackVector::kMoveOut:
+      return "Move_Out";
+    case AttackVector::kMoveIn:
+      return "Move_In";
+    case AttackVector::kDisappear:
+      return "Disappear";
+  }
+  return "?";
+}
+
+}  // namespace rt::core

@@ -1,0 +1,23 @@
+#include "core/patch_model.hpp"
+
+namespace rt::core {
+
+double PatchModel::max_shift(const math::Bbox& base, double dir,
+                             double upper_bound) const {
+  if (!patch_) return upper_bound;
+  if (!feasible(base)) return 0.0;
+  if (feasible(base.translated(dir * upper_bound, 0.0))) return upper_bound;
+  double lo = 0.0;
+  double hi = upper_bound;
+  for (int i = 0; i < 30; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (feasible(base.translated(dir * mid, 0.0))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "math/bbox.hpp"
+
+namespace rt::core {
+
+/// Feasibility model of the pixel-level adversarial patch (Jia et al. [15],
+/// the "how" of the attack).
+///
+/// We do not render pixels; what the downstream system observes is only the
+/// *detector output* the patch induces. This class models the achievable-
+/// output feasible set that Eq. 4's third constraint encodes:
+/// `IoU(o_t + omega_t, patch) >= gamma` — the faked box must stay attached
+/// to the painted patch region. Since the patch the attacker painted last
+/// frame is (approximately) where last frame's faked box was, the
+/// operational consequence is a bound on the *frame-to-frame jump* of the
+/// faked box. `max_shift` computes that bound.
+class PatchModel {
+ public:
+  explicit PatchModel(double min_iou = 0.30) : min_iou_(min_iou) {}
+
+  /// Registers where the patch was painted this frame (the faked box).
+  void set_patch(const math::Bbox& faked_box) { patch_ = faked_box; }
+  void reset() { patch_.reset(); }
+  [[nodiscard]] bool has_patch() const { return patch_.has_value(); }
+  [[nodiscard]] double min_iou() const { return min_iou_; }
+
+  /// True if a faked box at `candidate` keeps the required overlap with the
+  /// current patch. Vacuously true before the first frame of an attack
+  /// (the patch can be painted anywhere initially).
+  [[nodiscard]] bool feasible(const math::Bbox& candidate) const {
+    return !patch_ || math::iou(candidate, *patch_) >= min_iou_;
+  }
+
+  /// Largest |dx| such that `base.translated(dir * dx, 0)` stays feasible.
+  /// `dir` is +-1. Monotone in |dx|, solved by bisection.
+  [[nodiscard]] double max_shift(const math::Bbox& base, double dir,
+                                 double upper_bound) const;
+
+ private:
+  double min_iou_;
+  std::optional<math::Bbox> patch_;
+};
+
+}  // namespace rt::core

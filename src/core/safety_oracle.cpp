@@ -1,0 +1,44 @@
+#include "core/safety_oracle.hpp"
+
+#include "nn/serialize.hpp"
+
+namespace rt::core {
+
+SafetyOracle::SafetyOracle(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  net_ = nn::make_safety_hijacker_net(rng, kInputDim);
+}
+
+std::vector<double> SafetyOracle::features(double delta, math::Vec2 v_rel,
+                                           math::Vec2 a_rel, double k) {
+  return {delta, v_rel.x, v_rel.y, a_rel.x, a_rel.y, k};
+}
+
+double SafetyOracle::predict(double delta, math::Vec2 v_rel,
+                             math::Vec2 a_rel, double k) {
+  const std::vector<double> f =
+      scaler_.transform(features(delta, v_rel, a_rel, k));
+  math::Matrix x(kInputDim, 1);
+  for (std::size_t i = 0; i < kInputDim; ++i) x(i, 0) = f[i];
+  return net_.predict(x)(0, 0);
+}
+
+nn::TrainResult SafetyOracle::train(const nn::Dataset& data,
+                                    nn::TrainConfig config) {
+  nn::Trainer trainer(config);
+  const nn::TrainResult result = trainer.train(net_, data, scaler_);
+  trained_ = true;
+  return result;
+}
+
+void SafetyOracle::save(const std::string& path) {
+  nn::save_model_file(path, net_, scaler_);
+}
+
+bool SafetyOracle::load(const std::string& path) {
+  if (!nn::load_model_file(path, net_, scaler_)) return false;
+  trained_ = true;
+  return true;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/vec2.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace rt::core {
+
+/// The learned oracle f_alpha of §IV-B: predicts the safety potential
+/// delta_{t+k} the EV will have after being attacked for k consecutive
+/// frames, from the state observable at time t.
+///
+/// Input feature vector (dimension 6):
+///   [delta_t, v_rel.x, v_rel.y, a_rel.x, a_rel.y, k]
+/// Output: predicted delta_{t+k} in meters.
+///
+/// One oracle is trained per attack vector ("the malware uses a uniquely
+/// trained NN for each attack vector"), on data collected by running
+/// attacks with scripted (delta_inject, k) grids — see
+/// experiments/sh_training.
+class SafetyOracle {
+ public:
+  static constexpr std::size_t kInputDim = 6;
+
+  /// Fresh (untrained) oracle with the paper's architecture.
+  explicit SafetyOracle(std::uint64_t seed = 11);
+
+  /// Assembles the feature vector.
+  [[nodiscard]] static std::vector<double> features(double delta,
+                                                    math::Vec2 v_rel,
+                                                    math::Vec2 a_rel,
+                                                    double k);
+
+  /// Predicted delta_{t+k}.
+  [[nodiscard]] double predict(double delta, math::Vec2 v_rel,
+                               math::Vec2 a_rel, double k);
+
+  /// Trains on the dataset (features per `features()`, target ground-truth
+  /// delta_{t+k}); fits the input scaler internally.
+  nn::TrainResult train(const nn::Dataset& data, nn::TrainConfig config = {});
+
+  /// Weight caching for the benchmark harness.
+  void save(const std::string& path);
+  [[nodiscard]] bool load(const std::string& path);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] nn::Mlp& net() { return net_; }
+
+ private:
+  nn::Mlp net_;
+  nn::StandardScaler scaler_;
+  bool trained_{false};
+};
+
+}  // namespace rt::core

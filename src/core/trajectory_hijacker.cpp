@@ -1,0 +1,118 @@
+#include "core/trajectory_hijacker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rt::core {
+
+TrajectoryHijacker::TrajectoryHijacker(Config config,
+                                       perception::CameraModel camera,
+                                       perception::DetectorNoiseModel noise)
+    : config_(config),
+      camera_(camera),
+      noise_(noise),
+      patch_(config.patch_iou_min) {}
+
+void TrajectoryHijacker::begin(AttackVector vector, double direction,
+                               double omega_target_m) {
+  vector_ = vector;
+  direction_ = direction;
+  omega_target_m_ = omega_target_m;
+  offset_m_ = 0.0;
+  k_prime_ = 0;
+  hold_phase_ = vector == AttackVector::kDisappear;
+  patch_.reset();
+}
+
+TrajectoryHijacker::FrameResult TrajectoryHijacker::apply(
+    perception::CameraFrame& frame,
+    std::optional<std::size_t> victim_detection_index,
+    const std::optional<math::Bbox>& ads_predicted_bbox, double range_m) {
+  FrameResult result;
+  result.hold_phase = hold_phase_;
+
+  if (vector_ == AttackVector::kDisappear) {
+    if (victim_detection_index) {
+      frame.detections.erase(frame.detections.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 *victim_detection_index));
+      result.perturbed = true;
+    }
+    return result;
+  }
+
+  if (!victim_detection_index) return result;  // natural miss this frame
+  perception::Detection& det =
+      frame.detections[*victim_detection_index];
+  const double true_u = det.bbox.cx;
+  // Signed pixel offset corresponding to the full Omega at current range.
+  const double target_px_offset =
+      camera_.lateral_m_to_px(direction_ * omega_target_m_, range_m);
+
+  double u_fake = true_u;
+  if (hold_phase_) {
+    // Hold the achieved world offset: the faked box follows the real
+    // object's motion plus the constant lateral displacement.
+    u_fake = true_u + camera_.lateral_m_to_px(offset_m_, range_m);
+  } else {
+    // The stealth budget is an *innovation* budget: the dragged tracker's
+    // prediction is where the KF expects the measurement, so the faked box
+    // may deviate from it by at most the characterized Gaussian noise band
+    // (Eq. 4's omega in [mu - sigma, mu + sigma]). Drift accumulates
+    // because the prediction itself follows the previous faked positions.
+    const double base_u =
+        ads_predicted_bbox ? ads_predicted_bbox->cx : true_u;
+    const double u_target = true_u + target_px_offset;
+    double step = u_target - base_u;
+    if (config_.enforce_noise_bound) {
+      const auto& fit = noise_.for_class(det.cls).center_x;
+      const double bound =
+          (std::abs(fit.mu) + config_.sigma_mult * fit.sigma) * det.bbox.w;
+      step = std::clamp(step, -bound, bound);
+    }
+    // Association (M <= lambda) and patch (IoU >= gamma) feasibility:
+    // shrink the step toward the prediction until both hold.
+    const auto candidate = [&](double t) {
+      math::Bbox b = det.bbox;
+      b.cx = base_u + t * step;
+      return b;
+    };
+    const auto ok = [&](double t) {
+      const math::Bbox b = candidate(t);
+      const bool assoc_ok =
+          !ads_predicted_bbox ||
+          math::iou(b, *ads_predicted_bbox) >= config_.association_iou_min;
+      return assoc_ok && patch_.feasible(b);
+    };
+    double t_best = 0.0;
+    if (ok(1.0)) {
+      t_best = 1.0;
+    } else if (ok(0.0)) {
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int i = 0; i < 25; ++i) {
+        const double mid = (lo + hi) / 2.0;
+        (ok(mid) ? lo : hi) = mid;
+      }
+      t_best = lo;
+    }
+    u_fake = base_u + t_best * step;
+    ++k_prime_;
+    offset_m_ = camera_.lateral_px_to_m(u_fake - true_u, range_m);
+    if (std::abs(offset_m_) >= omega_target_m_ - 1e-6) {
+      hold_phase_ = true;
+      // Snap to the exact target so the hold phase presents a constant
+      // offset.
+      offset_m_ = direction_ * omega_target_m_;
+    }
+  }
+
+  result.shift_px = u_fake - true_u;
+  det.bbox.cx = u_fake;
+  patch_.set_patch(det.bbox);
+  result.perturbed = true;
+  result.hold_phase = hold_phase_;
+  return result;
+}
+
+}  // namespace rt::core

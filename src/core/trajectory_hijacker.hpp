@@ -1,0 +1,98 @@
+#pragma once
+
+#include <optional>
+
+#include "core/attack_vector.hpp"
+#include "core/patch_model.hpp"
+#include "math/bbox.hpp"
+#include "perception/camera_model.hpp"
+#include "perception/detection.hpp"
+#include "perception/noise_model.hpp"
+
+namespace rt::core {
+
+/// The trajectory hijacker ("TH", §IV-C): per-frame perturbation of the
+/// camera stream so that the victim object's *perceived* trajectory matches
+/// the chosen attack vector, while every perturbation stays inside the
+/// detector's natural noise envelope.
+///
+/// For Move_Out / Move_In it implements Eq. 4: each frame it shifts the
+/// victim's detection as far as allowed toward the target offset Omega,
+/// where "allowed" is the minimum of
+///  - the noise bound: |shift| <= (|mu| + sigma_mult * sigma) * bbox_width,
+///    the paper's "within one standard deviation of the modeled Gaussian";
+///  - the association bound: IoU(shifted box, victim track prediction) must
+///    stay above the Hungarian gate (Eq. 4's "M <= lambda");
+///  - the patch bound: the faked box must overlap the painted patch region
+///    (Eq. 4's "IoU(o_t + omega_t, patch) >= gamma").
+/// Once the accumulated offset reaches Omega (after K' frames — Fig. 7),
+/// the hijacker *holds* the faked trajectory for the remaining K - K'
+/// frames (§VI-E).
+///
+/// For Disappear it suppresses the victim's detection outright; duration
+/// budgeting against the misdetection-streak tail is the safety hijacker's
+/// job (K <= K_max).
+class TrajectoryHijacker {
+ public:
+  struct Config {
+    /// Minimum IoU between the shifted detection and the victim's (ADS-side)
+    /// track prediction to keep the association alive. Must exceed
+    /// 1 - MotConfig::max_cost.
+    double association_iou_min{0.25};
+    /// Minimum IoU between consecutive faked boxes (patch constraint).
+    double patch_iou_min{0.30};
+    /// Multiplier on sigma of the per-frame noise bound (1.0 = the paper's
+    /// stealth rule; raised/removed only in ablations).
+    double sigma_mult{1.0};
+    /// When false, the noise bound is ignored entirely (ablation).
+    bool enforce_noise_bound{true};
+  };
+
+  /// Outcome of perturbing one frame.
+  struct FrameResult {
+    bool perturbed{false};    ///< a detection was shifted or suppressed
+    double shift_px{0.0};     ///< applied pixel shift (Move_* only)
+    bool hold_phase{false};   ///< true once Omega has been reached
+  };
+
+  TrajectoryHijacker(Config config, perception::CameraModel camera,
+                     perception::DetectorNoiseModel noise);
+
+  /// Arms the hijacker for a new attack burst.
+  /// `direction` is the world-frame lateral shift sign (+1 left, -1 right);
+  /// `omega_target_m` the total lateral offset to reach (0 for Disappear).
+  void begin(AttackVector vector, double direction, double omega_target_m);
+
+  /// Perturbs `frame` in place for this attack step.
+  /// `victim_detection_index`: which detection belongs to the victim
+  /// (nullopt if the detector naturally missed it this frame);
+  /// `ads_predicted_bbox`: the victim track's one-step prediction in the
+  /// *ADS's* tracker (the thing Eq. 4 pushes away from);
+  /// `range_m`: current estimated range to the victim.
+  FrameResult apply(perception::CameraFrame& frame,
+                    std::optional<std::size_t> victim_detection_index,
+                    const std::optional<math::Bbox>& ads_predicted_bbox,
+                    double range_m);
+
+  /// Frames spent actively shifting (K'), valid once the hold phase began
+  /// or the attack ended.
+  [[nodiscard]] int k_prime() const { return k_prime_; }
+  [[nodiscard]] bool in_hold_phase() const { return hold_phase_; }
+  [[nodiscard]] double accumulated_offset_m() const { return offset_m_; }
+  [[nodiscard]] AttackVector vector() const { return vector_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  perception::CameraModel camera_;
+  perception::DetectorNoiseModel noise_;
+  PatchModel patch_;
+  AttackVector vector_{AttackVector::kDisappear};
+  double direction_{1.0};
+  double omega_target_m_{0.0};
+  double offset_m_{0.0};
+  int k_prime_{0};
+  bool hold_phase_{false};
+};
+
+}  // namespace rt::core

@@ -1,0 +1,173 @@
+#include "experiments/campaign.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+
+namespace rt::experiments {
+
+int CampaignResult::eb_count() const {
+  return static_cast<int>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.eb; }));
+}
+
+int CampaignResult::crash_count() const {
+  return static_cast<int>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.crash; }));
+}
+
+int CampaignResult::triggered_count() const {
+  return static_cast<int>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.attack.triggered; }));
+}
+
+int CampaignResult::ids_flagged_count() const {
+  return static_cast<int>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.ids_flagged; }));
+}
+
+double CampaignResult::eb_rate() const {
+  return runs.empty() ? 0.0
+                      : static_cast<double>(eb_count()) /
+                            static_cast<double>(runs.size());
+}
+
+double CampaignResult::crash_rate() const {
+  return runs.empty() ? 0.0
+                      : static_cast<double>(crash_count()) /
+                            static_cast<double>(runs.size());
+}
+
+double CampaignResult::median_k() const {
+  std::vector<double> ks;
+  for (const auto& r : runs) {
+    if (r.attack.triggered) ks.push_back(r.attack.planned_k);
+  }
+  return ks.empty() ? 0.0 : stats::median(ks);
+}
+
+std::vector<double> CampaignResult::k_primes() const {
+  std::vector<double> out;
+  for (const auto& r : runs) {
+    if (r.attack.triggered && r.attack.k_prime >= 0 &&
+        r.attack.vector != core::AttackVector::kDisappear) {
+      out.push_back(r.attack.k_prime);
+    }
+  }
+  return out;
+}
+
+std::vector<double> CampaignResult::min_deltas() const {
+  std::vector<double> out;
+  for (const auto& r : runs) {
+    if (r.attack.triggered) out.push_back(r.min_delta_since_attack);
+  }
+  return out;
+}
+
+std::unique_ptr<core::Robotack> CampaignRunner::make_attacker(
+    const CampaignSpec& spec, std::uint64_t run_seed) const {
+  if (spec.mode == AttackMode::kGolden) return nullptr;
+
+  core::TimingPolicy timing = core::TimingPolicy::kSafetyHijacker;
+  switch (spec.mode) {
+    case AttackMode::kRobotack:
+      timing = core::TimingPolicy::kSafetyHijacker;
+      break;
+    case AttackMode::kNoSh:
+      timing = core::TimingPolicy::kRandomAfterMatch;
+      break;
+    case AttackMode::kRandomBaseline:
+      timing = core::TimingPolicy::kRandomUnconditional;
+      break;
+    case AttackMode::kGolden:
+      break;
+  }
+
+  core::RobotackConfig cfg =
+      make_attacker_config(base_, spec.vector, timing);
+  if (spec.mode == AttackMode::kRandomBaseline) {
+    cfg.randomize_vector = true;
+    cfg.randomize_target = true;
+  }
+  auto attacker = std::make_unique<core::Robotack>(
+      cfg, base_.camera, base_.noise, base_.mot, run_seed);
+  if (spec.mode == AttackMode::kRobotack) {
+    for (const auto& [v, oracle] : oracles_) {
+      attacker->set_oracle(v, oracle);
+    }
+  }
+  return attacker;
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
+  CampaignResult result;
+  result.spec = spec;
+  result.runs.reserve(static_cast<std::size_t>(spec.runs));
+  stats::Rng root(spec.seed);
+  for (int i = 0; i < spec.runs; ++i) {
+    stats::Rng run_rng = root.derive(static_cast<std::uint64_t>(i) + 1);
+    const auto scenario_seed = run_rng.engine()();
+    const auto loop_seed = run_rng.engine()();
+    const auto attacker_seed = run_rng.engine()();
+
+    stats::Rng scenario_rng(scenario_seed);
+    sim::Scenario scenario = sim::make_scenario(spec.scenario, scenario_rng);
+
+    LoopConfig cfg = base_;
+    cfg.keep_timeline = false;
+    ClosedLoop loop(scenario, cfg, loop_seed);
+    loop.set_attacker(make_attacker(spec, attacker_seed));
+    result.runs.push_back(loop.run());
+  }
+  return result;
+}
+
+std::vector<CampaignSpec> table2_campaigns(int runs_per,
+                                           std::uint64_t seed) {
+  using sim::ScenarioId;
+  using core::AttackVector;
+  std::vector<CampaignSpec> out;
+  auto add = [&](const char* name, ScenarioId s, AttackVector v,
+                 AttackMode m) {
+    out.push_back({name, s, v, m, runs_per, seed + out.size() * 1000});
+  };
+  add("DS-1-Disappear-R", ScenarioId::kDs1, AttackVector::kDisappear,
+      AttackMode::kRobotack);
+  add("DS-2-Disappear-R", ScenarioId::kDs2, AttackVector::kDisappear,
+      AttackMode::kRobotack);
+  add("DS-1-Move_Out-R", ScenarioId::kDs1, AttackVector::kMoveOut,
+      AttackMode::kRobotack);
+  add("DS-2-Move_Out-R", ScenarioId::kDs2, AttackVector::kMoveOut,
+      AttackMode::kRobotack);
+  add("DS-3-Move_In-R", ScenarioId::kDs3, AttackVector::kMoveIn,
+      AttackMode::kRobotack);
+  add("DS-4-Move_In-R", ScenarioId::kDs4, AttackVector::kMoveIn,
+      AttackMode::kRobotack);
+  add("DS-5-Baseline-Random", ScenarioId::kDs5, AttackVector::kMoveOut,
+      AttackMode::kRandomBaseline);
+  return out;
+}
+
+std::vector<CampaignSpec> no_sh_campaigns(int runs_per, std::uint64_t seed) {
+  using sim::ScenarioId;
+  using core::AttackVector;
+  std::vector<CampaignSpec> out;
+  auto add = [&](const char* name, ScenarioId s, AttackVector v) {
+    out.push_back({name, s, v, AttackMode::kNoSh, runs_per,
+                   seed + out.size() * 1000});
+  };
+  add("DS-1-Disappear-RwoSH", ScenarioId::kDs1, AttackVector::kDisappear);
+  add("DS-2-Disappear-RwoSH", ScenarioId::kDs2, AttackVector::kDisappear);
+  add("DS-1-Move_Out-RwoSH", ScenarioId::kDs1, AttackVector::kMoveOut);
+  add("DS-2-Move_Out-RwoSH", ScenarioId::kDs2, AttackVector::kMoveOut);
+  add("DS-3-Move_In-RwoSH", ScenarioId::kDs3, AttackVector::kMoveIn);
+  add("DS-4-Move_In-RwoSH", ScenarioId::kDs4, AttackVector::kMoveIn);
+  return out;
+}
+
+}  // namespace rt::experiments

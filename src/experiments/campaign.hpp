@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/closed_loop.hpp"
+
+namespace rt::experiments {
+
+/// Attack condition of a campaign (a set of runs sharing one scenario and
+/// one condition) — Table II's row structure.
+enum class AttackMode : std::uint8_t {
+  kGolden,          ///< no malware (baseline behaviour / sanity)
+  kRobotack,        ///< full RoboTack ("R")
+  kNoSh,            ///< RoboTack without the safety hijacker ("R w/o SH")
+  kRandomBaseline,  ///< DS-5 style random attack ("Baseline-Random")
+};
+
+[[nodiscard]] constexpr const char* to_string(AttackMode m) {
+  switch (m) {
+    case AttackMode::kGolden:
+      return "Golden";
+    case AttackMode::kRobotack:
+      return "R";
+    case AttackMode::kNoSh:
+      return "R w/o SH";
+    case AttackMode::kRandomBaseline:
+      return "Baseline-Random";
+  }
+  return "?";
+}
+
+/// One experimental campaign: N seeded runs of <scenario, vector, mode>.
+struct CampaignSpec {
+  std::string name;  ///< e.g. "DS-1-Disappear-R"
+  sim::ScenarioId scenario{sim::ScenarioId::kDs1};
+  core::AttackVector vector{core::AttackVector::kDisappear};
+  AttackMode mode{AttackMode::kRobotack};
+  int runs{120};
+  std::uint64_t seed{1234};
+};
+
+/// Aggregated campaign outcome (plus every per-run result).
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<RunResult> runs;
+
+  [[nodiscard]] int n() const { return static_cast<int>(runs.size()); }
+  [[nodiscard]] int eb_count() const;
+  [[nodiscard]] int crash_count() const;
+  [[nodiscard]] int triggered_count() const;
+  [[nodiscard]] int ids_flagged_count() const;
+  [[nodiscard]] double eb_rate() const;
+  [[nodiscard]] double crash_rate() const;
+  /// Median planned K over triggered runs (Table II's "K" column).
+  [[nodiscard]] double median_k() const;
+  /// K' samples (shift frames) over triggered Move_* runs (Fig. 7).
+  [[nodiscard]] std::vector<double> k_primes() const;
+  /// Min safety potential since attack start, per triggered run (Fig. 6).
+  [[nodiscard]] std::vector<double> min_deltas() const;
+};
+
+/// The trained per-vector oracles RoboTack deploys with.
+using OracleSet =
+    std::map<core::AttackVector, std::shared_ptr<core::SafetyOracle>>;
+
+/// Runs campaigns over a shared loop configuration and oracle set.
+class CampaignRunner {
+ public:
+  CampaignRunner(LoopConfig base, OracleSet oracles)
+      : base_(std::move(base)), oracles_(std::move(oracles)) {}
+
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec) const;
+
+  /// Builds the attacker for one run of a campaign (exposed for tests).
+  [[nodiscard]] std::unique_ptr<core::Robotack> make_attacker(
+      const CampaignSpec& spec, std::uint64_t run_seed) const;
+
+  [[nodiscard]] const LoopConfig& loop_config() const { return base_; }
+
+ private:
+  LoopConfig base_;
+  OracleSet oracles_;
+};
+
+/// The seven campaigns of Table II (plus golden sanity campaigns).
+[[nodiscard]] std::vector<CampaignSpec> table2_campaigns(int runs_per,
+                                                         std::uint64_t seed);
+
+/// The "R w/o SH" twins of the six attack campaigns (Fig. 6 comparison).
+[[nodiscard]] std::vector<CampaignSpec> no_sh_campaigns(int runs_per,
+                                                        std::uint64_t seed);
+
+}  // namespace rt::experiments

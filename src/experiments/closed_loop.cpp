@@ -1,0 +1,109 @@
+#include "experiments/closed_loop.hpp"
+
+#include <cmath>
+
+namespace rt::experiments {
+
+ClosedLoop::ClosedLoop(sim::Scenario scenario, LoopConfig config,
+                       std::uint64_t seed)
+    : scenario_(std::move(scenario)), config_(config), seed_(seed) {}
+
+void ClosedLoop::set_attacker(std::unique_ptr<core::Robotack> attacker) {
+  attacker_ = std::move(attacker);
+}
+
+core::RobotackConfig make_attacker_config(const LoopConfig& loop,
+                                          core::AttackVector vector,
+                                          core::TimingPolicy timing) {
+  core::RobotackConfig cfg;
+  cfg.vector = vector;
+  cfg.timing = timing;
+  cfg.dt = loop.camera_dt();
+  cfg.comfort_decel = loop.safety.comfort_decel;
+  cfg.ego_length =
+      sim::default_dimensions(sim::ActorType::kVehicle).length;
+  cfg.breakaway_gate = loop.fusion.pair_gate_lateral;
+  // The association gate the ADS tracker uses; the hijacker must stay
+  // strictly inside it.
+  cfg.th.association_iou_min = (1.0 - loop.mot.max_cost) + 0.05;
+  return cfg;
+}
+
+RunResult ClosedLoop::run() {
+  const double dt = config_.camera_dt();
+  stats::Rng root(seed_);
+
+  sim::World world = scenario_.make_world();
+  perception::DetectorModel detector(config_.camera, config_.noise,
+                                     root.derive(1));
+  perception::LidarModel lidar(config_.lidar, root.derive(2));
+
+  ads::PlannerConfig planner_cfg = config_.planner;
+  planner_cfg.cruise_speed = scenario_.ego_cruise_speed;
+  ads::AdsSystem ads(config_.camera, dt, config_.lidar_dt(), planner_cfg,
+                     config_.mot, config_.fusion, config_.lidar,
+                     config_.noise);
+
+  safety::SafetyMonitor monitor(safety::SafetyModel(config_.safety),
+                                config_.keep_timeline);
+  safety::AttackIds ids(config_.ids, config_.noise, config_.camera);
+
+  RunResult result;
+  double next_lidar = 0.0;
+  const int steps =
+      static_cast<int>(std::ceil(scenario_.duration / dt));
+  for (int i = 0; i < steps; ++i) {
+    const double t = world.time();
+    const auto gt = world.ground_truth();
+
+    if (t + 1e-9 >= next_lidar) {
+      ads.ingest_lidar(lidar.scan(gt));
+      next_lidar += config_.lidar_dt();
+    }
+
+    perception::CameraFrame frame = detector.detect(gt, t);
+    if (attacker_) {
+      frame = attacker_->process(frame, world.ego().speed());
+    }
+
+    const ads::AdsOutput out =
+        ads.step(frame, world.ego().speed(), world.ego().acceleration());
+
+    if (config_.enable_ids) {
+      ids.observe(frame, out.perception.camera_tracks,
+                  out.perception.lidar_tracks);
+    }
+    monitor.record(world, out.eb_active,
+                   attacker_ && attacker_->attack_active(),
+                   scenario_.target_id);
+
+    // LGSVL-style halt: physically collided or within the 4 m envelope.
+    const auto nearest = world.nearest_in_path();
+    const bool too_close =
+        nearest &&
+        nearest->longitudinal_gap(world.ego().dims().length) <
+            config_.halt_gap &&
+        world.ego().speed() > 0.5;
+    if (world.collision() || too_close) {
+      result.halted_early = true;
+      break;
+    }
+
+    world.step(dt, out.accel_command);
+  }
+
+  result.eb = monitor.emergency_braking_occurred();
+  result.eb_episodes = monitor.eb_episodes();
+  result.collision = monitor.collision_occurred();
+  result.min_delta = monitor.min_delta();
+  result.min_delta_since_attack = monitor.min_delta_since_attack();
+  result.crash = monitor.accident();
+  result.end_time = world.time();
+  if (attacker_) result.attack = attacker_->log();
+  result.ids_flagged = ids.report().flagged;
+  result.ids_reason = ids.report().reason;
+  result.timeline = monitor.timeline();
+  return result;
+}
+
+}  // namespace rt::experiments

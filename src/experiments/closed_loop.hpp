@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ads/ads_system.hpp"
+#include "core/robotack.hpp"
+#include "perception/detector_model.hpp"
+#include "perception/lidar_model.hpp"
+#include "safety/ids.hpp"
+#include "safety/safety_monitor.hpp"
+#include "sim/scenario.hpp"
+
+namespace rt::experiments {
+
+/// Shared configuration of a closed-loop simulation (the stand-in for the
+/// paper's LGSVL + Apollo rig).
+struct LoopConfig {
+  double camera_hz{15.0};  ///< master control rate (paper: 15 Hz camera)
+  double lidar_hz{10.0};
+  bool keep_timeline{false};
+  bool enable_ids{false};
+  /// LGSVL halts the simulation when the EV gets closer than 4 m to an
+  /// obstacle; we reproduce that (the run ends, the accident label comes
+  /// from the safety monitor).
+  double halt_gap{4.0};
+
+  perception::CameraModel camera{};
+  perception::DetectorNoiseModel noise{
+      perception::DetectorNoiseModel::paper_defaults()};
+  perception::MotConfig mot{};
+  perception::FusionConfig fusion{};
+  perception::LidarConfig lidar{};
+  ads::PlannerConfig planner{};
+  safety::SafetyModelConfig safety{};
+  safety::IdsConfig ids{};
+
+  [[nodiscard]] double camera_dt() const { return 1.0 / camera_hz; }
+  [[nodiscard]] double lidar_dt() const { return 1.0 / lidar_hz; }
+};
+
+/// Everything one simulation run produced.
+struct RunResult {
+  bool eb{false};                  ///< any forced emergency braking
+  int eb_episodes{0};
+  bool crash{false};               ///< paper's accident label (delta < 4 m)
+  bool collision{false};           ///< physical footprint overlap
+  double min_delta{0.0};
+  double min_delta_since_attack{0.0};
+  double end_time{0.0};
+  bool halted_early{false};
+  core::AttackLog attack;
+  bool ids_flagged{false};
+  std::string ids_reason;
+  std::vector<safety::SafetySample> timeline;
+};
+
+/// One closed-loop run: ground-truth world + sensor models + (optional)
+/// malware on the camera link + the ADS + the ground-truth safety monitor.
+class ClosedLoop {
+ public:
+  /// `seed` derives all per-run randomness (detector noise, LiDAR noise,
+  /// attacker draws). The attacker, if any, must have been built with the
+  /// same MOT config as `config.mot` (it replicates the ADS tracker).
+  ClosedLoop(sim::Scenario scenario, LoopConfig config, std::uint64_t seed);
+
+  /// Installs the malware on the camera link (nullptr = golden run).
+  void set_attacker(std::unique_ptr<core::Robotack> attacker);
+
+  /// Runs the scenario to completion (or early halt) and returns the
+  /// result. Single-shot: build a new ClosedLoop per run.
+  [[nodiscard]] RunResult run();
+
+  [[nodiscard]] const LoopConfig& config() const { return config_; }
+  [[nodiscard]] const sim::Scenario& scenario() const { return scenario_; }
+
+ private:
+  sim::Scenario scenario_;
+  LoopConfig config_;
+  std::uint64_t seed_;
+  std::unique_ptr<core::Robotack> attacker_;
+};
+
+/// Convenience: a RobotackConfig pre-wired for this loop config (dt, MOT
+/// replica settings, safety-model constants).
+[[nodiscard]] core::RobotackConfig make_attacker_config(
+    const LoopConfig& loop, core::AttackVector vector,
+    core::TimingPolicy timing);
+
+}  // namespace rt::experiments

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rt::experiments {
+
+/// Renders an aligned ASCII table (header + rows) — the textual stand-in
+/// for the paper's tables and figure axes.
+[[nodiscard]] std::string format_table(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Fixed-precision double formatting.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+/// Percentage formatting: fmt_pct(0.526) == "52.6%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+/// Writes rows as CSV (no quoting — callers pass clean cells).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rt::experiments

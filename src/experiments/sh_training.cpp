@@ -1,0 +1,130 @@
+#include "experiments/sh_training.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+namespace rt::experiments {
+
+std::vector<sim::ScenarioId> scenarios_for(core::AttackVector v) {
+  using sim::ScenarioId;
+  switch (v) {
+    case core::AttackVector::kMoveOut:
+    case core::AttackVector::kDisappear:
+      return {ScenarioId::kDs1, ScenarioId::kDs2};
+    case core::AttackVector::kMoveIn:
+      return {ScenarioId::kDs3, ScenarioId::kDs4};
+  }
+  return {};
+}
+
+nn::Dataset generate_sh_dataset(core::AttackVector v, const LoopConfig& base,
+                                const ShTrainingConfig& cfg) {
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  stats::Rng root(cfg.seed);
+
+  for (const sim::ScenarioId sid : scenarios_for(v)) {
+    for (const double delta_trigger : cfg.delta_triggers) {
+      for (const int k : cfg.ks) {
+        for (int rep = 0; rep < cfg.repeats; ++rep) {
+          stats::Rng run_rng = root.derive(
+              (static_cast<std::uint64_t>(sid) << 40) ^
+              (static_cast<std::uint64_t>(
+                   std::llround(delta_trigger * 16.0))
+               << 24) ^
+              (static_cast<std::uint64_t>(k) << 8) ^
+              static_cast<std::uint64_t>(rep));
+          const auto scenario_seed = run_rng.engine()();
+          const auto loop_seed = run_rng.engine()();
+          const auto attacker_seed = run_rng.engine()();
+
+          stats::Rng scenario_rng(scenario_seed);
+          sim::Scenario scenario = sim::make_scenario(sid, scenario_rng);
+
+          LoopConfig loop_cfg = base;
+          loop_cfg.keep_timeline = true;
+
+          core::RobotackConfig acfg = make_attacker_config(
+              loop_cfg, v, core::TimingPolicy::kAtDeltaThreshold);
+          acfg.delta_trigger = delta_trigger;
+          acfg.fixed_k = k;
+
+          ClosedLoop loop(scenario, loop_cfg, loop_seed);
+          loop.set_attacker(std::make_unique<core::Robotack>(
+              acfg, loop_cfg.camera, loop_cfg.noise, loop_cfg.mot,
+              attacker_seed));
+          const RunResult r = loop.run();
+          if (!r.attack.triggered || r.timeline.empty()) continue;
+
+          // Label: ground-truth delta exactly k frames after the launch
+          // (clamped to the last sample if the run halted earlier — the
+          // halt itself is the safety outcome).
+          const auto launch_idx = static_cast<std::size_t>(
+              std::llround(r.attack.start_time / loop_cfg.camera_dt()));
+          const std::size_t label_idx =
+              std::min(r.timeline.size() - 1,
+                       launch_idx + static_cast<std::size_t>(k));
+          features.push_back(core::SafetyOracle::features(
+              r.attack.delta_at_launch, r.attack.v_rel_at_launch,
+              r.attack.a_rel_at_launch, static_cast<double>(k)));
+          targets.push_back(r.timeline[label_idx].target_delta);
+        }
+      }
+    }
+  }
+  return nn::Dataset::from_samples(features, targets);
+}
+
+std::shared_ptr<core::SafetyOracle> train_oracle(
+    core::AttackVector v, const LoopConfig& base,
+    const ShTrainingConfig& cfg, nn::TrainResult* out_result) {
+  auto oracle = std::make_shared<core::SafetyOracle>(cfg.seed ^ 0xabcd);
+  const nn::Dataset data = generate_sh_dataset(v, base, cfg);
+  const nn::TrainResult result = oracle->train(data, cfg.train);
+  if (out_result != nullptr) *out_result = result;
+  return oracle;
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("ROBOTACK_DATA_DIR")) return env;
+  namespace fs = std::filesystem;
+  // Prefer an existing source-tree data/ directory (benches run from the
+  // build tree); otherwise use ./data.
+  for (const char* candidate : {"data", "../data", "../../data"}) {
+    if (fs::exists(candidate) && fs::is_directory(candidate)) {
+      return candidate;
+    }
+  }
+  return "data";
+}
+
+std::shared_ptr<core::SafetyOracle> load_or_train_oracle(
+    core::AttackVector v, const std::string& cache_dir,
+    const LoopConfig& base, const ShTrainingConfig& cfg) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const std::string path =
+      (fs::path(cache_dir) /
+       (std::string("sh_oracle_") + core::to_string(v) + ".txt"))
+          .string();
+  auto oracle = std::make_shared<core::SafetyOracle>();
+  if (oracle->load(path)) return oracle;
+  oracle = train_oracle(v, base, cfg);
+  oracle->save(path);
+  return oracle;
+}
+
+OracleSet load_or_train_oracles(const std::string& cache_dir,
+                                const LoopConfig& base,
+                                const ShTrainingConfig& cfg) {
+  OracleSet set;
+  for (const auto v :
+       {core::AttackVector::kMoveOut, core::AttackVector::kMoveIn,
+        core::AttackVector::kDisappear}) {
+    set[v] = load_or_train_oracle(v, cache_dir, base, cfg);
+  }
+  return set;
+}
+
+}  // namespace rt::experiments

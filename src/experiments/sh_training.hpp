@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "nn/dataset.hpp"
+
+namespace rt::experiments {
+
+/// Configuration of the safety-hijacker training-data sweep (§IV-B: "each
+/// simulation had a predefined delta_inject and a k, i.e., an attack
+/// started as soon as delta_t = delta_inject, and continued for k
+/// consecutive time-steps").
+struct ShTrainingConfig {
+  std::vector<double> delta_triggers{8.0, 12.0, 16.0, 20.0, 26.0, 34.0};
+  std::vector<int> ks{4, 8, 12, 18, 24, 32, 42, 55, 68};
+  int repeats{3};
+  std::uint64_t seed{424242};
+  nn::TrainConfig train{};
+};
+
+/// Which driving scenarios exercise a given attack vector (the paper's
+/// campaign mapping: Move_Out/Disappear on DS-1/DS-2; Move_In on DS-3/DS-4).
+[[nodiscard]] std::vector<sim::ScenarioId> scenarios_for(
+    core::AttackVector v);
+
+/// Generates the oracle's dataset for one vector by running scripted
+/// attacks over the (delta_inject, k) grid and labeling each launch with
+/// the *ground-truth* safety potential k frames later.
+[[nodiscard]] nn::Dataset generate_sh_dataset(core::AttackVector v,
+                                              const LoopConfig& base,
+                                              const ShTrainingConfig& cfg);
+
+/// Trains a fresh oracle for the vector (dataset generation + training).
+[[nodiscard]] std::shared_ptr<core::SafetyOracle> train_oracle(
+    core::AttackVector v, const LoopConfig& base,
+    const ShTrainingConfig& cfg, nn::TrainResult* out_result = nullptr);
+
+/// Loads the oracle from `cache_dir` if a cached model exists, otherwise
+/// trains and caches it. This keeps repeated benchmark invocations fast.
+[[nodiscard]] std::shared_ptr<core::SafetyOracle> load_or_train_oracle(
+    core::AttackVector v, const std::string& cache_dir,
+    const LoopConfig& base, const ShTrainingConfig& cfg);
+
+/// All three oracles, cached under `cache_dir`.
+[[nodiscard]] OracleSet load_or_train_oracles(const std::string& cache_dir,
+                                              const LoopConfig& base,
+                                              const ShTrainingConfig& cfg);
+
+/// Default on-disk cache directory (overridable with the ROBOTACK_DATA_DIR
+/// environment variable; defaults to "data" relative to the working
+/// directory, falling back to the source-tree data/ directory when run
+/// from the build tree).
+[[nodiscard]] std::string default_cache_dir();
+
+}  // namespace rt::experiments

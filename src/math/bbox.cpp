@@ -1,0 +1,24 @@
+#include "math/bbox.hpp"
+
+#include <algorithm>
+
+namespace rt::math {
+
+double intersection_area(const Bbox& a, const Bbox& b) {
+  const double ix =
+      std::min(a.right(), b.right()) - std::max(a.left(), b.left());
+  const double iy =
+      std::min(a.bottom(), b.bottom()) - std::max(a.top(), b.top());
+  if (ix <= 0.0 || iy <= 0.0) return 0.0;
+  return ix * iy;
+}
+
+double iou(const Bbox& a, const Bbox& b) {
+  const double inter = intersection_area(a, b);
+  if (inter <= 0.0) return 0.0;
+  const double uni = a.area() + b.area() - inter;
+  if (uni <= 0.0) return 0.0;
+  return inter / uni;
+}
+
+}  // namespace rt::math

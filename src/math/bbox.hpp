@@ -1,0 +1,59 @@
+#pragma once
+
+#include "math/vec2.hpp"
+
+namespace rt::math {
+
+/// An axis-aligned bounding box in *pixel* (image) coordinates.
+///
+/// Stored in center format: `(cx, cy)` is the box center, `w`/`h` the full
+/// width/height in pixels. Image convention: x grows rightward, y grows
+/// downward, origin at the top-left corner of the frame.
+///
+/// This is the currency of the perception pipeline: the detector emits
+/// `Bbox`es, the Kalman trackers predict them, the Hungarian matcher
+/// associates them by IoU, and the trajectory hijacker perturbs them.
+struct Bbox {
+  double cx{0.0};
+  double cy{0.0};
+  double w{0.0};
+  double h{0.0};
+
+  constexpr Bbox() = default;
+  constexpr Bbox(double cx_, double cy_, double w_, double h_)
+      : cx(cx_), cy(cy_), w(w_), h(h_) {}
+
+  /// Builds a box from corner coordinates (x1,y1)=(left,top),
+  /// (x2,y2)=(right,bottom).
+  [[nodiscard]] static constexpr Bbox from_corners(double x1, double y1,
+                                                   double x2, double y2) {
+    return Bbox{(x1 + x2) / 2.0, (y1 + y2) / 2.0, x2 - x1, y2 - y1};
+  }
+
+  [[nodiscard]] constexpr double left() const { return cx - w / 2.0; }
+  [[nodiscard]] constexpr double right() const { return cx + w / 2.0; }
+  [[nodiscard]] constexpr double top() const { return cy - h / 2.0; }
+  [[nodiscard]] constexpr double bottom() const { return cy + h / 2.0; }
+  [[nodiscard]] constexpr double area() const { return w * h; }
+  [[nodiscard]] constexpr Vec2 center() const { return {cx, cy}; }
+  [[nodiscard]] constexpr bool valid() const { return w > 0.0 && h > 0.0; }
+
+  /// Returns a copy translated by (dx, dy) pixels.
+  [[nodiscard]] constexpr Bbox translated(double dx, double dy) const {
+    return {cx + dx, cy + dy, w, h};
+  }
+
+  constexpr bool operator==(const Bbox& o) const = default;
+};
+
+/// Area of the intersection of two boxes (0 if disjoint).
+[[nodiscard]] double intersection_area(const Bbox& a, const Bbox& b);
+
+/// Intersection-over-Union of two boxes in [0, 1].
+///
+/// The paper uses IoU both as the association cost inside the Hungarian
+/// matcher ("M") and as the misdetection criterion (IoU < 0.6 between the
+/// predicted and ground-truth boxes counts as a misdetection, §VI-A).
+[[nodiscard]] double iou(const Bbox& a, const Bbox& b);
+
+}  // namespace rt::math

@@ -1,0 +1,187 @@
+#include "math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rt::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> entries) {
+  Matrix m(entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) m(i, i) = entries[i];
+  return m;
+}
+
+Matrix Matrix::column(std::span<const double> entries) {
+  Matrix m(entries.size(), 1);
+  std::copy(entries.begin(), entries.end(), m.data_.begin());
+  return m;
+}
+
+void Matrix::require_same_shape(const Matrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix r = *this;
+  r += o;
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix r = *this;
+  r -= o;
+  return r;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  require_same_shape(o);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  require_same_shape(o);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  if (cols_ != o.rows_) {
+    throw std::invalid_argument("Matrix: inner dimension mismatch");
+  }
+  Matrix r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        r(i, j) += a * o(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix r = *this;
+  r *= s;
+  return r;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      r(j, i) = (*this)(i, j);
+    }
+  }
+  return r;
+}
+
+Matrix Matrix::inverse() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::inverse: matrix not square");
+  }
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: find the largest-magnitude entry in this column.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw std::domain_error("Matrix::inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(col, j), a(pivot, j));
+        std::swap(inv(col, j), inv(pivot, j));
+      }
+    }
+    const double d = a(col, col);
+    for (std::size_t j = 0; j < n; ++j) {
+      a(col, j) /= d;
+      inv(col, j) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a(r, j) -= f * a(col, j);
+        inv(r, j) -= f * inv(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::cholesky() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::cholesky: matrix not square");
+  }
+  const std::size_t n = rows_;
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = (*this)(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::domain_error("Matrix::cholesky: not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& o) const {
+  require_same_shape(o);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace rt::math

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace rt::math {
+
+/// A small dense row-major matrix of doubles.
+///
+/// Sized dynamically because the same type backs both the Kalman filters
+/// (4x4..8x8) and the neural-network layers (up to a few hundred rows).
+/// All operations validate dimensions and throw `std::invalid_argument` on
+/// mismatch — in this codebase a dimension mismatch is always a programming
+/// error, and failing loudly is preferred over UB.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows x cols` matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from a nested initializer list, e.g.
+  /// `Matrix m{{1.0, 2.0}, {3.0, 4.0}};`. All rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Diagonal matrix from the given entries.
+  [[nodiscard]] static Matrix diagonal(std::span<const double> entries);
+  /// Column vector (n x 1) from the given entries.
+  [[nodiscard]] static Matrix column(std::span<const double> entries);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat row-major access to the underlying storage.
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix inverse via Gauss-Jordan elimination with partial pivoting.
+  /// Throws `std::domain_error` if the matrix is singular (pivot < 1e-12).
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Cholesky factor L (lower triangular, A = L * L^T).
+  /// Throws `std::domain_error` if the matrix is not positive definite.
+  [[nodiscard]] Matrix cholesky() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// Max |a_ij - b_ij|; useful in tests.
+  [[nodiscard]] double max_abs_diff(const Matrix& o) const;
+
+  bool operator==(const Matrix& o) const = default;
+
+ private:
+  void require_same_shape(const Matrix& o) const;
+
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace rt::math

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cmath>
+
+namespace rt::math {
+
+/// A 2-D vector in the road frame.
+///
+/// Convention used throughout the repository: `x` is the *longitudinal* axis
+/// (direction of ego travel, increasing ahead of the vehicle) and `y` is the
+/// *lateral* axis (increasing to the left of travel). Units are meters unless
+/// a function documents otherwise.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double squared_norm() const { return x * x + y * y; }
+
+  /// Euclidean distance to another point.
+  [[nodiscard]] double distance_to(const Vec2& o) const {
+    return (*this - o).norm();
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+}  // namespace rt::math

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace rt::nn {
+
+/// Adam optimizer (the paper trains the safety hijacker with Adam).
+class Adam {
+ public:
+  struct Config {
+    double lr{1e-3};
+    double beta1{0.9};
+    double beta2{0.999};
+    double eps{1e-8};
+  };
+
+  explicit Adam(Config config) : config_(config) {}
+  Adam() : Adam(Config{}) {}
+
+  /// Applies one update to `params` given `grads` (parallel vectors of
+  /// equal shapes). First/second moment buffers are lazily initialized.
+  void step(const std::vector<math::Matrix*>& params,
+            const std::vector<math::Matrix*>& grads);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] long steps_taken() const { return t_; }
+
+ private:
+  Config config_;
+  long t_{0};
+  std::vector<math::Matrix> m_;
+  std::vector<math::Matrix> v_;
+};
+
+}  // namespace rt::nn

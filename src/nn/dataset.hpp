@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace rt::nn {
+
+/// A supervised dataset: inputs X (features x N) and targets Y
+/// (outputs x N), column per sample.
+struct Dataset {
+  math::Matrix x;
+  math::Matrix y;
+
+  [[nodiscard]] std::size_t size() const { return x.cols(); }
+
+  /// Appends one sample (feature vector + scalar target). O(N) rebuild —
+  /// fine for tests; bulk construction should use `from_samples`.
+  void add(const std::vector<double>& features, double target);
+
+  /// Bulk constructor from parallel sample/target vectors.
+  [[nodiscard]] static Dataset from_samples(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<double>& targets);
+
+  /// Extracts the columns listed in `idx`.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& idx) const;
+
+  /// Random train/validation split. `train_fraction` in (0, 1); the paper
+  /// uses a 60/40 split.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
+                                                  stats::Rng& rng) const;
+};
+
+/// Per-feature standardization (fit on train, apply everywhere). The
+/// safety-hijacker inputs mix meters, m/s and frame counts, so without this
+/// the wide-range features dominate the early gradient steps.
+class StandardScaler {
+ public:
+  void fit(const math::Matrix& x);
+  [[nodiscard]] math::Matrix transform(const math::Matrix& x) const;
+  [[nodiscard]] std::vector<double> transform(
+      const std::vector<double>& features) const;
+
+  [[nodiscard]] const std::vector<double>& means() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddevs() const { return std_; }
+  void set(std::vector<double> means, std::vector<double> stds) {
+    mean_ = std::move(means);
+    std_ = std::move(stds);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace rt::nn

@@ -1,0 +1,88 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+
+namespace rt::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, stats::Rng& rng)
+    : Dense(in, out) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  for (double& v : w_.data()) v = rng.normal(0.0, scale);
+}
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : w_(out, in), b_(out, 1), gw_(out, in), gb_(out, 1) {}
+
+math::Matrix Dense::forward(const math::Matrix& x, bool /*training*/) {
+  x_cache_ = x;
+  math::Matrix y = w_ * x;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    const double bi = b_(i, 0);
+    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bi;
+  }
+  return y;
+}
+
+math::Matrix Dense::backward(const math::Matrix& grad_out) {
+  gw_ = grad_out * x_cache_.transposed();
+  gb_ = math::Matrix(b_.rows(), 1);
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) s += grad_out(i, j);
+    gb_(i, 0) = s;
+  }
+  return w_.transposed() * grad_out;
+}
+
+math::Matrix Relu::forward(const math::Matrix& x, bool /*training*/) {
+  mask_ = math::Matrix(x.rows(), x.cols());
+  math::Matrix y = x;
+  auto yd = y.data();
+  auto md = mask_.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    if (yd[i] > 0.0) {
+      md[i] = 1.0;
+    } else {
+      yd[i] = 0.0;
+    }
+  }
+  return y;
+}
+
+math::Matrix Relu::backward(const math::Matrix& grad_out) {
+  math::Matrix g = grad_out;
+  auto gd = g.data();
+  auto md = mask_.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= md[i];
+  return g;
+}
+
+math::Matrix Dropout::forward(const math::Matrix& x, bool training) {
+  if (!training || rate_ <= 0.0) {
+    mask_ = math::Matrix();
+    return x;
+  }
+  mask_ = math::Matrix(x.rows(), x.cols());
+  math::Matrix y = x;
+  const double keep = 1.0 - rate_;
+  auto yd = y.data();
+  auto md = mask_.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    // Inverted dropout: kept units are scaled by 1/keep so inference needs
+    // no rescaling.
+    md[i] = rng_.bernoulli(keep) ? 1.0 / keep : 0.0;
+    yd[i] *= md[i];
+  }
+  return y;
+}
+
+math::Matrix Dropout::backward(const math::Matrix& grad_out) {
+  if (mask_.empty()) return grad_out;
+  math::Matrix g = grad_out;
+  auto gd = g.data();
+  auto md = mask_.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= md[i];
+  return g;
+}
+
+}  // namespace rt::nn

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace rt::nn {
+
+/// Base class of all network layers.
+///
+/// Data layout: activations are (features x batch) matrices; a batch of B
+/// input vectors of dimension D is a D x B matrix. Layers cache whatever
+/// they need in `forward` for the subsequent `backward`.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `training` enables stochastic behaviour (dropout).
+  virtual math::Matrix forward(const math::Matrix& x, bool training) = 0;
+  /// Backward pass: receives dL/d(output), returns dL/d(input), and
+  /// accumulates parameter gradients internally.
+  virtual math::Matrix backward(const math::Matrix& grad_out) = 0;
+
+  /// Trainable parameters and their gradients (parallel vectors).
+  virtual std::vector<math::Matrix*> parameters() { return {}; }
+  virtual std::vector<math::Matrix*> gradients() { return {}; }
+
+  [[nodiscard]] virtual std::string kind() const = 0;
+};
+
+/// Fully-connected layer: y = W x + b.
+class Dense : public Layer {
+ public:
+  /// He-normal initialization (suits the ReLU activations the paper uses).
+  Dense(std::size_t in, std::size_t out, stats::Rng& rng);
+  /// Uninitialized (weights loaded afterwards, e.g. by the deserializer).
+  Dense(std::size_t in, std::size_t out);
+
+  math::Matrix forward(const math::Matrix& x, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_out) override;
+  std::vector<math::Matrix*> parameters() override { return {&w_, &b_}; }
+  std::vector<math::Matrix*> gradients() override { return {&gw_, &gb_}; }
+  [[nodiscard]] std::string kind() const override { return "dense"; }
+
+  [[nodiscard]] std::size_t input_size() const { return w_.cols(); }
+  [[nodiscard]] std::size_t output_size() const { return w_.rows(); }
+  [[nodiscard]] math::Matrix& weights() { return w_; }
+  [[nodiscard]] math::Matrix& bias() { return b_; }
+
+ private:
+  math::Matrix w_, b_, gw_, gb_, x_cache_;
+};
+
+/// Rectified linear unit.
+class Relu : public Layer {
+ public:
+  math::Matrix forward(const math::Matrix& x, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_out) override;
+  [[nodiscard]] std::string kind() const override { return "relu"; }
+
+ private:
+  math::Matrix mask_;
+};
+
+/// Inverted dropout (active only during training). The paper uses a 0.1
+/// dropout rate in the safety hijacker's network.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, stats::Rng rng) : rate_(rate), rng_(rng) {}
+
+  math::Matrix forward(const math::Matrix& x, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_out) override;
+  [[nodiscard]] std::string kind() const override { return "dropout"; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  stats::Rng rng_;
+  math::Matrix mask_;
+};
+
+}  // namespace rt::nn

@@ -1,0 +1,56 @@
+#include "nn/mlp.hpp"
+
+namespace rt::nn {
+
+math::Matrix Mlp::forward(const math::Matrix& x, bool training) {
+  math::Matrix h = x;
+  for (auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+void Mlp::backward(const math::Matrix& grad_out) {
+  math::Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<math::Matrix*> Mlp::parameters() {
+  std::vector<math::Matrix*> out;
+  for (auto& layer : layers_) {
+    for (auto* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<math::Matrix*> Mlp::gradients() {
+  std::vector<math::Matrix*> out;
+  for (auto& layer : layers_) {
+    for (auto* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Mlp::parameter_count() {
+  std::size_t n = 0;
+  for (auto* p : parameters()) n += p->rows() * p->cols();
+  return n;
+}
+
+Mlp make_safety_hijacker_net(stats::Rng& rng, std::size_t input_dim,
+                             double dropout_rate) {
+  Mlp net;
+  const std::size_t hidden[] = {100, 100, 50};
+  std::size_t in = input_dim;
+  std::uint64_t stream = 101;
+  for (std::size_t h : hidden) {
+    net.add(std::make_unique<Dense>(in, h, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<Dropout>(dropout_rate, rng.derive(stream++)));
+    in = h;
+  }
+  net.add(std::make_unique<Dense>(in, 1, rng));
+  return net;
+}
+
+}  // namespace rt::nn

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace rt::nn {
+
+/// A feed-forward network: an ordered stack of layers.
+///
+/// The paper's safety hijacker uses exactly this shape: three hidden dense
+/// layers (100, 100, 50) with ReLU activations and 0.1 dropout, and a
+/// single linear output predicting the safety potential delta_{t+k}
+/// (see `make_safety_hijacker_net`).
+class Mlp {
+ public:
+  Mlp() = default;
+
+  void add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  /// Forward pass over the whole stack.
+  math::Matrix forward(const math::Matrix& x, bool training);
+  /// Inference-mode forward (no dropout).
+  [[nodiscard]] math::Matrix predict(const math::Matrix& x) {
+    return forward(x, false);
+  }
+  /// Backpropagates dL/d(output); parameter gradients accumulate in layers.
+  void backward(const math::Matrix& grad_out);
+
+  [[nodiscard]] std::vector<math::Matrix*> parameters();
+  [[nodiscard]] std::vector<math::Matrix*> gradients();
+  [[nodiscard]] const std::vector<std::unique_ptr<Layer>>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds the paper's safety-hijacker architecture (§IV-B): input
+/// [delta_t, v_rel(2), a_rel(2), k] -> 100 -> 100 -> 50 -> 1, ReLU
+/// activations, dropout 0.1 after each hidden layer.
+[[nodiscard]] Mlp make_safety_hijacker_net(stats::Rng& rng,
+                                           std::size_t input_dim = 6,
+                                           double dropout_rate = 0.1);
+
+}  // namespace rt::nn

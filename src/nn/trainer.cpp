@@ -1,0 +1,78 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "nn/loss.hpp"
+
+namespace rt::nn {
+
+TrainResult Trainer::train(Mlp& net, const Dataset& data,
+                           StandardScaler& scaler) {
+  TrainResult result;
+  stats::Rng rng(config_.seed);
+  auto [train_set, val_set] = data.split(config_.train_fraction, rng);
+  scaler.fit(train_set.x);
+  const math::Matrix x_train = scaler.transform(train_set.x);
+  const math::Matrix x_val = scaler.transform(val_set.x);
+
+  Adam optimizer({config_.lr, 0.9, 0.999, 1e-8});
+  const std::size_t n = x_train.cols();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double train_loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(n, start + config_.batch_size);
+      math::Matrix xb(x_train.rows(), end - start);
+      math::Matrix yb(train_set.y.rows(), end - start);
+      for (std::size_t j = start; j < end; ++j) {
+        for (std::size_t i = 0; i < xb.rows(); ++i) {
+          xb(i, j - start) = x_train(i, order[j]);
+        }
+        for (std::size_t i = 0; i < yb.rows(); ++i) {
+          yb(i, j - start) = train_set.y(i, order[j]);
+        }
+      }
+      const math::Matrix pred = net.forward(xb, /*training=*/true);
+      train_loss_sum += MseLoss::value(pred, yb);
+      ++batches;
+      net.backward(MseLoss::gradient(pred, yb));
+      optimizer.step(net.parameters(), net.gradients());
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss =
+        batches > 0 ? train_loss_sum / static_cast<double>(batches) : 0.0;
+    if (x_val.cols() > 0) {
+      const math::Matrix val_pred = net.predict(x_val);
+      stats.val_loss = MseLoss::value(val_pred, val_set.y);
+      stats.val_mae = MseLoss::mae(val_pred, val_set.y);
+    }
+    result.history.push_back(stats);
+
+    if (config_.patience > 0 && x_val.cols() > 0) {
+      if (stats.val_loss < best_val - 1e-9) {
+        best_val = stats.val_loss;
+        since_best = 0;
+      } else if (++since_best >= config_.patience) {
+        break;
+      }
+    }
+  }
+  if (!result.history.empty()) {
+    result.final_val_loss = result.history.back().val_loss;
+    result.final_val_mae = result.history.back().val_mae;
+  }
+  return result;
+}
+
+}  // namespace rt::nn

@@ -1,0 +1,99 @@
+#include "perception/bbox_track.hpp"
+
+#include <algorithm>
+
+namespace rt::perception {
+
+namespace {
+
+constexpr double kMeasSigmaFloorPx = 2.0;
+/// Robust fraction of the population sigma used as the KF's measurement
+/// sigma (the population fit includes outliers; the filter calibrates to
+/// the typical noise and *gates* the tail — see MotTracker).
+constexpr double kRobustFraction = 0.35;
+constexpr double kMeasSigmaFracMin = 0.06;
+constexpr double kMeasSigmaFracMax = 0.50;
+
+constexpr double kPosProcessSigma = 4.0;   // px / frame
+constexpr double kSizeProcessSigma = 2.5;  // px / frame
+constexpr double kVelProcessSigma = 14.0;  // px/s / frame
+
+}  // namespace
+
+math::Matrix BboxTrack::measurement_noise(const math::Bbox& b) const {
+  const double su = std::max(kMeasSigmaFloorPx, meas_sigma_x_ * b.w);
+  const double sv = std::max(kMeasSigmaFloorPx, meas_sigma_y_ * b.h);
+  const double sw = std::max(kMeasSigmaFloorPx, 0.08 * b.w);
+  const double sh = std::max(kMeasSigmaFloorPx, 0.08 * b.h);
+  const double entries[] = {su * su, sv * sv, sw * sw, sh * sh};
+  return math::Matrix::diagonal(entries);
+}
+
+math::Matrix BboxTrack::to_measurement(const math::Bbox& b) {
+  const double entries[] = {b.cx, b.cy, b.w, b.h};
+  return math::Matrix::column(entries);
+}
+
+BboxTrack::BboxTrack(int id, const Detection& first, double dt,
+                     const ClassNoiseModel& noise)
+    : id_(id),
+      cls_(first.cls),
+      meas_sigma_x_(std::clamp(kRobustFraction * noise.center_x.sigma,
+                               kMeasSigmaFracMin, kMeasSigmaFracMax)),
+      meas_sigma_y_(std::clamp(kRobustFraction * noise.center_y.sigma,
+                               kMeasSigmaFracMin, kMeasSigmaFracMax)),
+      last_truth_id_(first.truth_id) {
+  // State: [u, v, w, h, vu, vv]; constant-velocity center, random-walk size.
+  math::Matrix f = math::Matrix::identity(6);
+  f(0, 4) = dt;
+  f(1, 5) = dt;
+  math::Matrix h(4, 6);
+  h(0, 0) = h(1, 1) = h(2, 2) = h(3, 3) = 1.0;
+
+  const double qp = kPosProcessSigma * kPosProcessSigma;
+  const double qs = kSizeProcessSigma * kSizeProcessSigma;
+  const double qv = kVelProcessSigma * kVelProcessSigma;
+  const double q_entries[] = {qp, qp, qs, qs, qv, qv};
+  math::Matrix q = math::Matrix::diagonal(q_entries);
+
+  const double x0_entries[] = {first.bbox.cx, first.bbox.cy, first.bbox.w,
+                               first.bbox.h, 0.0, 0.0};
+  math::Matrix x0 = math::Matrix::column(x0_entries);
+
+  // Generous initial velocity uncertainty: the first few updates lock it in.
+  const double p0_entries[] = {25.0, 25.0, 25.0, 25.0, 2500.0, 2500.0};
+  math::Matrix p0 = math::Matrix::diagonal(p0_entries);
+
+  kf_ = KalmanFilter(f, q, h, measurement_noise(first.bbox), x0, p0);
+  predicted_ = first.bbox;
+}
+
+math::Bbox BboxTrack::bbox() const {
+  const auto& x = kf_.state();
+  return {x(0, 0), x(1, 0), std::max(1.0, x(2, 0)), std::max(1.0, x(3, 0))};
+}
+
+void BboxTrack::predict() {
+  kf_.predict();
+  ++age_;
+  predicted_ = bbox();
+}
+
+void BboxTrack::update(const Detection& det) {
+  // Refresh the size-proportional measurement noise before the update.
+  kf_.set_measurement_noise(measurement_noise(det.bbox));
+  kf_.update(to_measurement(det.bbox));
+  ++hits_;
+  consecutive_misses_ = 0;
+  last_truth_id_ = det.truth_id;
+}
+
+void BboxTrack::mark_missed() {
+  ++consecutive_misses_;
+}
+
+double BboxTrack::mahalanobis2(const math::Bbox& z) const {
+  return kf_.mahalanobis2(to_measurement(z));
+}
+
+}  // namespace rt::perception

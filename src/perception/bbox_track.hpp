@@ -1,0 +1,71 @@
+#pragma once
+
+#include "math/bbox.hpp"
+#include "perception/detection.hpp"
+#include "perception/kalman_filter.hpp"
+#include "perception/noise_model.hpp"
+
+namespace rt::perception {
+
+/// One SORT-style tracked object: a Kalman filter over the image-space state
+/// [u, v, w, h, vu, vv] (bbox center, size, and pixel velocity) plus the
+/// lifecycle bookkeeping (hits / misses / age) the MOT manager needs.
+///
+/// This per-object KF is the paper's "F" — and the component §III-B singles
+/// out as the vulnerable link: it happily integrates biased measurements as
+/// long as each one stays within its Gaussian noise budget.
+class BboxTrack {
+ public:
+  /// `noise` is the characterized detector noise for this object's class:
+  /// the KF's measurement covariance is calibrated against it (a robust
+  /// fraction of the population sigma), exactly the calibration the paper
+  /// says production stacks perform — and the calibration the attacker
+  /// hides under.
+  BboxTrack(int id, const Detection& first, double dt,
+            const ClassNoiseModel& noise);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] sim::ActorType cls() const { return cls_; }
+  [[nodiscard]] int hits() const { return hits_; }
+  [[nodiscard]] int consecutive_misses() const { return consecutive_misses_; }
+  [[nodiscard]] int age() const { return age_; }
+  /// Ground-truth actor id of the *last matched detection* (bookkeeping).
+  [[nodiscard]] sim::ActorId last_truth_id() const { return last_truth_id_; }
+
+  /// Current (post-update or post-predict) bbox estimate.
+  [[nodiscard]] math::Bbox bbox() const;
+  /// Bbox predicted for this frame before any update — what the Hungarian
+  /// matcher associates against, and what the attacker pushes away from.
+  [[nodiscard]] math::Bbox predicted_bbox() const { return predicted_; }
+  /// Image-space velocity estimate (px/frame-rate units: px/s).
+  [[nodiscard]] double vu() const { return kf_.state()(4, 0); }
+  [[nodiscard]] double vv() const { return kf_.state()(5, 0); }
+
+  /// Advances the KF one frame and caches the predicted bbox.
+  void predict();
+  /// Consumes the matched detection.
+  void update(const Detection& det);
+  /// Records a missed frame (no matched detection).
+  void mark_missed();
+
+  /// Squared Mahalanobis distance of a candidate measurement (gating/IDS).
+  [[nodiscard]] double mahalanobis2(const math::Bbox& z) const;
+
+ private:
+  [[nodiscard]] static math::Matrix to_measurement(const math::Bbox& b);
+
+  [[nodiscard]] math::Matrix measurement_noise(const math::Bbox& b) const;
+
+  int id_;
+  sim::ActorType cls_;
+  double meas_sigma_x_;  ///< robust measurement sigma, fraction of bbox w
+  double meas_sigma_y_;  ///< robust measurement sigma, fraction of bbox h
+  KalmanFilter kf_;
+  math::Bbox predicted_;
+  int hits_{1};
+  int consecutive_misses_{0};
+  int age_{1};
+  sim::ActorId last_truth_id_{-1};
+};
+
+}  // namespace rt::perception

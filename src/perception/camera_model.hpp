@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+
+#include "math/bbox.hpp"
+#include "math/vec2.hpp"
+#include "sim/types.hpp"
+#include "sim/world.hpp"
+
+namespace rt::perception {
+
+/// Pinhole camera mounted at the ego front, looking down the road (+x).
+///
+/// Matches the paper's main front camera: 1920x1080 at 15 Hz. The camera
+/// provides the geometric bridge between road-frame ground truth and the
+/// pixel-space bounding boxes the detector (and the attacker) operate on;
+/// back-projection assumes a flat ground plane, which is exact in this
+/// simulator and is the standard monocular-depth trick production stacks
+/// use for camera-only obstacles.
+struct CameraModel {
+  double image_width{1920.0};
+  double image_height{1080.0};
+  double focal_px{1600.0};      ///< focal length in pixels
+  double height_m{1.5};         ///< mount height above the ground plane
+  double min_range{2.0};        ///< objects closer than this are off-frame
+  double max_range{150.0};      ///< detector resolution limit
+
+  [[nodiscard]] double cx() const { return image_width / 2.0; }
+  [[nodiscard]] double cy() const { return image_height / 2.0; }
+
+  /// Projects a ground-truth object into an image bounding box.
+  /// Returns nullopt when the object is out of the camera frustum.
+  ///
+  /// Image convention: u grows rightward, v grows downward. An object to the
+  /// *left* of the ego (y > 0) appears at u < cx.
+  [[nodiscard]] std::optional<math::Bbox> project(
+      const sim::GroundTruthObject& obj) const {
+    const double d = obj.rel_position.x;
+    if (d < min_range || d > max_range) return std::nullopt;
+    const double u = cx() - focal_px * obj.rel_position.y / d;
+    const double w = focal_px * obj.dims.width / d;
+    const double h = focal_px * obj.dims.height / d;
+    // Bottom edge sits on the ground plane; center is half-height up.
+    const double v_bottom = cy() + focal_px * height_m / d;
+    const double v = v_bottom - h / 2.0;
+    const math::Bbox box{u, v, w, h};
+    if (box.right() < 0.0 || box.left() > image_width || box.bottom() < 0.0 ||
+        box.top() > image_height) {
+      return std::nullopt;
+    }
+    return box;
+  }
+
+  /// Recovers the road-frame position (x: range, y: lateral) from a bbox via
+  /// the ground-plane assumption (bottom edge touches the ground).
+  /// Returns nullopt for boxes whose bottom edge sits on or above the
+  /// horizon (not physically groundable).
+  [[nodiscard]] std::optional<math::Vec2> back_project(
+      const math::Bbox& box) const {
+    const double dv = box.bottom() - cy();
+    if (dv <= 1e-6) return std::nullopt;
+    const double d = focal_px * height_m / dv;
+    const double y = (cx() - box.cx) * d / focal_px;
+    return math::Vec2{d, y};
+  }
+
+  /// Pixel displacement corresponding to a lateral road-frame displacement
+  /// `dy_m` at range `range_m` (used by the trajectory hijacker to convert
+  /// its desired world-space shift into a pixel shift).
+  [[nodiscard]] double lateral_m_to_px(double dy_m, double range_m) const {
+    return -focal_px * dy_m / range_m;
+  }
+
+  /// Inverse of `lateral_m_to_px`.
+  [[nodiscard]] double lateral_px_to_m(double du_px, double range_m) const {
+    return -du_px * range_m / focal_px;
+  }
+};
+
+}  // namespace rt::perception

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "math/bbox.hpp"
+#include "sim/types.hpp"
+
+namespace rt::perception {
+
+/// One detector output box ("o_t^i" in the paper): what YOLOv3 would emit
+/// for a single object in a single camera frame.
+struct Detection {
+  math::Bbox bbox;
+  sim::ActorType cls{sim::ActorType::kVehicle};
+  double confidence{1.0};
+  /// Ground-truth actor id. Carried for *evaluation bookkeeping only*
+  /// (characterization, IDS ground truth); no ADS or attack decision logic
+  /// reads it.
+  sim::ActorId truth_id{-1};
+};
+
+/// All detections of one camera frame ("O_t").
+struct CameraFrame {
+  double time{0.0};
+  std::vector<Detection> detections;
+};
+
+}  // namespace rt::perception

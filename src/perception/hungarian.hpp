@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace rt::perception {
+
+/// Result of an assignment: `assignment[r]` is the column matched to row r,
+/// or -1 if row r is unassigned (possible when rows > cols).
+struct AssignmentResult {
+  std::vector<int> assignment;
+  double total_cost{0.0};
+};
+
+/// Kuhn-Munkres (Hungarian) minimum-cost assignment ("M" in Fig. 1).
+///
+/// The tracker calls this with cost(i, j) = 1 - IoU(detection_i, track_j);
+/// the trajectory hijacker reasons about the same cost when keeping its
+/// perturbed detection associated with the victim's tracker (Eq. 4's
+/// "M <= lambda" constraint).
+///
+/// Rectangular matrices are handled by padding with a large cost; padded
+/// matches are reported as unassigned. O(n^3).
+[[nodiscard]] AssignmentResult solve_assignment(const math::Matrix& cost);
+
+}  // namespace rt::perception

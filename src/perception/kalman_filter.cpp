@@ -1,0 +1,50 @@
+#include "perception/kalman_filter.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rt::perception {
+
+KalmanFilter::KalmanFilter(math::Matrix f, math::Matrix q, math::Matrix h,
+                           math::Matrix r, math::Matrix x0, math::Matrix p0)
+    : f_(std::move(f)),
+      q_(std::move(q)),
+      h_(std::move(h)),
+      r_(std::move(r)),
+      x_(std::move(x0)),
+      p_(std::move(p0)) {
+  const std::size_t n = f_.rows();
+  const std::size_t m = h_.rows();
+  if (f_.cols() != n || q_.rows() != n || q_.cols() != n || h_.cols() != n ||
+      r_.rows() != m || r_.cols() != m || x_.rows() != n || x_.cols() != 1 ||
+      p_.rows() != n || p_.cols() != n) {
+    throw std::invalid_argument("KalmanFilter: inconsistent dimensions");
+  }
+}
+
+void KalmanFilter::predict() {
+  x_ = f_ * x_;
+  p_ = f_ * p_ * f_.transposed() + q_;
+}
+
+void KalmanFilter::update(const math::Matrix& z) {
+  const math::Matrix y = z - h_ * x_;
+  const math::Matrix s = h_ * p_ * h_.transposed() + r_;
+  const math::Matrix k = p_ * h_.transposed() * s.inverse();
+  x_ = x_ + k * y;
+  const math::Matrix i = math::Matrix::identity(p_.rows());
+  p_ = (i - k * h_) * p_;
+}
+
+math::Matrix KalmanFilter::innovation(const math::Matrix& z) const {
+  return z - h_ * x_;
+}
+
+double KalmanFilter::mahalanobis2(const math::Matrix& z) const {
+  const math::Matrix y = innovation(z);
+  const math::Matrix s = h_ * p_ * h_.transposed() + r_;
+  const math::Matrix d = y.transposed() * s.inverse() * y;
+  return d(0, 0);
+}
+
+}  // namespace rt::perception

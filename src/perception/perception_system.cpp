@@ -1,0 +1,30 @@
+#include "perception/perception_system.hpp"
+
+namespace rt::perception {
+
+PerceptionSystem::PerceptionSystem(CameraModel camera, double camera_dt,
+                                   double lidar_dt, MotConfig mot_config,
+                                   FusionConfig fusion_config,
+                                   LidarConfig lidar_config,
+                                   DetectorNoiseModel noise)
+    : mot_(camera_dt, mot_config, noise),
+      projector_(camera, camera_dt),
+      lidar_tracker_(lidar_dt),
+      fusion_(fusion_config, lidar_config, camera_dt) {}
+
+void PerceptionSystem::ingest_lidar(
+    const std::vector<LidarMeasurement>& scan) {
+  lidar_tracker_.update(scan);
+}
+
+PerceptionOutput PerceptionSystem::step(const CameraFrame& frame) {
+  PerceptionOutput out;
+  out.time = frame.time;
+  out.camera_tracks = mot_.update(frame);
+  out.camera_world = projector_.project(out.camera_tracks);
+  out.lidar_tracks = lidar_tracker_.tracks();
+  out.world = fusion_.fuse(out.camera_world, out.lidar_tracks);
+  return out;
+}
+
+}  // namespace rt::perception

@@ -1,0 +1,92 @@
+#include "safety/ids.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/bbox.hpp"
+
+namespace rt::safety {
+
+void AttackIds::flag(const std::string& reason) {
+  if (!report_.flagged) {
+    report_.flagged = true;
+    report_.reason = reason;
+  }
+}
+
+void AttackIds::observe(const perception::CameraFrame& frame,
+                        const std::vector<perception::TrackView>& tracks,
+                        const std::vector<perception::LidarTrack>& lidar) {
+  innovation_test(frame, tracks);
+  absence_test(frame, lidar);
+}
+
+void AttackIds::innovation_test(
+    const perception::CameraFrame& frame,
+    const std::vector<perception::TrackView>& tracks) {
+  for (const auto& t : tracks) {
+    if (!t.matched_this_frame || t.hits < 4) {
+      innovation_streak_.erase(t.track_id);
+      continue;
+    }
+    // Recover the matched detection: highest-IoU detection of this class.
+    const perception::Detection* best = nullptr;
+    double best_iou = 0.0;
+    for (const auto& d : frame.detections) {
+      if (d.cls != t.cls) continue;
+      const double o = math::iou(d.bbox, t.predicted_bbox);
+      if (o > best_iou) {
+        best_iou = o;
+        best = &d;
+      }
+    }
+    if (best == nullptr) continue;
+    const auto& fit = noise_.for_class(t.cls).center_x;
+    const double e =
+        (best->bbox.cx - t.predicted_bbox.cx) / std::max(1.0, best->bbox.w);
+    const bool out_of_band =
+        std::abs(e - fit.mu) > config_.sigma_mult * fit.sigma;
+    int& streak = innovation_streak_[t.track_id];
+    streak = out_of_band ? streak + 1 : 0;
+    if (out_of_band) ++report_.innovation_alarms;
+    if (streak >= config_.innovation_consecutive) {
+      flag("sustained out-of-band detection/track innovation");
+    }
+  }
+}
+
+void AttackIds::absence_test(
+    const perception::CameraFrame& frame,
+    const std::vector<perception::LidarTrack>& lidar) {
+  for (const auto& l : lidar) {
+    if (l.hits < 3) continue;
+    // Would this LiDAR object be visible to the camera right now?
+    sim::GroundTruthObject probe;
+    probe.rel_position = l.rel_position;
+    probe.dims = sim::default_dimensions(sim::ActorType::kVehicle);
+    const auto expected_box = camera_.project(probe);
+    if (!expected_box) {
+      absence_streak_.erase(l.track_id);
+      continue;
+    }
+    // Any camera detection near the expected location?
+    bool seen = false;
+    for (const auto& d : frame.detections) {
+      if (math::iou(d.bbox, *expected_box) > 0.05) {
+        seen = true;
+        break;
+      }
+    }
+    int& streak = absence_streak_[l.track_id];
+    streak = seen ? 0 : streak + 1;
+    // LiDAR cannot classify; use the longer (vehicle) streak tail so the
+    // test never false-positives on pedestrians.
+    const double p99 = noise_.vehicle.streak_p99;
+    if (streak > static_cast<int>(p99 * config_.absence_p99_mult)) {
+      ++report_.absence_alarms;
+      flag("camera-invisible object corroborated by LiDAR for too long");
+    }
+  }
+}
+
+}  // namespace rt::safety

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perception/camera_model.hpp"
+#include "perception/detection.hpp"
+#include "perception/lidar_tracker.hpp"
+#include "perception/mot_tracker.hpp"
+#include "perception/noise_model.hpp"
+
+namespace rt::safety {
+
+/// Configuration of the perception intrusion-detection system.
+struct IdsConfig {
+  /// A matched detection whose normalized center innovation falls outside
+  /// mu +- sigma_mult * sigma of the characterized noise is suspicious.
+  /// The paper's attacker stays within 1 sigma precisely to duck this test.
+  double sigma_mult{1.0};
+  /// Consecutive suspicious innovations on one track before flagging.
+  int innovation_consecutive{4};
+  /// Multiplier on the class's 99th-percentile misdetection streak: a
+  /// LiDAR-corroborated object with no camera detection for longer than
+  /// p99 * this is flagged (catches over-long Disappear attacks).
+  double absence_p99_mult{1.0};
+};
+
+/// What the IDS flagged (empty reason = not flagged).
+struct IdsReport {
+  bool flagged{false};
+  std::string reason;
+  int innovation_alarms{0};
+  int absence_alarms{0};
+};
+
+/// Model of the defender's intrusion-detection system (§III-A/§VI-E).
+///
+/// The paper's stealth argument is that the malware's perturbations are
+/// statistically indistinguishable from natural detector noise; this class
+/// operationalizes the two tests that argument implies:
+///  1. innovation test — per-frame normalized displacement between each
+///     matched detection and its track prediction must stay within the
+///     characterized Gaussian band;
+///  2. absence test — an object corroborated by LiDAR (which the attacker
+///     cannot touch) must not stay camera-invisible for longer than the
+///     characterized misdetection-streak tail.
+///
+/// RoboTack's constraints (perturbation within +-1 sigma, K' small, K under
+/// the streak p99) are chosen to evade exactly these tests; the random
+/// baseline and the no-noise-bound ablation trip them.
+class AttackIds {
+ public:
+  AttackIds(IdsConfig config, perception::DetectorNoiseModel noise,
+            perception::CameraModel camera)
+      : config_(config), noise_(noise), camera_(camera) {}
+
+  /// Observes one perception frame. `frame` is the (possibly attacked)
+  /// camera frame the ADS consumed; `tracks` the post-update camera tracks;
+  /// `lidar` the latest LiDAR tracks.
+  void observe(const perception::CameraFrame& frame,
+               const std::vector<perception::TrackView>& tracks,
+               const std::vector<perception::LidarTrack>& lidar);
+
+  [[nodiscard]] const IdsReport& report() const { return report_; }
+
+ private:
+  void innovation_test(const perception::CameraFrame& frame,
+                       const std::vector<perception::TrackView>& tracks);
+  void absence_test(const perception::CameraFrame& frame,
+                    const std::vector<perception::LidarTrack>& lidar);
+  void flag(const std::string& reason);
+
+  IdsConfig config_;
+  perception::DetectorNoiseModel noise_;
+  perception::CameraModel camera_;
+  IdsReport report_;
+  /// Consecutive out-of-band innovations per camera track id.
+  std::unordered_map<int, int> innovation_streak_;
+  /// Consecutive camera-absent frames per LiDAR track id.
+  std::unordered_map<int, int> absence_streak_;
+};
+
+}  // namespace rt::safety

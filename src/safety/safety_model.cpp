@@ -1,0 +1,19 @@
+#include "safety/safety_model.hpp"
+
+namespace rt::safety {
+
+SafetyAssessment SafetyModel::assess(const sim::World& world) const {
+  SafetyAssessment a;
+  a.d_stop = stopping_distance(world.ego().speed());
+  const auto nearest = world.nearest_in_path();
+  if (nearest) {
+    a.d_safe = nearest->longitudinal_gap(world.ego().dims().length);
+    a.bounding_object = nearest->id;
+  } else {
+    a.d_safe = config_.clear_path_dsafe;
+  }
+  a.delta = a.d_safe - a.d_stop;
+  return a;
+}
+
+}  // namespace rt::safety

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+
+#include "sim/world.hpp"
+
+namespace rt::safety {
+
+/// The AV safety model of Jha et al. [6], as adopted by the paper (§II-C).
+///
+/// Definitions (longitudinal only, matching the paper's scenarios):
+///  - d_stop (Def. 3): distance the EV travels before a complete stop under
+///    the maximum *comfortable* deceleration: v^2 / (2 * a_comfort).
+///  - d_safe (Def. 4): maximum distance the EV can travel without colliding
+///    with any object — the bumper-to-bumper gap to the nearest in-path
+///    obstacle (a large constant when the path is clear).
+///  - delta (Def. 5): safety potential, delta = d_safe - d_stop.
+///
+/// The paper labels a run an *accident* when delta < 4 m at any time after
+/// the attack starts (LGSVL halts the simulation below a 4 m distance).
+struct SafetyModelConfig {
+  /// Maximum comfortable deceleration (Def. 3). Calibrated so the paper's
+  /// reported safety potentials reproduce: a 20 m follow gap at 25 kph must
+  /// be comfortably safe (delta ~ 11 m), and a 10 m stop margin in front of
+  /// a pedestrian yields delta ~ 10 m.
+  double comfort_decel{3.5};       ///< a_comfort for d_stop
+  double clear_path_dsafe{200.0};  ///< d_safe when no in-path object exists
+  double accident_delta{4.0};      ///< delta threshold labeling an accident
+};
+
+/// Instantaneous safety assessment.
+struct SafetyAssessment {
+  double d_stop{0.0};
+  double d_safe{0.0};
+  double delta{0.0};
+  /// Id of the in-path object that bounds d_safe; nullopt if path clear.
+  std::optional<sim::ActorId> bounding_object;
+};
+
+class SafetyModel {
+ public:
+  explicit SafetyModel(SafetyModelConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const SafetyModelConfig& config() const { return config_; }
+
+  /// d_stop for a given speed (Def. 3).
+  [[nodiscard]] double stopping_distance(double speed) const {
+    return speed * speed / (2.0 * config_.comfort_decel);
+  }
+
+  /// delta for an arbitrary (gap, speed) pair. This overload is what the
+  /// malware itself evaluates on its camera-only world reconstruction
+  /// (line 4 of Algorithm 1).
+  [[nodiscard]] double delta(double gap, double speed) const {
+    return gap - stopping_distance(speed);
+  }
+
+  /// Ground-truth assessment of the current world (evaluation side).
+  [[nodiscard]] SafetyAssessment assess(const sim::World& world) const;
+
+ private:
+  SafetyModelConfig config_;
+};
+
+}  // namespace rt::safety

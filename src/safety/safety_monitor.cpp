@@ -1,0 +1,35 @@
+#include "safety/safety_monitor.hpp"
+
+#include <algorithm>
+
+namespace rt::safety {
+
+void SafetyMonitor::record(const sim::World& world, bool eb_active,
+                           bool attack_active, sim::ActorId target_id) {
+  const SafetyAssessment a = model_.assess(world);
+  double target_delta = model_.config().clear_path_dsafe;
+  if (target_id >= 0) {
+    if (const auto gt = world.ground_truth_for(target_id)) {
+      target_delta = model_.delta(
+          gt->longitudinal_gap(world.ego().dims().length),
+          world.ego().speed());
+    }
+  }
+  min_delta_ = std::min(min_delta_, a.delta);
+  if (attack_active) attack_seen_ = true;
+  if (attack_seen_) {
+    min_delta_since_attack_ = std::min(min_delta_since_attack_, a.delta);
+  }
+  if (eb_active) {
+    eb_seen_ = true;
+    if (!prev_eb_) ++eb_episodes_;
+  }
+  prev_eb_ = eb_active;
+  if (world.collision()) collision_ = true;
+  if (keep_timeline_) {
+    timeline_.push_back({world.time(), a.delta, a.d_safe, target_delta,
+                         world.ego().speed(), eb_active, attack_active});
+  }
+}
+
+}  // namespace rt::safety

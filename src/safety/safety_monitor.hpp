@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "safety/safety_model.hpp"
+
+namespace rt::safety {
+
+/// One sample of the per-run safety timeline.
+struct SafetySample {
+  double time{0.0};
+  double delta{0.0};
+  double d_safe{0.0};
+  /// Safety potential computed against the scenario's designated target
+  /// actor regardless of whether it is in the EV path — the quantity the
+  /// malware's SafetyModel(S_hat_t) estimates and the SH oracle predicts.
+  double target_delta{0.0};
+  double ego_speed{0.0};
+  bool eb_active{false};
+  bool attack_active{false};
+};
+
+/// Run-level ground-truth recorder.
+///
+/// Evaluates the safety model on the true world each frame and accumulates
+/// the quantities the paper's tables and figures report: whether emergency
+/// braking occurred, the minimum safety potential from attack start to
+/// scenario end (Fig. 6), and the accident label (min delta < 4 m, §VI-C).
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(SafetyModel model = SafetyModel{},
+                         bool keep_timeline = false)
+      : model_(model), keep_timeline_(keep_timeline) {}
+
+  /// Records one frame. `eb_active` comes from the planner, `attack_active`
+  /// from the attacker (evaluation-side knowledge). `target_id` selects the
+  /// actor whose target-delta is recorded (negative: none).
+  void record(const sim::World& world, bool eb_active, bool attack_active,
+              sim::ActorId target_id = -1);
+
+  /// True once any frame has been recorded with eb_active.
+  [[nodiscard]] bool emergency_braking_occurred() const { return eb_seen_; }
+  /// Number of distinct EB episodes (rising edges).
+  [[nodiscard]] int eb_episodes() const { return eb_episodes_; }
+  /// Minimum delta over the whole run.
+  [[nodiscard]] double min_delta() const { return min_delta_; }
+  /// Minimum delta from the first attacked frame onward; min over the whole
+  /// run when no attack was recorded.
+  [[nodiscard]] double min_delta_since_attack() const {
+    return attack_seen_ ? min_delta_since_attack_ : min_delta_;
+  }
+  /// True if a physical footprint overlap was ever observed.
+  [[nodiscard]] bool collision_occurred() const { return collision_; }
+  /// Paper's accident label: delta dropped below the accident threshold
+  /// after the attack began (or anywhere, for non-attacked runs).
+  [[nodiscard]] bool accident() const {
+    return min_delta_since_attack() < model_.config().accident_delta;
+  }
+  [[nodiscard]] bool attack_observed() const { return attack_seen_; }
+  [[nodiscard]] const std::vector<SafetySample>& timeline() const {
+    return timeline_;
+  }
+  [[nodiscard]] const SafetyModel& model() const { return model_; }
+
+ private:
+  SafetyModel model_;
+  bool keep_timeline_{false};
+  std::vector<SafetySample> timeline_;
+  bool eb_seen_{false};
+  bool prev_eb_{false};
+  int eb_episodes_{0};
+  bool attack_seen_{false};
+  bool collision_{false};
+  double min_delta_{1e9};
+  double min_delta_since_attack_{1e9};
+};
+
+}  // namespace rt::safety

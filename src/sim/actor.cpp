@@ -1,0 +1,73 @@
+#include "sim/actor.hpp"
+
+#include <algorithm>
+
+namespace rt::sim {
+
+Actor::Actor(ActorId id, ActorType type, math::Vec2 position,
+             StartTrigger trigger, std::vector<Waypoint> route)
+    : id_(id),
+      type_(type),
+      dims_(default_dimensions(type)),
+      trigger_(trigger),
+      route_(std::move(route)) {
+  state_.position = position;
+}
+
+void Actor::maybe_start(double sim_time, double ego_x) {
+  if (started_) return;
+  switch (trigger_.kind) {
+    case StartTrigger::Kind::kImmediate:
+      started_ = true;
+      break;
+    case StartTrigger::Kind::kAtTime:
+      started_ = sim_time >= trigger_.value;
+      break;
+    case StartTrigger::Kind::kEgoWithin:
+      started_ = (state_.position.x - ego_x) <= trigger_.value;
+      break;
+  }
+}
+
+void Actor::step(double dt, double sim_time, double ego_x) {
+  maybe_start(sim_time, ego_x);
+  const math::Vec2 old_velocity = state_.velocity;
+  if (!started_ || route_finished()) {
+    state_.velocity = {0.0, 0.0};
+    state_.acceleration = (state_.velocity - old_velocity) / dt;
+    return;
+  }
+  // Consume distance along the route; a fast actor may pass several
+  // waypoints within one step.
+  double budget = route_[next_waypoint_].speed * dt;
+  while (budget > 0.0 && !route_finished()) {
+    const Waypoint& wp = route_[next_waypoint_];
+    const math::Vec2 delta = wp.target - state_.position;
+    const double dist = delta.norm();
+    if (dist <= budget) {
+      state_.position = wp.target;
+      budget -= dist;
+      ++next_waypoint_;
+      if (!route_finished()) {
+        // Re-scale the leftover distance budget to the next leg's speed.
+        budget = budget / std::max(wp.speed, 1e-9) *
+                 route_[next_waypoint_].speed;
+      }
+    } else {
+      state_.position += delta * (budget / dist);
+      budget = 0.0;
+    }
+  }
+  if (route_finished()) {
+    state_.velocity = {0.0, 0.0};
+  } else {
+    const Waypoint& wp = route_[next_waypoint_];
+    const math::Vec2 delta = wp.target - state_.position;
+    const double dist = delta.norm();
+    state_.velocity =
+        dist > 1e-9 ? delta * (wp.speed / dist) : math::Vec2{0.0, 0.0};
+  }
+  state_.acceleration = (state_.velocity - old_velocity) / dt;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/vec2.hpp"
+#include "sim/types.hpp"
+
+namespace rt::sim {
+
+/// Condition that starts an actor's scripted motion. Until the trigger
+/// fires the actor holds its initial pose (e.g. the DS-2 pedestrian waits at
+/// the curb until the EV is close enough for an "illegal crossing").
+struct StartTrigger {
+  enum class Kind : std::uint8_t {
+    kImmediate,       ///< starts at t = 0
+    kAtTime,          ///< starts when sim time >= value
+    kEgoWithin,       ///< starts when (actor.x - ego.x) <= value
+  };
+  Kind kind{Kind::kImmediate};
+  double value{0.0};
+
+  [[nodiscard]] static StartTrigger immediately() { return {}; }
+  [[nodiscard]] static StartTrigger at_time(double t) {
+    return {Kind::kAtTime, t};
+  }
+  [[nodiscard]] static StartTrigger ego_within(double dist) {
+    return {Kind::kEgoWithin, dist};
+  }
+};
+
+/// One leg of an actor's scripted route: drive/walk toward `target` at
+/// constant `speed`. Legs execute in order; after the last leg the actor
+/// stands still.
+struct Waypoint {
+  math::Vec2 target;
+  double speed{0.0};
+};
+
+/// A scripted (non-ego) road user: target vehicles, NPC vehicles and
+/// pedestrians. Actors follow their waypoint script kinematically — the
+/// paper's LGSVL scenarios script all non-ego motion the same way.
+class Actor {
+ public:
+  Actor(ActorId id, ActorType type, math::Vec2 position,
+        StartTrigger trigger = StartTrigger::immediately(),
+        std::vector<Waypoint> route = {});
+
+  [[nodiscard]] ActorId id() const { return id_; }
+  [[nodiscard]] ActorType type() const { return type_; }
+  [[nodiscard]] const Dimensions& dims() const { return dims_; }
+  [[nodiscard]] const KinematicState& state() const { return state_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool route_finished() const {
+    return next_waypoint_ >= route_.size();
+  }
+
+  /// Advances the actor by `dt` seconds. `sim_time` is the time *after* the
+  /// step; `ego_x` the ego's longitudinal position (for EgoWithin triggers).
+  void step(double dt, double sim_time, double ego_x);
+
+ private:
+  void maybe_start(double sim_time, double ego_x);
+
+  ActorId id_;
+  ActorType type_;
+  Dimensions dims_;
+  KinematicState state_;
+  StartTrigger trigger_;
+  std::vector<Waypoint> route_;
+  std::size_t next_waypoint_{0};
+  bool started_{false};
+};
+
+}  // namespace rt::sim

@@ -1,0 +1,32 @@
+#include "sim/ego_vehicle.hpp"
+
+#include <algorithm>
+
+namespace rt::sim {
+
+EgoVehicle::EgoVehicle(double x, double speed, EgoLimits limits)
+    : x_(x), v_(speed), limits_(limits) {}
+
+void EgoVehicle::step(double dt, double accel_command) {
+  const double target =
+      std::clamp(accel_command, -limits_.max_decel, limits_.max_accel);
+  // Jerk-limited actuator: the achieved acceleration slews toward the
+  // command, so a sudden EB command still takes ~0.5 s to reach full force.
+  const double max_delta = limits_.max_jerk * dt;
+  a_ += std::clamp(target - a_, -max_delta, max_delta);
+
+  double v_next = v_ + a_ * dt;
+  if (v_next < 0.0) {
+    // The vehicle does not roll backward: braking saturates at standstill.
+    v_next = 0.0;
+    a_ = 0.0;
+  }
+  if (v_next > limits_.max_speed) {
+    v_next = limits_.max_speed;
+    a_ = std::min(a_, 0.0);
+  }
+  x_ += (v_ + v_next) / 2.0 * dt;
+  v_ = v_next;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+namespace rt::sim {
+
+/// A straight two-lane road with a parking lane, modeled after the paper's
+/// "Borregas Avenue" test road (speed limit 50 kph).
+///
+/// Geometry (y = lateral, meters):
+///   +3.7 : center of the opposite/adjacent traffic lane
+///    0.0 : center of the ego lane (the EV drives along y == 0)
+///   -3.0 : center of the parking lane (DS-3 parked vehicle, DS-4 pedestrian)
+struct Road {
+  static constexpr double kLaneWidth = 3.7;
+  static constexpr double kEgoLaneCenter = 0.0;
+  static constexpr double kAdjacentLaneCenter = 3.7;
+  static constexpr double kParkingLaneCenter = -3.0;
+  static constexpr double kSpeedLimitKph = 50.0;
+
+  /// True if an object of the given width centered at lateral offset `y`
+  /// overlaps the ego lane corridor swept by an EV of width `ego_width`.
+  /// This is the ground-truth "in-path" notion used by the safety model.
+  [[nodiscard]] static constexpr bool overlaps_ego_corridor(
+      double y, double width, double ego_width) {
+    const double half = (width + ego_width) / 2.0;
+    return y > -half && y < half;
+  }
+
+  /// True if the lateral offset lies within the ego *lane* boundaries
+  /// (used by the scenario matcher's "TO in EV-lane" predicate, Table I).
+  [[nodiscard]] static constexpr bool in_ego_lane(double y) {
+    return y > -kLaneWidth / 2.0 && y < kLaneWidth / 2.0;
+  }
+};
+
+}  // namespace rt::sim

@@ -1,0 +1,148 @@
+#include "sim/scenario.hpp"
+
+#include "sim/road.hpp"
+
+namespace rt::sim {
+
+namespace {
+/// Far-away x used as "drive straight ahead forever".
+constexpr double kFarAhead = 3000.0;
+}  // namespace
+
+Scenario make_ds1() {
+  Scenario s;
+  s.id = ScenarioId::kDs1;
+  s.name = "DS-1";
+  s.description =
+      "EV follows a 25 kph target vehicle starting 60 m ahead in the ego "
+      "lane";
+  s.duration = 40.0;
+  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
+  s.target_id = 1;
+  s.actors.emplace_back(
+      1, ActorType::kVehicle, math::Vec2{60.0, Road::kEgoLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
+                             kph_to_mps(25.0)}});
+  return s;
+}
+
+Scenario make_ds2() {
+  Scenario s;
+  s.id = ScenarioId::kDs2;
+  s.name = "DS-2";
+  s.description = "pedestrian illegally crosses the street ahead of the EV";
+  s.duration = 35.0;
+  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
+  s.target_id = 1;
+  // The pedestrian waits at the right curb and begins the crossing when the
+  // EV is 60 m away, walking at 1.2 m/s all the way to the opposite curb.
+  const double start_y = -6.5;
+  const double cross_x = 70.0;
+  s.actors.emplace_back(
+      1, ActorType::kPedestrian, math::Vec2{cross_x, start_y},
+      StartTrigger::ego_within(70.0),
+      std::vector<Waypoint>{{{cross_x, 6.5}, 1.05}});
+  return s;
+}
+
+Scenario make_ds3() {
+  Scenario s;
+  s.id = ScenarioId::kDs3;
+  s.name = "DS-3";
+  s.description = "target vehicle parked in the parking lane";
+  s.duration = 25.0;
+  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
+  s.target_id = 1;
+  // Parked: no route, never moves.
+  s.actors.emplace_back(1, ActorType::kVehicle,
+                        math::Vec2{120.0, Road::kParkingLaneCenter});
+  return s;
+}
+
+Scenario make_ds4() {
+  Scenario s;
+  s.id = ScenarioId::kDs4;
+  s.name = "DS-4";
+  s.description =
+      "pedestrian walks toward the EV in the parking lane for 5 m, then "
+      "stands still";
+  s.duration = 25.0;
+  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
+  s.target_id = 1;
+  s.actors.emplace_back(
+      1, ActorType::kPedestrian, math::Vec2{110.0, Road::kParkingLaneCenter},
+      StartTrigger::ego_within(90.0),
+      std::vector<Waypoint>{{{105.0, Road::kParkingLaneCenter}, 1.4}});
+  return s;
+}
+
+Scenario make_ds5(stats::Rng& rng) {
+  Scenario s;
+  s.id = ScenarioId::kDs5;
+  s.name = "DS-5";
+  s.description =
+      "EV follows a target vehicle; NPC vehicles with randomized speeds and "
+      "positions share the road";
+  s.duration = 40.0;
+  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
+  s.target_id = 1;
+  s.actors.emplace_back(
+      1, ActorType::kVehicle, math::Vec2{60.0, Road::kEgoLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
+                             kph_to_mps(25.0)}});
+  // NPC vehicles in the adjacent (oncoming) lane at random speeds.
+  ActorId next_id = 2;
+  const int n_oncoming = static_cast<int>(rng.uniform_int(2, 3));
+  for (int i = 0; i < n_oncoming; ++i) {
+    const double x0 = rng.uniform(120.0, 400.0);
+    const double speed = kph_to_mps(rng.uniform(20.0, 45.0));
+    s.actors.emplace_back(
+        next_id++, ActorType::kVehicle,
+        math::Vec2{x0, Road::kAdjacentLaneCenter},
+        StartTrigger::immediately(),
+        std::vector<Waypoint>{{{-200.0, Road::kAdjacentLaneCenter}, speed}});
+  }
+  // A trailing NPC in the ego lane, far behind the EV.
+  const double trail_speed = kph_to_mps(rng.uniform(25.0, 40.0));
+  s.actors.emplace_back(
+      next_id++, ActorType::kVehicle, math::Vec2{-40.0, Road::kEgoLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
+                             trail_speed}});
+  // Parked vehicles on the parking lane ahead.
+  for (int i = 0; i < 2; ++i) {
+    s.actors.emplace_back(next_id++, ActorType::kVehicle,
+                          math::Vec2{rng.uniform(120.0, 320.0),
+                                     Road::kParkingLaneCenter});
+  }
+  // Pedestrians walking along the sidewalks (never entering the road).
+  for (int i = 0; i < 3; ++i) {
+    const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
+    const double x0 = rng.uniform(40.0, 260.0);
+    s.actors.emplace_back(
+        next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
+        StartTrigger::immediately(),
+        std::vector<Waypoint>{{{x0 + rng.uniform(-60.0, 60.0), side}, 1.3}});
+  }
+  return s;
+}
+
+Scenario make_scenario(ScenarioId id, stats::Rng& rng) {
+  switch (id) {
+    case ScenarioId::kDs1:
+      return make_ds1();
+    case ScenarioId::kDs2:
+      return make_ds2();
+    case ScenarioId::kDs3:
+      return make_ds3();
+    case ScenarioId::kDs4:
+      return make_ds4();
+    case ScenarioId::kDs5:
+      return make_ds5(rng);
+  }
+  return make_ds1();
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/actor.hpp"
+#include "sim/ego_vehicle.hpp"
+#include "sim/world.hpp"
+#include "stats/rng.hpp"
+
+namespace rt::sim {
+
+/// Identifier of the five driving scenarios of §V-C.
+enum class ScenarioId : std::uint8_t { kDs1, kDs2, kDs3, kDs4, kDs5 };
+
+[[nodiscard]] constexpr const char* to_string(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kDs1:
+      return "DS-1";
+    case ScenarioId::kDs2:
+      return "DS-2";
+    case ScenarioId::kDs3:
+      return "DS-3";
+    case ScenarioId::kDs4:
+      return "DS-4";
+    case ScenarioId::kDs5:
+      return "DS-5";
+  }
+  return "?";
+}
+
+/// A fully-specified driving scenario: ego start state + scripted actors.
+///
+/// Mirrors the LGSVL Python scenario scripts the paper describes: all five
+/// take place on a straight 50 kph road ("Borregas Avenue"); the EV cruises
+/// at 45 kph unless the scenario says otherwise.
+struct Scenario {
+  ScenarioId id{ScenarioId::kDs1};
+  std::string name;
+  std::string description;
+  double duration{40.0};            ///< seconds of simulated time
+  double ego_cruise_speed{kph_to_mps(45.0)};
+  EgoVehicle ego{0.0, kph_to_mps(45.0)};
+  std::vector<Actor> actors;
+  /// The scripted actor the paper designates as the attack target
+  /// (TV in DS-1/3/5, the pedestrian in DS-2/4).
+  ActorId target_id{0};
+
+  /// Instantiates the ground-truth world for one run.
+  [[nodiscard]] World make_world() const { return World(ego, actors); }
+};
+
+/// DS-1: EV follows a target vehicle driving at 25 kph that starts 60 m
+/// ahead in the ego lane. Evaluates Disappear / Move_Out on a vehicle.
+[[nodiscard]] Scenario make_ds1();
+
+/// DS-2: a pedestrian illegally crosses the street ahead of the EV; the
+/// golden run stops >= 10 m short. Evaluates Disappear / Move_Out on a
+/// pedestrian.
+[[nodiscard]] Scenario make_ds2();
+
+/// DS-3: a target vehicle is parked in the parking lane; the golden run
+/// lane-keeps. Evaluates Move_In on a vehicle.
+[[nodiscard]] Scenario make_ds3();
+
+/// DS-4: a pedestrian walks longitudinally toward the EV in the parking
+/// lane for 5 m, then stands still; the golden run slows to 35 kph.
+/// Evaluates Move_In on a pedestrian.
+[[nodiscard]] Scenario make_ds4();
+
+/// DS-5: EV follows a target vehicle as in DS-1 with additional NPC
+/// vehicles at randomized speeds/positions. Baseline-random scenario.
+[[nodiscard]] Scenario make_ds5(stats::Rng& rng);
+
+/// Builds the scenario with the given id (DS-5 consumes randomness).
+[[nodiscard]] Scenario make_scenario(ScenarioId id, stats::Rng& rng);
+
+}  // namespace rt::sim

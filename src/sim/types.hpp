@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "math/vec2.hpp"
+
+namespace rt::sim {
+
+/// Classes of road users the perception system distinguishes.
+///
+/// The paper's central asymmetry (finding #4: pedestrians are easier to
+/// attack than vehicles) is rooted in per-class differences of the detector
+/// noise model and the LiDAR registration range, so the class travels with
+/// every object through the entire pipeline.
+enum class ActorType : std::uint8_t { kVehicle, kPedestrian };
+
+[[nodiscard]] constexpr const char* to_string(ActorType t) {
+  switch (t) {
+    case ActorType::kVehicle:
+      return "Vehicle";
+    case ActorType::kPedestrian:
+      return "Pedestrian";
+  }
+  return "?";
+}
+
+/// Physical footprint used for projection (camera), occupancy (collision
+/// checks) and gap computation. `length` is along the travel axis (x),
+/// `width` lateral (y), `height` vertical (camera image only).
+struct Dimensions {
+  double length{0.0};
+  double width{0.0};
+  double height{0.0};
+};
+
+/// Default footprints: a mid-size sedan and an adult pedestrian.
+[[nodiscard]] constexpr Dimensions default_dimensions(ActorType t) {
+  switch (t) {
+    case ActorType::kVehicle:
+      return {4.6, 1.8, 1.5};
+    case ActorType::kPedestrian:
+      return {0.5, 0.5, 1.7};
+  }
+  return {};
+}
+
+/// Kinematic state in the road frame (x longitudinal, y lateral).
+struct KinematicState {
+  math::Vec2 position;
+  math::Vec2 velocity;
+  math::Vec2 acceleration;
+};
+
+/// Unique id for actors within a scenario. The ego vehicle is not an actor
+/// and has no id.
+using ActorId = std::int32_t;
+
+[[nodiscard]] constexpr double kph_to_mps(double kph) { return kph / 3.6; }
+[[nodiscard]] constexpr double mps_to_kph(double mps) { return mps * 3.6; }
+
+}  // namespace rt::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+
+namespace rt::stats {
+
+/// Maximum-likelihood fit of a Normal distribution.
+///
+/// Used to reproduce Fig. 5(c)-(f): the normalized bounding-box center error
+/// of the object detector is Gaussian, and the attacker bounds its per-frame
+/// perturbation by [mu - sigma, mu + sigma] of this fit.
+struct NormalFit {
+  double mu{0.0};
+  double sigma{0.0};
+
+  /// Quantile (inverse CDF) of the fitted distribution.
+  [[nodiscard]] double quantile(double p) const;
+  /// 99th percentile, as reported under each panel of Fig. 5.
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  /// Probability density at x.
+  [[nodiscard]] double pdf(double x) const;
+};
+
+/// Maximum-likelihood fit of a shifted Exponential distribution
+/// `X ~ loc + Exp(lambda)`.
+///
+/// Used to reproduce Fig. 5(a)-(b): the length of *continuous misdetection
+/// streaks* follows Exp(loc=1, lambda) — a streak is at least one frame long.
+/// The 99th percentile of this fit defines K_max, the longest camera-frame
+/// corruption the malware allows itself (§IV-B).
+struct ExponentialFit {
+  double loc{0.0};
+  double lambda{0.0};
+
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+};
+
+/// MLE Normal fit: sample mean and (population) standard deviation.
+/// Returns {0, 0} for empty input.
+[[nodiscard]] NormalFit fit_normal(std::span<const double> samples);
+
+/// MLE shifted-Exponential fit with a *fixed* location parameter:
+/// lambda = 1 / (mean(x) - loc). The paper fixes loc = 1 frame.
+/// Returns {loc, 0} if the sample mean does not exceed loc.
+[[nodiscard]] ExponentialFit fit_exponential(std::span<const double> samples,
+                                             double loc);
+
+/// Standard normal inverse CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9 over (0, 1)).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace rt::stats

@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rt::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::render(std::size_t width, bool log_scale) const {
+  double max_v = 0.0;
+  for (std::size_t c : counts_) {
+    const double v =
+        log_scale ? std::log10(1.0 + static_cast<double>(c))
+                  : static_cast<double>(c);
+    max_v = std::max(max_v, v);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double v =
+        log_scale ? std::log10(1.0 + static_cast<double>(counts_[i]))
+                  : static_cast<double>(counts_[i]);
+    const auto bar =
+        max_v > 0.0 ? static_cast<std::size_t>(v / max_v *
+                                               static_cast<double>(width))
+                    : 0;
+    char head[64];
+    std::snprintf(head, sizeof(head), "%10.2f | %6zu | ", bin_center(i),
+                  counts_[i]);
+    out += head;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rt::stats

@@ -1,0 +1,51 @@
+#include "stats/rng.hpp"
+
+namespace rt::stats {
+
+namespace {
+/// splitmix64 finalizer: decorrelates derived seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng Rng::derive(std::uint64_t stream) const {
+  // Derivation depends only on the original seed and stream id, not on how
+  // many draws have been made from this generator: copy the engine, pull one
+  // value, and mix it with the stream id.
+  std::mt19937_64 copy = engine_;
+  const std::uint64_t base = copy();
+  return Rng(mix(base ^ mix(stream)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+}  // namespace rt::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace rt::stats {
+
+/// Seeded pseudo-random source used by every stochastic component.
+///
+/// All randomness in the repository flows through `Rng` so that simulation
+/// campaigns are exactly reproducible: a campaign seed deterministically
+/// derives per-run seeds (`derive`), and a run seed derives per-subsystem
+/// seeds (detector noise, actor jitter, attack baseline choices, ...).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Deterministically derives an independent child generator. `stream`
+  /// selects the child; the same (seed, stream) pair always yields the same
+  /// child sequence.
+  [[nodiscard]] Rng derive(std::uint64_t stream) const;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rt::stats

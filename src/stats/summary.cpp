@@ -1,0 +1,63 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rt::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+BoxplotStats boxplot(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("boxplot: empty input");
+  BoxplotStats s;
+  s.n = xs.size();
+  s.min = percentile(xs, 0.0);
+  s.q1 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.q3 = percentile(xs, 75.0);
+  s.max = percentile(xs, 100.0);
+  s.mean = mean(xs);
+  return s;
+}
+
+std::string BoxplotStats::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f mean=%.2f",
+                n, min, q1, median, q3, max, mean);
+  return buf;
+}
+
+}  // namespace rt::stats

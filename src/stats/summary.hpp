@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rt::stats {
+
+/// Five-number summary + mean, as rendered in the paper's boxplot figures
+/// (Fig. 6: min safety potential; Fig. 7: K' shift time).
+struct BoxplotStats {
+  std::size_t n{0};
+  double min{0.0};
+  double q1{0.0};
+  double median{0.0};
+  double q3{0.0};
+  double max{0.0};
+  double mean{0.0};
+
+  /// One-line rendering, e.g. "n=151 min=3.1 q1=5.2 med=8.9 q3=14.1 max=40.2".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for empty input.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Percentile with linear interpolation between order statistics,
+/// p in [0, 100]. Throws on empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile). Throws on empty input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Full boxplot summary. Throws on empty input.
+[[nodiscard]] BoxplotStats boxplot(std::span<const double> xs);
+
+}  // namespace rt::stats

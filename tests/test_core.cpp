@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/patch_model.hpp"
+#include "core/robotack.hpp"
+#include "core/safety_hijacker.hpp"
+#include "core/scenario_matcher.hpp"
+#include "core/trajectory_hijacker.hpp"
+
+namespace rt::core {
+namespace {
+
+perception::WorldTrack make_target(double x, double y, double vy,
+                                   sim::ActorType cls) {
+  perception::WorldTrack t;
+  t.track_id = 1;
+  t.cls = cls;
+  t.rel_position = {x, y};
+  t.rel_velocity = {0.0, vy};
+  t.hits = 10;
+  return t;
+}
+
+bool contains(const std::vector<AttackVector>& vs, AttackVector v) {
+  return std::find(vs.begin(), vs.end(), v) != vs.end();
+}
+
+// --------------------------------------------------- Table I (exhaustive)
+
+struct TableICase {
+  double y;
+  double vy;
+  bool expect_move_out;
+  bool expect_move_in;
+  bool expect_disappear;
+  const char* name;
+};
+
+class ScenarioMatcherTableTest : public ::testing::TestWithParam<TableICase> {
+};
+
+TEST_P(ScenarioMatcherTableTest, MatchesPaperTable) {
+  const TableICase& c = GetParam();
+  ScenarioMatcher sm;
+  const auto target = make_target(30.0, c.y, c.vy, sim::ActorType::kVehicle);
+  const auto vs = sm.admissible(target);
+  EXPECT_EQ(contains(vs, AttackVector::kMoveOut), c.expect_move_out) << c.name;
+  EXPECT_EQ(contains(vs, AttackVector::kMoveIn), c.expect_move_in) << c.name;
+  EXPECT_EQ(contains(vs, AttackVector::kDisappear), c.expect_disappear)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ScenarioMatcherTableTest,
+    ::testing::Values(
+        // TO in EV-lane, keeping -> Move_Out / Disappear
+        TableICase{0.0, 0.0, true, false, true, "in-lane keep"},
+        TableICase{1.0, 0.1, true, false, true, "in-lane slow drift"},
+        // TO in EV-lane, moving out -> Move_In
+        TableICase{1.0, 1.0, false, true, false, "in-lane moving out"},
+        TableICase{-1.0, -1.0, false, true, false, "in-lane moving out left"},
+        // TO not in lane, keeping -> Move_In
+        TableICase{-3.0, 0.0, false, true, false, "parked keep"},
+        TableICase{3.7, 0.0, false, true, false, "adjacent lane keep"},
+        // TO not in lane, moving in -> Move_Out / Disappear
+        TableICase{-4.0, 1.0, true, false, true, "crossing toward lane"},
+        TableICase{4.0, -1.0, true, false, true, "crossing from left"},
+        // TO not in lane, moving out -> nothing
+        TableICase{-4.0, -1.0, false, false, false, "walking away"},
+        TableICase{4.0, 1.0, false, false, false, "walking away left"}));
+
+TEST(ScenarioMatcher, RangeGating) {
+  ScenarioMatcher sm;
+  EXPECT_TRUE(
+      sm.admissible(make_target(1.0, 0.0, 0.0, sim::ActorType::kVehicle))
+          .empty());
+  EXPECT_TRUE(
+      sm.admissible(make_target(150.0, 0.0, 0.0, sim::ActorType::kVehicle))
+          .empty());
+}
+
+TEST(ScenarioMatcher, ClassifyTrajectory) {
+  ScenarioMatcher sm;
+  EXPECT_EQ(sm.classify(make_target(30.0, -4.0, 1.0, sim::ActorType::kPedestrian)),
+            LateralTrajectory::kMovingIn);
+  EXPECT_EQ(sm.classify(make_target(30.0, -4.0, -1.0, sim::ActorType::kPedestrian)),
+            LateralTrajectory::kMovingOut);
+  EXPECT_EQ(sm.classify(make_target(30.0, -4.0, 0.1, sim::ActorType::kPedestrian)),
+            LateralTrajectory::kKeep);
+  EXPECT_EQ(sm.classify(make_target(30.0, 0.5, 0.8, sim::ActorType::kVehicle)),
+            LateralTrajectory::kMovingOut);
+}
+
+// ------------------------------------------------------------ patch model
+
+TEST(PatchModel, VacuouslyFeasibleWithoutPatch) {
+  PatchModel patch(0.3);
+  EXPECT_TRUE(patch.feasible({0.0, 0.0, 10.0, 10.0}));
+  EXPECT_FALSE(patch.has_patch());
+}
+
+TEST(PatchModel, BoundsFrameToFrameJump) {
+  PatchModel patch(0.3);
+  const math::Bbox base{100.0, 100.0, 40.0, 40.0};
+  patch.set_patch(base);
+  EXPECT_TRUE(patch.feasible(base));
+  // A jump of two widths breaks the overlap constraint.
+  EXPECT_FALSE(patch.feasible(base.translated(80.0, 0.0)));
+  const double max_dx = patch.max_shift(base, 1.0, 100.0);
+  EXPECT_GT(max_dx, 5.0);
+  EXPECT_LT(max_dx, 40.0);
+  // The returned bound is actually feasible, slightly beyond is not.
+  EXPECT_TRUE(patch.feasible(base.translated(max_dx - 0.1, 0.0)));
+  EXPECT_FALSE(patch.feasible(base.translated(max_dx + 0.5, 0.0)));
+}
+
+// ----------------------------------------------------- trajectory hijacker
+
+perception::CameraFrame frame_with_detection(const math::Bbox& box,
+                                             sim::ActorType cls) {
+  perception::CameraFrame f;
+  perception::Detection d;
+  d.bbox = box;
+  d.cls = cls;
+  f.detections.push_back(d);
+  return f;
+}
+
+TEST(TrajectoryHijacker, DisappearRemovesDetection) {
+  TrajectoryHijacker th(TrajectoryHijacker::Config{}, perception::CameraModel{},
+                        perception::DetectorNoiseModel::paper_defaults());
+  th.begin(AttackVector::kDisappear, 1.0, 0.0);
+  auto frame = frame_with_detection({100.0, 500.0, 40.0, 40.0},
+                                    sim::ActorType::kPedestrian);
+  const auto res = th.apply(frame, 0, std::nullopt, 30.0);
+  EXPECT_TRUE(res.perturbed);
+  EXPECT_TRUE(frame.detections.empty());
+}
+
+TEST(TrajectoryHijacker, MoveOutShiftsWithinNoiseBound) {
+  const perception::CameraModel cam;
+  const auto noise = perception::DetectorNoiseModel::paper_defaults();
+  TrajectoryHijacker th(TrajectoryHijacker::Config{}, cam, noise);
+  th.begin(AttackVector::kMoveOut, 1.0, 2.4);
+
+  const double range = 25.0;
+  sim::GroundTruthObject obj;
+  obj.type = sim::ActorType::kVehicle;
+  obj.dims = sim::default_dimensions(obj.type);
+  obj.rel_position = {range, 0.0};
+  const auto truth_box = cam.project(obj);
+  ASSERT_TRUE(truth_box.has_value());
+
+  // Simulate the dragged ADS prediction following the faked boxes.
+  math::Bbox ads_pred = *truth_box;
+  const double bound =
+      (std::abs(noise.vehicle.center_x.mu) + noise.vehicle.center_x.sigma) *
+      truth_box->w;
+  int frames_to_omega = 0;
+  for (int f = 0; f < 40 && !th.in_hold_phase(); ++f) {
+    auto frame = frame_with_detection(*truth_box, sim::ActorType::kVehicle);
+    const auto res = th.apply(frame, 0, ads_pred, range);
+    ASSERT_TRUE(res.perturbed);
+    const math::Bbox& faked = frame.detections[0].bbox;
+    // Property 1 (noise bound): innovation vs the dragged prediction stays
+    // within |mu| + sigma of the characterized noise.
+    EXPECT_LE(std::abs(faked.cx - ads_pred.cx), bound + 1e-6);
+    // Property 2 (association): the faked box still associates.
+    EXPECT_GE(math::iou(faked, ads_pred),
+              th.config().association_iou_min - 1e-9);
+    // The tracker follows the faked measurement (simplified: jumps to it).
+    ads_pred = faked;
+    ++frames_to_omega;
+  }
+  EXPECT_TRUE(th.in_hold_phase());
+  EXPECT_EQ(th.k_prime(), frames_to_omega);
+  EXPECT_NEAR(std::abs(th.accumulated_offset_m()), 2.4, 0.2);
+
+  // Hold phase: the offset stays constant.
+  auto frame = frame_with_detection(*truth_box, sim::ActorType::kVehicle);
+  th.apply(frame, 0, ads_pred, range);
+  const double held_offset =
+      cam.lateral_px_to_m(frame.detections[0].bbox.cx - truth_box->cx, range);
+  EXPECT_NEAR(held_offset, th.accumulated_offset_m(), 1e-6);
+}
+
+TEST(TrajectoryHijacker, BothClassesCompleteTheShiftPhase) {
+  // Note: at equal range, the vehicle's larger bbox allows a larger
+  // absolute pixel shift under the IoU association gate, so K' per class
+  // here reflects OUR tracker's gate (see EXPERIMENTS.md for how this
+  // interacts with the paper's Fig. 7 ordering).
+  const perception::CameraModel cam;
+  const auto noise = perception::DetectorNoiseModel::paper_defaults();
+  const double range = 25.0;
+
+  auto run = [&](sim::ActorType cls) {
+    TrajectoryHijacker th(TrajectoryHijacker::Config{}, cam, noise);
+    th.begin(AttackVector::kMoveOut, 1.0, 2.4);
+    sim::GroundTruthObject obj;
+    obj.type = cls;
+    obj.dims = sim::default_dimensions(cls);
+    obj.rel_position = {range, 0.0};
+    const auto truth_box = cam.project(obj);
+    math::Bbox ads_pred = *truth_box;
+    for (int f = 0; f < 100 && !th.in_hold_phase(); ++f) {
+      auto frame = frame_with_detection(*truth_box, cls);
+      th.apply(frame, 0, ads_pred, range);
+      ads_pred = frame.detections[0].bbox;
+    }
+    return th.k_prime();
+  };
+  const int k_ped = run(sim::ActorType::kPedestrian);
+  const int k_veh = run(sim::ActorType::kVehicle);
+  EXPECT_GT(k_ped, 0);
+  EXPECT_GT(k_veh, 0);
+  EXPECT_LT(k_ped, 40);
+  EXPECT_LT(k_veh, 40);
+}
+
+TEST(TrajectoryHijacker, NaturalMissSkipsFrame) {
+  TrajectoryHijacker th(TrajectoryHijacker::Config{}, perception::CameraModel{},
+                        perception::DetectorNoiseModel::paper_defaults());
+  th.begin(AttackVector::kMoveOut, 1.0, 2.0);
+  perception::CameraFrame frame;
+  const auto res = th.apply(frame, std::nullopt, std::nullopt, 30.0);
+  EXPECT_FALSE(res.perturbed);
+  EXPECT_EQ(th.k_prime(), 0);
+}
+
+// --------------------------------------------------------- safety hijacker
+
+/// Trains an oracle on a synthetic monotone law delta_{t+k} = delta - 0.3k.
+std::shared_ptr<SafetyOracle> synthetic_oracle() {
+  auto oracle = std::make_shared<SafetyOracle>(77);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  stats::Rng rng(4);
+  for (int i = 0; i < 900; ++i) {
+    const double delta = rng.uniform(0.0, 40.0);
+    const double k = rng.uniform(3.0, 70.0);
+    xs.push_back({delta, rng.uniform(-10.0, 0.0), rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), k});
+    ys.push_back(delta - 0.3 * k);
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.lr = 2e-3;
+  oracle->train(nn::Dataset::from_samples(xs, ys), cfg);
+  return oracle;
+}
+
+TEST(SafetyHijacker, BinarySearchFindsMinimalK) {
+  SafetyHijacker sh(SafetyHijacker::Config{},
+                    perception::DetectorNoiseModel::paper_defaults());
+  sh.set_oracle(AttackVector::kMoveOut, synthetic_oracle());
+  ASSERT_TRUE(sh.has_oracle(AttackVector::kMoveOut));
+
+  // delta = 20, law: delta - 0.3k <= 6  =>  k >= 46.7.
+  const ShDecision d = sh.decide(AttackVector::kMoveOut,
+                                 sim::ActorType::kVehicle, 20.0,
+                                 {-5.0, 0.0}, {0.0, 0.0});
+  ASSERT_TRUE(d.attack);
+  EXPECT_NEAR(d.k, 47, 8);  // NN approximation tolerance
+  EXPECT_LE(d.predicted_delta, sh.config().gamma_launch + 0.5);
+}
+
+TEST(SafetyHijacker, DormantWhenUnreachable) {
+  SafetyHijacker sh(SafetyHijacker::Config{},
+                    perception::DetectorNoiseModel::paper_defaults());
+  sh.set_oracle(AttackVector::kMoveOut, synthetic_oracle());
+  // delta = 40: even k_max (70) only reaches 40 - 21 = 19 > gamma.
+  const ShDecision d = sh.decide(AttackVector::kMoveOut,
+                                 sim::ActorType::kVehicle, 40.0,
+                                 {-5.0, 0.0}, {0.0, 0.0});
+  EXPECT_FALSE(d.attack);
+}
+
+TEST(SafetyHijacker, NoOracleNoAttack) {
+  SafetyHijacker sh(SafetyHijacker::Config{},
+                    perception::DetectorNoiseModel::paper_defaults());
+  EXPECT_FALSE(sh.has_oracle(AttackVector::kMoveOut));
+  EXPECT_FALSE(sh.decide(AttackVector::kMoveOut, sim::ActorType::kVehicle,
+                         5.0, {}, {})
+                   .attack);
+}
+
+TEST(SafetyHijacker, KmaxFromStreakTail) {
+  SafetyHijacker sh(SafetyHijacker::Config{},
+                    perception::DetectorNoiseModel::paper_defaults());
+  // Paper: empirical p99 = 31 (ped) / 59.4 (veh) frames.
+  EXPECT_EQ(sh.k_max(AttackVector::kDisappear, sim::ActorType::kPedestrian),
+            31);
+  EXPECT_EQ(sh.k_max(AttackVector::kDisappear, sim::ActorType::kVehicle), 59);
+  EXPECT_EQ(sh.k_max(AttackVector::kMoveOut, sim::ActorType::kVehicle),
+            sh.config().k_max_move);
+}
+
+// ----------------------------------------------------------- orchestrator
+
+TEST(Robotack, DormantWithoutOracle) {
+  RobotackConfig cfg;
+  cfg.vector = AttackVector::kMoveOut;
+  cfg.timing = TimingPolicy::kSafetyHijacker;
+  Robotack bot(cfg, perception::CameraModel{},
+               perception::DetectorNoiseModel::paper_defaults(),
+               perception::MotConfig{}, 1);
+  perception::CameraFrame frame;
+  frame.time = 0.0;
+  const auto out = bot.process(frame, 12.5);
+  EXPECT_FALSE(bot.attack_active());
+  EXPECT_FALSE(bot.log().triggered);
+  EXPECT_TRUE(out.detections.empty());
+}
+
+TEST(Robotack, ScriptedTriggerPerturbsFrames) {
+  const perception::CameraModel cam;
+  RobotackConfig cfg;
+  cfg.vector = AttackVector::kDisappear;
+  cfg.timing = TimingPolicy::kAtDeltaThreshold;
+  cfg.delta_trigger = 100.0;  // fire as soon as SM matches
+  cfg.fixed_k = 5;
+  Robotack bot(cfg, cam, perception::DetectorNoiseModel::paper_defaults(),
+               perception::MotConfig{}, 2);
+
+  sim::GroundTruthObject obj;
+  obj.id = 1;
+  obj.type = sim::ActorType::kVehicle;
+  obj.dims = sim::default_dimensions(obj.type);
+  obj.rel_position = {30.0, 0.0};
+  const auto box = cam.project(obj);
+  ASSERT_TRUE(box.has_value());
+
+  int suppressed = 0;
+  for (int f = 0; f < 30; ++f) {
+    perception::CameraFrame frame;
+    frame.time = f / 15.0;
+    perception::Detection d;
+    d.bbox = *box;
+    d.cls = obj.type;
+    d.truth_id = obj.id;
+    frame.detections.push_back(d);
+    const auto out = bot.process(frame, 12.5);
+    if (out.detections.empty()) ++suppressed;
+  }
+  EXPECT_TRUE(bot.log().triggered);
+  EXPECT_EQ(bot.log().planned_k, 5);
+  EXPECT_EQ(suppressed, 5);
+  EXPECT_EQ(bot.log().frames_perturbed, 5);
+  EXPECT_FALSE(bot.attack_active());  // one-shot
+}
+
+TEST(Robotack, MaxTriggersRespected) {
+  RobotackConfig cfg;
+  cfg.vector = AttackVector::kDisappear;
+  cfg.timing = TimingPolicy::kAtDeltaThreshold;
+  cfg.delta_trigger = 100.0;
+  cfg.fixed_k = 2;
+  cfg.max_triggers = 1;
+  const perception::CameraModel cam;
+  Robotack bot(cfg, cam, perception::DetectorNoiseModel::paper_defaults(),
+               perception::MotConfig{}, 3);
+  sim::GroundTruthObject obj;
+  obj.id = 1;
+  obj.type = sim::ActorType::kVehicle;
+  obj.dims = sim::default_dimensions(obj.type);
+  obj.rel_position = {30.0, 0.0};
+  const auto box = cam.project(obj);
+  for (int f = 0; f < 40; ++f) {
+    perception::CameraFrame frame;
+    frame.time = f / 15.0;
+    perception::Detection d;
+    d.bbox = *box;
+    d.cls = obj.type;
+    d.truth_id = obj.id;
+    frame.detections.push_back(d);
+    (void)bot.process(frame, 12.5);
+  }
+  EXPECT_EQ(bot.log().triggers, 1);
+}
+
+}  // namespace
+}  // namespace rt::core

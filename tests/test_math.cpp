@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/bbox.hpp"
+#include "math/matrix.hpp"
+#include "math/vec2.hpp"
+#include "stats/rng.hpp"
+
+namespace rt::math {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(b), std::hypot(2.0, 3.0));
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+
+  const Matrix init{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(init(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(init(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+  const double entries[] = {2.0, 5.0};
+  const Matrix d = Matrix::diagonal(entries);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(a * Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  stats::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 6);
+    Matrix a(n, n);
+    for (auto& v : a.data()) v = rng.uniform(-2.0, 2.0);
+    // Diagonal dominance guarantees invertibility.
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 4.0;
+    const Matrix inv = a.inverse();
+    const Matrix prod = a * inv;
+    EXPECT_LT(prod.max_abs_diff(Matrix::identity(n)), 1e-9);
+  }
+}
+
+TEST(Matrix, InverseSingularThrows) {
+  const Matrix z(3, 3, 0.0);
+  EXPECT_THROW(z.inverse(), std::domain_error);
+  EXPECT_THROW(Matrix(2, 3).inverse(), std::invalid_argument);
+}
+
+TEST(Matrix, Cholesky) {
+  // A = L L^T for a hand-built SPD matrix.
+  const Matrix l_true{{2.0, 0.0}, {1.0, 3.0}};
+  const Matrix a = l_true * l_true.transposed();
+  const Matrix l = a.cholesky();
+  EXPECT_LT(l.max_abs_diff(l_true), 1e-12);
+  EXPECT_THROW(Matrix(2, 2, 0.0).cholesky(), std::domain_error);
+}
+
+TEST(Bbox, CornersAndArea) {
+  const Bbox b = Bbox::from_corners(10.0, 20.0, 30.0, 60.0);
+  EXPECT_DOUBLE_EQ(b.cx, 20.0);
+  EXPECT_DOUBLE_EQ(b.cy, 40.0);
+  EXPECT_DOUBLE_EQ(b.w, 20.0);
+  EXPECT_DOUBLE_EQ(b.h, 40.0);
+  EXPECT_DOUBLE_EQ(b.area(), 800.0);
+  EXPECT_DOUBLE_EQ(b.left(), 10.0);
+  EXPECT_DOUBLE_EQ(b.bottom(), 60.0);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(Bbox{}.valid());
+}
+
+TEST(Bbox, IouIdentityAndDisjoint) {
+  const Bbox a{0.0, 0.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+  const Bbox far{100.0, 0.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(iou(a, far), 0.0);
+}
+
+TEST(Bbox, IouKnownValue) {
+  // Two unit-area boxes overlapping by half.
+  const Bbox a{0.0, 0.0, 2.0, 2.0};
+  const Bbox b{1.0, 0.0, 2.0, 2.0};
+  // intersection = 1x2 = 2, union = 4 + 4 - 2 = 6.
+  EXPECT_NEAR(iou(a, b), 2.0 / 6.0, 1e-12);
+}
+
+/// Property sweep: IoU of a translated copy is symmetric, bounded, and
+/// monotonically non-increasing with |shift|.
+class IouShiftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IouShiftTest, SymmetricBoundedMonotone) {
+  const double w = GetParam();
+  const Bbox base{50.0, 50.0, w, w * 1.5};
+  double prev = 1.0;
+  for (double shift = 0.0; shift <= 2.0 * w; shift += w / 8.0) {
+    const Bbox moved = base.translated(shift, 0.0);
+    const double o = iou(base, moved);
+    EXPECT_GE(o, 0.0);
+    EXPECT_LE(o, 1.0);
+    EXPECT_LE(o, prev + 1e-12);  // monotone non-increasing
+    EXPECT_NEAR(o, iou(moved, base), 1e-12);  // symmetric
+    prev = o;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IouShiftTest,
+                         ::testing::Values(4.0, 16.0, 64.0, 200.0));
+
+TEST(Bbox, PureTranslationIouFormula) {
+  // For equal boxes translated dx < w: IoU = (w-dx)h / ((2w - (w-dx))h)
+  const double w = 20.0;
+  const Bbox a{0.0, 0.0, w, 10.0};
+  for (double dx = 0.0; dx < w; dx += 2.5) {
+    const double expected = (w - dx) / (w + dx);
+    EXPECT_NEAR(iou(a, a.translated(dx, 0.0)), expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rt::math

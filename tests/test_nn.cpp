@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/adam.hpp"
+#include "nn/dataset.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace rt::nn {
+namespace {
+
+TEST(Dense, ForwardShapeAndBias) {
+  Dense d(3, 2);
+  d.weights() = math::Matrix{{1.0, 0.0, 0.0}, {0.0, 1.0, 1.0}};
+  d.bias() = math::Matrix{{0.5}, {-0.5}};
+  math::Matrix x(3, 2);
+  x(0, 0) = 1.0;
+  x(1, 1) = 2.0;
+  x(2, 1) = 3.0;
+  const math::Matrix y = d.forward(x, false);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(y(1, 1), 4.5);
+}
+
+TEST(Relu, ForwardBackward) {
+  Relu relu;
+  math::Matrix x{{-1.0, 2.0}, {3.0, -4.0}};
+  const math::Matrix y = relu.forward(x, true);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 2.0);
+  math::Matrix g(2, 2, 1.0);
+  const math::Matrix gx = relu.backward(g);
+  EXPECT_DOUBLE_EQ(gx(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(gx(1, 0), 1.0);
+}
+
+TEST(Dropout, InferencePassThroughTrainingScales) {
+  Dropout drop(0.5, stats::Rng(3));
+  math::Matrix x(1, 1000, 1.0);
+  const math::Matrix inference = drop.forward(x, false);
+  EXPECT_DOUBLE_EQ(inference(0, 0), 1.0);
+  const math::Matrix train = drop.forward(x, true);
+  double sum = 0.0;
+  for (double v : train.data()) sum += v;
+  // Inverted dropout preserves the expectation.
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);
+}
+
+/// Numerical gradient check of a small MLP against finite differences.
+TEST(Mlp, GradientCheck) {
+  stats::Rng rng(5);
+  Mlp net;
+  net.add(std::make_unique<Dense>(3, 5, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(5, 1, rng));
+
+  math::Matrix x(3, 4);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  math::Matrix y(1, 4);
+  for (auto& v : y.data()) v = rng.uniform(-1.0, 1.0);
+
+  // Analytic gradients.
+  const math::Matrix pred = net.forward(x, false);
+  net.backward(MseLoss::gradient(pred, y));
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+
+  const double eps = 1e-6;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto data = params[p]->data();
+    for (std::size_t i = 0; i < std::min<std::size_t>(data.size(), 8); ++i) {
+      const double orig = data[i];
+      data[i] = orig + eps;
+      const double lp = MseLoss::value(net.forward(x, false), y);
+      data[i] = orig - eps;
+      const double lm = MseLoss::value(net.forward(x, false), y);
+      data[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grads[p]->data()[i], numeric, 1e-4)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(Mlp, SafetyHijackerArchitecture) {
+  stats::Rng rng(1);
+  Mlp net = make_safety_hijacker_net(rng);
+  // 6->100->100->50->1 with ReLU+Dropout between dense layers.
+  EXPECT_EQ(net.layers().size(), 10u);
+  const std::size_t expected_params = (6 * 100 + 100) + (100 * 100 + 100) +
+                                      (100 * 50 + 50) + (50 * 1 + 1);
+  EXPECT_EQ(net.parameter_count(), expected_params);
+  math::Matrix x(6, 3);
+  EXPECT_EQ(net.predict(x).rows(), 1u);
+  EXPECT_EQ(net.predict(x).cols(), 3u);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize f(w) = ||w - target||^2 directly through Adam.
+  math::Matrix w(4, 1, 0.0);
+  math::Matrix target{{1.0}, {-2.0}, {0.5}, {3.0}};
+  Adam adam({0.05, 0.9, 0.999, 1e-8});
+  for (int i = 0; i < 500; ++i) {
+    math::Matrix grad = (w - target) * 2.0;
+    adam.step({&w}, {&grad});
+  }
+  EXPECT_LT(w.max_abs_diff(target), 0.05);
+  EXPECT_EQ(adam.steps_taken(), 500);
+}
+
+TEST(MseLoss, ValueGradMae) {
+  math::Matrix pred{{1.0, 2.0}};
+  math::Matrix target{{0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(MseLoss::value(pred, target), (1.0 + 4.0) / 2.0);
+  const math::Matrix g = MseLoss::gradient(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 1.0);   // 2*(1-0)/2
+  EXPECT_DOUBLE_EQ(g(0, 1), -2.0);  // 2*(2-4)/2
+  EXPECT_DOUBLE_EQ(MseLoss::mae(pred, target), 1.5);
+}
+
+TEST(Dataset, AddSubsetSplit) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.add({static_cast<double>(i), 1.0}, i * 2.0);
+  }
+  EXPECT_EQ(d.size(), 10u);
+  const Dataset sub = d.subset({0, 5});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.y(0, 1), 10.0);
+
+  stats::Rng rng(9);
+  const auto [train, val] = d.split(0.6, rng);
+  EXPECT_EQ(train.size(), 6u);
+  EXPECT_EQ(val.size(), 4u);
+  EXPECT_THROW(d.add({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Dataset, FromSamples) {
+  const Dataset d = Dataset::from_samples({{1.0, 2.0}, {3.0, 4.0}}, {5.0, 6.0});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.x(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d.y(0, 0), 5.0);
+  EXPECT_THROW(Dataset::from_samples({{1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(StandardScaler, NormalizesPerFeature) {
+  math::Matrix x(2, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    x(0, j) = 10.0 + static_cast<double>(j);   // mean 11.5
+    x(1, j) = 100.0 * static_cast<double>(j);  // large scale
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  const math::Matrix t = scaler.transform(x);
+  double m0 = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) m0 += t(0, j);
+  EXPECT_NEAR(m0 / 4.0, 0.0, 1e-9);
+  const auto tv = scaler.transform(std::vector<double>{11.5, 150.0});
+  EXPECT_NEAR(tv[0], 0.0, 1e-9);
+}
+
+TEST(Trainer, LearnsLinearFunction) {
+  stats::Rng rng(13);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    xs.push_back({a, b});
+    ys.push_back(3.0 * a - 2.0 * b + 1.0);
+  }
+  const Dataset data = Dataset::from_samples(xs, ys);
+
+  Mlp net;
+  net.add(std::make_unique<Dense>(2, 16, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(16, 1, rng));
+
+  StandardScaler scaler;
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 32;
+  cfg.lr = 5e-3;
+  Trainer trainer(cfg);
+  const TrainResult result = trainer.train(net, data, scaler);
+  EXPECT_LT(result.final_val_mae, 0.35);
+  EXPECT_FALSE(result.history.empty());
+  // Loss decreased over training.
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  stats::Rng rng(31);
+  Mlp net = make_safety_hijacker_net(rng);
+  StandardScaler scaler;
+  scaler.set({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, {1.0, 1.0, 2.0, 2.0, 3.0, 3.0});
+
+  std::stringstream ss;
+  save_model(ss, net, scaler);
+
+  Mlp loaded;
+  StandardScaler loaded_scaler;
+  load_model(ss, loaded, loaded_scaler);
+
+  math::Matrix x(6, 5);
+  stats::Rng xr(7);
+  for (auto& v : x.data()) v = xr.uniform(-2.0, 2.0);
+  EXPECT_LT(net.predict(x).max_abs_diff(loaded.predict(x)), 1e-12);
+  EXPECT_EQ(loaded_scaler.means()[2], 3.0);
+}
+
+TEST(Serialize, RejectsCorruptHeader) {
+  std::stringstream ss("not-a-model 1\n");
+  Mlp net;
+  StandardScaler scaler;
+  EXPECT_THROW(load_model(ss, net, scaler), std::runtime_error);
+  EXPECT_FALSE(load_model_file("/nonexistent/path.txt", net, scaler));
+}
+
+}  // namespace
+}  // namespace rt::nn

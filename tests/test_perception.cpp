@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "perception/camera_model.hpp"
+#include "perception/detector_model.hpp"
+#include "perception/fusion.hpp"
+#include "perception/hungarian.hpp"
+#include "perception/kalman_filter.hpp"
+#include "perception/lidar_model.hpp"
+#include "perception/lidar_tracker.hpp"
+#include "perception/mot_tracker.hpp"
+#include "perception/perception_system.hpp"
+#include "perception/track_projection.hpp"
+
+namespace rt::perception {
+namespace {
+
+sim::GroundTruthObject make_object(double x, double y, sim::ActorType type) {
+  sim::GroundTruthObject g;
+  g.id = 1;
+  g.type = type;
+  g.dims = sim::default_dimensions(type);
+  g.rel_position = {x, y};
+  return g;
+}
+
+// ---------------------------------------------------------------- camera
+
+class CameraRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CameraRoundTripTest, ProjectBackProject) {
+  const auto [x, y] = GetParam();
+  CameraModel cam;
+  const auto obj = make_object(x, y, sim::ActorType::kVehicle);
+  const auto box = cam.project(obj);
+  ASSERT_TRUE(box.has_value());
+  const auto pos = cam.back_project(*box);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_NEAR(pos->x, x, 1e-6);
+  EXPECT_NEAR(pos->y, y, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CameraRoundTripTest,
+    ::testing::Values(std::tuple{10.0, 0.0}, std::tuple{30.0, -3.0},
+                      std::tuple{60.0, 3.7}, std::tuple{100.0, -6.0},
+                      std::tuple{15.0, 2.0}));
+
+TEST(CameraModel, FrustumLimits) {
+  CameraModel cam;
+  EXPECT_FALSE(cam.project(make_object(1.0, 0.0, sim::ActorType::kVehicle)));
+  EXPECT_FALSE(
+      cam.project(make_object(200.0, 0.0, sim::ActorType::kVehicle)));
+  // Far to the side: out of the image.
+  EXPECT_FALSE(
+      cam.project(make_object(10.0, 30.0, sim::ActorType::kVehicle)));
+}
+
+TEST(CameraModel, SizeScalesInverselyWithRange) {
+  CameraModel cam;
+  const auto near = cam.project(make_object(20.0, 0.0, sim::ActorType::kVehicle));
+  const auto far = cam.project(make_object(40.0, 0.0, sim::ActorType::kVehicle));
+  ASSERT_TRUE(near && far);
+  EXPECT_NEAR(near->w / far->w, 2.0, 1e-9);
+}
+
+TEST(CameraModel, LateralConversionInverse) {
+  CameraModel cam;
+  const double px = cam.lateral_m_to_px(1.5, 30.0);
+  EXPECT_NEAR(cam.lateral_px_to_m(px, 30.0), 1.5, 1e-12);
+  // Leftward (positive y) means smaller u.
+  EXPECT_LT(px, 0.0);
+}
+
+TEST(CameraModel, BackProjectAboveHorizonFails) {
+  CameraModel cam;
+  // A bbox whose bottom edge is above the image center cannot be grounded.
+  const math::Bbox floating{960.0, 100.0, 50.0, 50.0};
+  EXPECT_FALSE(cam.back_project(floating).has_value());
+}
+
+// -------------------------------------------------------------- detector
+
+TEST(DetectorModel, DetectsVisibleObjects) {
+  DetectorModel det(CameraModel{}, DetectorNoiseModel::paper_defaults(),
+                    stats::Rng(1));
+  std::vector<sim::GroundTruthObject> objs{
+      make_object(30.0, 0.0, sim::ActorType::kVehicle)};
+  int detected = 0;
+  for (int f = 0; f < 300; ++f) {
+    detected += static_cast<int>(!det.detect(objs, f / 15.0).detections.empty());
+  }
+  // Most frames produce a detection; streaks cause the rest.
+  EXPECT_GT(detected, 240);
+  EXPECT_LT(detected, 300);
+}
+
+TEST(DetectorModel, MisdetectionStreaksAreConsecutive) {
+  DetectorModel det(CameraModel{}, DetectorNoiseModel::paper_defaults(),
+                    stats::Rng(3));
+  std::vector<sim::GroundTruthObject> objs{
+      make_object(30.0, 0.0, sim::ActorType::kPedestrian)};
+  // Count streak structure: once in a streak, in_streak holds until over.
+  int streak_frames = 0;
+  for (int f = 0; f < 2000; ++f) {
+    (void)det.detect(objs, f / 15.0);
+    if (det.in_streak(1)) ++streak_frames;
+  }
+  EXPECT_GT(streak_frames, 0);
+}
+
+TEST(DetectorModel, CenterErrorRoughlyMatchesPopulationSigma) {
+  CameraModel cam;
+  DetectorModel det(cam, DetectorNoiseModel::paper_defaults(),
+                    stats::Rng(17));
+  const auto obj = make_object(25.0, 0.0, sim::ActorType::kVehicle);
+  const auto truth = cam.project(obj);
+  std::vector<double> deltas;
+  for (int f = 0; f < 6000; ++f) {
+    const auto frame = det.detect({obj}, f / 15.0);
+    if (frame.detections.empty()) continue;
+    const auto& b = frame.detections[0].bbox;
+    if (math::iou(b, *truth) <= 0.0) continue;
+    deltas.push_back((b.cx - truth->cx) / truth->w);
+  }
+  const auto fit = stats::fit_normal(deltas);
+  // Overlap-conditioning (IoU > 0, as in the paper's protocol) removes most
+  // wide-component samples, so the measured sigma sits well below the
+  // configured population sigma but well above the core sigma.
+  EXPECT_GT(fit.sigma, 0.08);
+  EXPECT_LT(fit.sigma, 0.30);
+  EXPECT_NEAR(fit.mu, 0.023, 0.08);
+}
+
+// -------------------------------------------------------------- hungarian
+
+AssignmentResult brute_force(const math::Matrix& cost) {
+  std::vector<int> cols(cost.cols());
+  for (std::size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+  AssignmentResult best;
+  best.total_cost = 1e18;
+  std::vector<int> perm = cols;
+  std::sort(perm.begin(), perm.end());
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < cost.rows() && r < perm.size(); ++r) {
+      total += cost(r, static_cast<std::size_t>(perm[r]));
+    }
+    if (total < best.total_cost) {
+      best.total_cost = total;
+      best.assignment.assign(perm.begin(),
+                             perm.begin() + static_cast<long>(cost.rows()));
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForceOptimum) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam() % 5);
+  math::Matrix cost(n, n);
+  for (auto& v : cost.data()) v = rng.uniform(0.0, 10.0);
+  const auto fast = solve_assignment(cost);
+  const auto slow = brute_force(cost);
+  EXPECT_NEAR(fast.total_cost, slow.total_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest, ::testing::Range(0, 20));
+
+TEST(Hungarian, RectangularMoreRowsThanCols) {
+  math::Matrix cost{{1.0}, {0.5}, {2.0}};
+  const auto res = solve_assignment(cost);
+  // Only one column: exactly one row assigned, the cheapest.
+  int assigned = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (res.assignment[r] >= 0) {
+      ++assigned;
+      EXPECT_EQ(r, 1u);
+    }
+  }
+  EXPECT_EQ(assigned, 1);
+  EXPECT_NEAR(res.total_cost, 0.5, 1e-12);
+}
+
+TEST(Hungarian, EmptyInputs) {
+  EXPECT_TRUE(solve_assignment(math::Matrix(0, 0)).assignment.empty());
+  const auto res = solve_assignment(math::Matrix(2, 0));
+  EXPECT_EQ(res.assignment.size(), 2u);
+  EXPECT_EQ(res.assignment[0], -1);
+}
+
+// ---------------------------------------------------------------- kalman
+
+TEST(KalmanFilter, ConvergesOnConstantVelocityTarget) {
+  const double dt = 0.1;
+  math::Matrix f{{1.0, dt}, {0.0, 1.0}};
+  math::Matrix q{{0.01, 0.0}, {0.0, 0.01}};
+  math::Matrix h{{1.0, 0.0}};
+  math::Matrix r{{1.0}};
+  math::Matrix x0{{0.0}, {0.0}};
+  math::Matrix p0{{10.0, 0.0}, {0.0, 10.0}};
+  KalmanFilter kf(f, q, h, r, x0, p0);
+
+  stats::Rng rng(5);
+  double pos = 0.0;
+  const double vel = 3.0;
+  for (int i = 0; i < 300; ++i) {
+    pos += vel * dt;
+    kf.predict();
+    math::Matrix z{{pos + rng.normal(0.0, 1.0)}};
+    kf.update(z);
+  }
+  EXPECT_NEAR(kf.state()(1, 0), vel, 0.4);
+  EXPECT_NEAR(kf.state()(0, 0), pos, 1.5);
+}
+
+TEST(KalmanFilter, MahalanobisGrowsWithInnovation) {
+  math::Matrix f = math::Matrix::identity(1);
+  math::Matrix q{{0.1}};
+  math::Matrix h{{1.0}};
+  math::Matrix r{{1.0}};
+  KalmanFilter kf(f, q, h, r, math::Matrix{{0.0}}, math::Matrix{{1.0}});
+  EXPECT_LT(kf.mahalanobis2(math::Matrix{{0.5}}),
+            kf.mahalanobis2(math::Matrix{{5.0}}));
+}
+
+TEST(KalmanFilter, DimensionValidation) {
+  EXPECT_THROW(KalmanFilter(math::Matrix(2, 2), math::Matrix(3, 3),
+                            math::Matrix(1, 2), math::Matrix(1, 1),
+                            math::Matrix(2, 1), math::Matrix(2, 2)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- MOT
+
+Detection make_detection(double cx, double cy, double w, double h,
+                         sim::ActorType cls = sim::ActorType::kVehicle) {
+  Detection d;
+  d.bbox = {cx, cy, w, h};
+  d.cls = cls;
+  return d;
+}
+
+TEST(MotTracker, TracksAcrossFramesWithStableId) {
+  MotTracker mot(1.0 / 15.0);
+  std::vector<TrackView> tracks;
+  for (int f = 0; f < 10; ++f) {
+    CameraFrame frame;
+    frame.detections.push_back(
+        make_detection(100.0 + 2.0 * f, 200.0, 50.0, 40.0));
+    tracks = mot.update(frame);
+  }
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].track_id, 1);
+  EXPECT_GE(tracks[0].hits, 9);
+  EXPECT_NEAR(tracks[0].bbox.cx, 118.0, 6.0);
+  // Velocity locked onto ~2 px/frame = 30 px/s.
+  EXPECT_NEAR(tracks[0].vu, 30.0, 12.0);
+}
+
+TEST(MotTracker, ConfirmationRequiresMinHits) {
+  MotTracker mot(1.0 / 15.0);
+  CameraFrame frame;
+  frame.detections.push_back(make_detection(100.0, 100.0, 40.0, 40.0));
+  EXPECT_TRUE(mot.update(frame).empty());   // first hit: unconfirmed
+  EXPECT_FALSE(mot.update(frame).empty());  // second hit: confirmed
+}
+
+TEST(MotTracker, DropsTrackAfterMaxMisses) {
+  MotConfig cfg;
+  cfg.max_misses = 3;
+  MotTracker mot(1.0 / 15.0, cfg);
+  CameraFrame frame;
+  frame.detections.push_back(make_detection(100.0, 100.0, 40.0, 40.0));
+  mot.update(frame);
+  mot.update(frame);
+  EXPECT_EQ(mot.live_track_count(), 1u);
+  CameraFrame empty;
+  for (int i = 0; i < 4; ++i) mot.update(empty);
+  EXPECT_EQ(mot.live_track_count(), 0u);
+}
+
+TEST(MotTracker, ClassConsistencyInAssociation) {
+  MotTracker mot(1.0 / 15.0);
+  CameraFrame veh;
+  veh.detections.push_back(make_detection(100.0, 100.0, 40.0, 40.0));
+  mot.update(veh);
+  mot.update(veh);
+  CameraFrame ped;
+  ped.detections.push_back(
+      make_detection(100.0, 100.0, 40.0, 40.0, sim::ActorType::kPedestrian));
+  mot.update(ped);
+  // Same position but different class: a second track is born.
+  EXPECT_EQ(mot.live_track_count(), 2u);
+}
+
+TEST(MotTracker, InnovationGateRejectsOutliers) {
+  MotTracker mot(1.0 / 15.0);
+  CameraFrame frame;
+  frame.detections.push_back(make_detection(100.0, 100.0, 40.0, 40.0));
+  for (int i = 0; i < 5; ++i) mot.update(frame);
+  // An outlier jump far beyond the characterized noise: must not drag the
+  // track (it spawns a new one or is dropped).
+  CameraFrame outlier;
+  outlier.detections.push_back(make_detection(100.0, 160.0, 40.0, 40.0));
+  mot.update(outlier);
+  const auto t = mot.track(1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(t->bbox.cy, 100.0, 5.0);
+}
+
+TEST(MotTracker, PredictNextBbox) {
+  MotTracker mot(1.0 / 15.0);
+  CameraFrame frame;
+  for (int f = 0; f < 8; ++f) {
+    frame.detections.clear();
+    frame.detections.push_back(
+        make_detection(100.0 + 3.0 * f, 100.0, 40.0, 40.0));
+    mot.update(frame);
+  }
+  const auto pred = mot.predict_next_bbox(1);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_GT(pred->cx, 118.0);  // ahead of the last update
+  EXPECT_FALSE(mot.predict_next_bbox(99).has_value());
+}
+
+// ----------------------------------------------------------------- lidar
+
+TEST(LidarModel, ClassDependentRange) {
+  LidarModel lidar(LidarConfig{}, stats::Rng(2));
+  const auto far_vehicle = make_object(70.0, 0.0, sim::ActorType::kVehicle);
+  auto far_ped = make_object(70.0, 0.0, sim::ActorType::kPedestrian);
+  far_ped.id = 2;
+  int veh_hits = 0;
+  int ped_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& m : lidar.scan({far_vehicle, far_ped})) {
+      if (m.truth_id == 1) ++veh_hits;
+      if (m.truth_id == 2) ++ped_hits;
+    }
+  }
+  // 70 m: inside vehicle range (80), far outside pedestrian range (35).
+  EXPECT_GT(veh_hits, 150);
+  EXPECT_EQ(ped_hits, 0);
+}
+
+TEST(LidarModel, PointCountFallsWithRange) {
+  LidarModel lidar(LidarConfig{}, stats::Rng(4));
+  const auto near = lidar.scan({make_object(10.0, 0.0, sim::ActorType::kVehicle)});
+  const auto far = lidar.scan({make_object(60.0, 0.0, sim::ActorType::kVehicle)});
+  ASSERT_FALSE(near.empty());
+  ASSERT_FALSE(far.empty());
+  EXPECT_GT(near[0].point_count, far[0].point_count);
+}
+
+TEST(LidarTracker, TracksAndEstimatesVelocity) {
+  LidarTracker tracker(0.1);
+  for (int i = 0; i < 30; ++i) {
+    LidarMeasurement m;
+    m.rel_position = {20.0 - 0.5 * i, 0.0};  // approaching at 5 m/s
+    tracker.update({m});
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_NEAR(tracker.tracks()[0].rel_velocity.x, -5.0, 1.0);
+}
+
+TEST(LidarTracker, DropsSilentTracks) {
+  LidarTracker tracker(0.1);
+  LidarMeasurement m;
+  m.rel_position = {20.0, 0.0};
+  tracker.update({m});
+  for (int i = 0; i < 5; ++i) tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+// ---------------------------------------------------------------- fusion
+
+WorldTrack make_world_track(int id, double x, double y, sim::ActorType cls,
+                            int hits) {
+  WorldTrack w;
+  w.track_id = id;
+  w.cls = cls;
+  w.rel_position = {x, y};
+  w.hits = hits;
+  return w;
+}
+
+LidarTrack make_lidar_track(int id, double x, double y) {
+  LidarTrack l;
+  l.track_id = id;
+  l.rel_position = {x, y};
+  l.hits = 5;
+  return l;
+}
+
+TEST(Fusion, PairedPublishesQuicklyWithBlendedPosition) {
+  Fusion fusion(FusionConfig{}, LidarConfig{}, 1.0 / 15.0);
+  const auto cam = make_world_track(1, 30.0, 1.0, sim::ActorType::kVehicle, 2);
+  const auto lid = make_lidar_track(1, 30.0, 0.0);
+  const auto out = fusion.fuse({cam}, {lid});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].lidar_corroborated);
+  // Vehicle: 85% lidar weight -> y = 0.15 * 1.0
+  EXPECT_NEAR(out[0].rel_position.y, 0.15, 1e-9);
+}
+
+TEST(Fusion, CameraOnlyFarPublishesAfterShortAge) {
+  Fusion fusion(FusionConfig{}, LidarConfig{}, 1.0 / 15.0);
+  // Pedestrian at 60 m: beyond LiDAR pedestrian coverage -> age 4 suffices.
+  const auto young =
+      make_world_track(1, 60.0, 0.0, sim::ActorType::kPedestrian, 3);
+  EXPECT_TRUE(fusion.fuse({young}, {}).empty());
+  const auto old =
+      make_world_track(1, 60.0, 0.0, sim::ActorType::kPedestrian, 4);
+  EXPECT_EQ(fusion.fuse({old}, {}).size(), 1u);
+}
+
+TEST(Fusion, CameraOnlyInCoverageNeedsLongerAge) {
+  Fusion fusion(FusionConfig{}, LidarConfig{}, 1.0 / 15.0);
+  // Vehicle at 30 m with NO lidar track: sensor disagreement.
+  const auto t10 = make_world_track(1, 30.0, 0.0, sim::ActorType::kVehicle, 10);
+  EXPECT_TRUE(fusion.fuse({t10}, {}).empty());
+  const auto t12 = make_world_track(1, 30.0, 0.0, sim::ActorType::kVehicle, 12);
+  const auto out = fusion.fuse({t12}, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].lidar_expected);
+  EXPECT_FALSE(out[0].lidar_corroborated);
+}
+
+TEST(Fusion, LidarOnlyNeverPublished) {
+  Fusion fusion(FusionConfig{}, LidarConfig{}, 1.0 / 15.0);
+  EXPECT_TRUE(fusion.fuse({}, {make_lidar_track(1, 20.0, 0.0)}).empty());
+}
+
+TEST(Fusion, LateralHijackBreaksPairing) {
+  Fusion fusion(FusionConfig{}, LidarConfig{}, 1.0 / 15.0);
+  const auto lid = make_lidar_track(1, 30.0, 0.0);
+  // Camera track laterally displaced beyond the 2.0 m lateral gate.
+  const auto cam =
+      make_world_track(1, 30.0, 2.5, sim::ActorType::kVehicle, 20);
+  const auto out = fusion.fuse({cam}, {lid});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].lidar_corroborated);
+  EXPECT_NEAR(out[0].rel_position.y, 2.5, 1e-9);  // camera-only position
+}
+
+TEST(Fusion, CoastsThenDropsVanishedObject) {
+  FusionConfig cfg;
+  cfg.coast_frames = 2;
+  Fusion fusion(cfg, LidarConfig{}, 1.0 / 15.0);
+  // 100 m: beyond LiDAR coverage, so camera-only age 4 publishes.
+  const auto cam =
+      make_world_track(1, 100.0, 0.0, sim::ActorType::kVehicle, 10);
+  EXPECT_EQ(fusion.fuse({cam}, {}).size(), 1u);
+  auto coast1 = fusion.fuse({}, {});
+  ASSERT_EQ(coast1.size(), 1u);
+  EXPECT_TRUE(coast1[0].coasting);
+  EXPECT_EQ(fusion.fuse({}, {}).size(), 1u);
+  EXPECT_TRUE(fusion.fuse({}, {}).empty());
+}
+
+// --------------------------------------------------------------- pipeline
+
+TEST(PerceptionSystem, EndToEndTracksGroundTruth) {
+  CameraModel cam;
+  PerceptionSystem sys(cam, 1.0 / 15.0, 0.1);
+  DetectorModel det(cam, DetectorNoiseModel::paper_defaults(), stats::Rng(9));
+  LidarModel lidar(LidarConfig{}, stats::Rng(10));
+
+  const auto obj = make_object(35.0, 0.0, sim::ActorType::kVehicle);
+  PerceptionOutput out;
+  for (int f = 0; f < 45; ++f) {
+    if (f % 2 == 0) sys.ingest_lidar(lidar.scan({obj}));
+    out = sys.step(det.detect({obj}, f / 15.0));
+  }
+  ASSERT_FALSE(out.world.empty());
+  EXPECT_NEAR(out.world[0].rel_position.x, 35.0, 2.0);
+  EXPECT_NEAR(out.world[0].rel_position.y, 0.0, 0.8);
+  EXPECT_TRUE(out.world[0].lidar_corroborated);
+}
+
+}  // namespace
+}  // namespace rt::perception

