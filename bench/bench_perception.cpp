@@ -1,8 +1,10 @@
 // Microbenchmarks of the perception substrate (google-benchmark):
-// Hungarian assignment, Kalman updates, MOT steps, fusion, full pipeline.
+// Hungarian assignment, Kalman updates, MOT steps, fusion, full pipeline,
+// plus end-to-end campaign throughput through the parallel scheduler.
 
 #include <benchmark/benchmark.h>
 
+#include "experiments/campaign.hpp"
 #include "perception/detector_model.hpp"
 #include "perception/hungarian.hpp"
 #include "perception/mot_tracker.hpp"
@@ -86,6 +88,31 @@ void BM_FullPerceptionStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPerceptionStep);
+
+// Closed-loop campaign throughput through the CampaignScheduler, by thread
+// count. items_per_second is campaign runs/sec — the number every scaling
+// PR should move. Uses the no-oracle NoSh mode so the benchmark is hermetic
+// (no training, no cache directory).
+void BM_CampaignSchedulerThroughput(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  experiments::LoopConfig loop;
+  experiments::CampaignRunner runner(loop, {});
+  experiments::CampaignScheduler scheduler(runner, threads);
+  const experiments::CampaignSpec spec{
+      "DS-1-Disappear-NoSh-bench", sim::ScenarioId::kDs1,
+      core::AttackVector::kDisappear, experiments::AttackMode::kNoSh, 16,
+      4242};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.runs);
+}
+BENCHMARK(BM_CampaignSchedulerThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

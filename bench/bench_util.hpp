@@ -20,6 +20,15 @@ inline int runs_per_campaign() {
   return 60;
 }
 
+/// Campaign-engine thread count: 0 = one thread per hardware core.
+/// Override with ROBOTACK_THREADS (e.g. =1 for the serial baseline).
+inline unsigned campaign_threads() {
+  if (const char* env = std::getenv("ROBOTACK_THREADS")) {
+    return static_cast<unsigned>(std::max(1, std::atoi(env)));
+  }
+  return 0;
+}
+
 /// Loads (or trains once and caches under data/) the three per-vector
 /// safety-hijacker oracles.
 inline experiments::OracleSet oracles(const experiments::LoopConfig& loop) {

@@ -2,10 +2,12 @@
 // plus the paper's §VI headline aggregates (EB / crash rates, pedestrian vs
 // vehicle asymmetry).
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "experiments/reporting.hpp"
+#include "experiments/thread_pool.hpp"
 
 using namespace rt;
 
@@ -36,8 +38,12 @@ int main() {
   const auto oracles = bench::oracles(loop);
   experiments::CampaignRunner runner(loop, oracles);
 
+  experiments::CampaignScheduler scheduler(runner, bench::campaign_threads());
+
   const int n = bench::runs_per_campaign();
   std::printf("runs per campaign: %d (ROBOTACK_RUNS to change)\n", n);
+  std::printf("scheduler threads: %u (ROBOTACK_THREADS to change)\n",
+              scheduler.threads());
 
   std::vector<std::string> head{"ID",       "K(paper)", "K",     "#runs",
                                 "EB(paper)", "EB",       "crash(paper)",
@@ -57,8 +63,18 @@ int main() {
   int random_crash = 0;
 
   const auto specs = experiments::table2_campaigns(n, 20200613);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = scheduler.run_all(specs);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  int grid_runs = 0;
+  for (const auto& r : results) grid_runs += r.n();
+  std::printf("grid: %d runs in %.2f s  (%.1f runs/sec at %u threads)\n",
+              grid_runs, elapsed, grid_runs / elapsed, scheduler.threads());
+
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto result = runner.run(specs[i]);
+    const auto& result = results[i];
     const PaperRow& paper = kPaper[i];
     const bool move_in = specs[i].vector == core::AttackVector::kMoveIn &&
                          specs[i].mode == experiments::AttackMode::kRobotack;

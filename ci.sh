@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 verify in Release, then a Debug build with
+# ASan+UBSan. Both jobs run the full ctest suite.
+set -eu
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> Release"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$jobs"
+ctest --test-dir build-release --output-on-failure -j "$jobs"
+
+echo "==> Debug + ASan/UBSan"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DROBOTACK_SANITIZE=ON
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "==> OK"

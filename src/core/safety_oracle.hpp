@@ -35,7 +35,8 @@ class SafetyOracle {
                                                     math::Vec2 a_rel,
                                                     double k);
 
-  /// Predicted delta_{t+k}.
+  /// Predicted delta_{t+k}. Read-only (inference forward mutates nothing),
+  /// so one trained oracle may be shared across parallel campaign runs.
   [[nodiscard]] double predict(double delta, math::Vec2 v_rel,
                                math::Vec2 a_rel, double k);
 

@@ -1,7 +1,9 @@
 #include "experiments/campaign.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "experiments/thread_pool.hpp"
 #include "stats/summary.hpp"
 
 namespace rt::experiments {
@@ -104,27 +106,75 @@ std::unique_ptr<core::Robotack> CampaignRunner::make_attacker(
   return attacker;
 }
 
+RunResult CampaignRunner::run_one(const CampaignSpec& spec,
+                                  int run_index) const {
+  // Counter-based: stream k is a pure function of (spec.seed, k), with no
+  // parent generator shared between runs. This is what makes the parallel
+  // scheduler's results independent of thread count and execution order.
+  stats::Rng run_rng = stats::Rng::from_stream(
+      spec.seed, static_cast<std::uint64_t>(run_index) + 1);
+  const auto scenario_seed = run_rng.engine()();
+  const auto loop_seed = run_rng.engine()();
+  const auto attacker_seed = run_rng.engine()();
+
+  stats::Rng scenario_rng(scenario_seed);
+  sim::Scenario scenario = sim::make_scenario(spec.scenario, scenario_rng);
+
+  LoopConfig cfg = base_;
+  cfg.keep_timeline = false;
+  ClosedLoop loop(scenario, cfg, loop_seed);
+  loop.set_attacker(make_attacker(spec, attacker_seed));
+  return loop.run();
+}
+
 CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   CampaignResult result;
   result.spec = spec;
   result.runs.reserve(static_cast<std::size_t>(spec.runs));
-  stats::Rng root(spec.seed);
   for (int i = 0; i < spec.runs; ++i) {
-    stats::Rng run_rng = root.derive(static_cast<std::uint64_t>(i) + 1);
-    const auto scenario_seed = run_rng.engine()();
-    const auto loop_seed = run_rng.engine()();
-    const auto attacker_seed = run_rng.engine()();
-
-    stats::Rng scenario_rng(scenario_seed);
-    sim::Scenario scenario = sim::make_scenario(spec.scenario, scenario_rng);
-
-    LoopConfig cfg = base_;
-    cfg.keep_timeline = false;
-    ClosedLoop loop(scenario, cfg, loop_seed);
-    loop.set_attacker(make_attacker(spec, attacker_seed));
-    result.runs.push_back(loop.run());
+    result.runs.push_back(run_one(spec, i));
   }
   return result;
+}
+
+CampaignScheduler::CampaignScheduler(const CampaignRunner& runner,
+                                     unsigned threads)
+    : runner_(runner),
+      threads_(threads == 0 ? ThreadPool::default_threads() : threads) {}
+
+std::vector<CampaignResult> CampaignScheduler::run_all(
+    const std::vector<CampaignSpec>& specs,
+    const CampaignProgressFn& on_progress) const {
+  std::vector<CampaignResult> results(specs.size());
+  struct Cell {
+    std::size_t spec;
+    int run;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    results[s].spec = specs[s];
+    results[s].runs.resize(
+        static_cast<std::size_t>(std::max(0, specs[s].runs)));
+    for (int i = 0; i < specs[s].runs; ++i) cells.push_back({s, i});
+  }
+
+  std::vector<int> done(specs.size(), 0);
+  std::mutex progress_mutex;
+  ThreadPool pool(threads_);
+  pool.parallel_for(static_cast<int>(cells.size()), [&](int c) {
+    const Cell cell = cells[static_cast<std::size_t>(c)];
+    results[cell.spec].runs[static_cast<std::size_t>(cell.run)] =
+        runner_.run_one(specs[cell.spec], cell.run);
+    if (on_progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      on_progress(cell.spec, ++done[cell.spec], specs[cell.spec].runs);
+    }
+  });
+  return results;
+}
+
+CampaignResult CampaignScheduler::run(const CampaignSpec& spec) const {
+  return run_all({spec}).front();
 }
 
 std::vector<CampaignSpec> table2_campaigns(int runs_per,

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -67,12 +69,24 @@ using OracleSet =
     std::map<core::AttackVector, std::shared_ptr<core::SafetyOracle>>;
 
 /// Runs campaigns over a shared loop configuration and oracle set.
+///
+/// Every run's randomness is a pure function of (spec.seed, run_index) via
+/// `stats::Rng::from_stream`, so `run_one` is thread-safe and a campaign's
+/// results are identical whether its runs execute serially, out of order,
+/// or on any number of threads (see CampaignScheduler). The oracles are
+/// shared (not cloned) across concurrent runs; that is safe because
+/// inference forwards mutate nothing (see SafetyOracle::predict).
 class CampaignRunner {
  public:
   CampaignRunner(LoopConfig base, OracleSet oracles)
       : base_(std::move(base)), oracles_(std::move(oracles)) {}
 
   [[nodiscard]] CampaignResult run(const CampaignSpec& spec) const;
+
+  /// One run of the campaign: run_index in [0, spec.runs). Const and
+  /// re-entrant; callable concurrently for distinct (spec, index) pairs.
+  [[nodiscard]] RunResult run_one(const CampaignSpec& spec,
+                                  int run_index) const;
 
   /// Builds the attacker for one run of a campaign (exposed for tests).
   [[nodiscard]] std::unique_ptr<core::Robotack> make_attacker(
@@ -83,6 +97,38 @@ class CampaignRunner {
  private:
   LoopConfig base_;
   OracleSet oracles_;
+};
+
+/// Per-run completion callback: (spec index in the batch, runs finished in
+/// that campaign so far, spec.runs). Invoked under a scheduler-internal
+/// mutex — callbacks never race each other but must stay cheap.
+using CampaignProgressFn =
+    std::function<void(std::size_t spec_index, int done, int total)>;
+
+/// Batches whole campaign grids (e.g. all of Table II) over a fixed thread
+/// pool. Every <spec, run_index> cell becomes one task; each task writes
+/// its RunResult into a pre-assigned slot, so aggregates are bit-identical
+/// at any thread count and specs of very different sizes still pack the
+/// pool densely (no per-campaign barrier).
+class CampaignScheduler {
+ public:
+  /// `threads == 0` means ThreadPool::default_threads().
+  explicit CampaignScheduler(const CampaignRunner& runner,
+                             unsigned threads = 0);
+
+  /// Runs every spec to completion and returns results in spec order.
+  [[nodiscard]] std::vector<CampaignResult> run_all(
+      const std::vector<CampaignSpec>& specs,
+      const CampaignProgressFn& on_progress = nullptr) const;
+
+  /// Convenience: single-spec batch.
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  const CampaignRunner& runner_;
+  unsigned threads_;
 };
 
 /// The seven campaigns of Table II (plus golden sanity campaigns).

@@ -1,0 +1,115 @@
+#include "experiments/thread_pool.hpp"
+
+#include <atomic>
+
+namespace rt::experiments {
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : size_(threads == 0 ? default_threads() : threads) {
+  if (size_ < 2) return;  // inline mode
+  workers_.reserve(size_);
+  for (unsigned i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::record_exception() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    // Same error semantics as the threaded path: every index runs, the
+    // first exception is rethrown at the end.
+    std::exception_ptr first_error;
+    for (int i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  // One counter-draining task per worker instead of n queue nodes. Stack
+  // captures are safe: wait_idle() keeps this frame alive until every task
+  // finishes.
+  std::atomic<int> next{0};
+  const unsigned tasks = std::min<unsigned>(size_, static_cast<unsigned>(n));
+  for (unsigned t = 0; t < tasks; ++t) {
+    submit([&next, n, &fn] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace rt::experiments

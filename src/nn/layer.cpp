@@ -13,8 +13,8 @@ Dense::Dense(std::size_t in, std::size_t out, stats::Rng& rng)
 Dense::Dense(std::size_t in, std::size_t out)
     : w_(out, in), b_(out, 1), gw_(out, in), gb_(out, 1) {}
 
-math::Matrix Dense::forward(const math::Matrix& x, bool /*training*/) {
-  x_cache_ = x;
+math::Matrix Dense::forward(const math::Matrix& x, bool training) {
+  if (training) x_cache_ = x;
   math::Matrix y = w_ * x;
   for (std::size_t i = 0; i < y.rows(); ++i) {
     const double bi = b_(i, 0);
@@ -34,10 +34,16 @@ math::Matrix Dense::backward(const math::Matrix& grad_out) {
   return w_.transposed() * grad_out;
 }
 
-math::Matrix Relu::forward(const math::Matrix& x, bool /*training*/) {
-  mask_ = math::Matrix(x.rows(), x.cols());
+math::Matrix Relu::forward(const math::Matrix& x, bool training) {
   math::Matrix y = x;
   auto yd = y.data();
+  if (!training) {
+    for (std::size_t i = 0; i < yd.size(); ++i) {
+      if (yd[i] < 0.0) yd[i] = 0.0;
+    }
+    return y;
+  }
+  mask_ = math::Matrix(x.rows(), x.cols());
   auto md = mask_.data();
   for (std::size_t i = 0; i < yd.size(); ++i) {
     if (yd[i] > 0.0) {
@@ -58,7 +64,8 @@ math::Matrix Relu::backward(const math::Matrix& grad_out) {
 }
 
 math::Matrix Dropout::forward(const math::Matrix& x, bool training) {
-  if (!training || rate_ <= 0.0) {
+  if (!training) return x;
+  if (rate_ <= 0.0) {
     mask_ = math::Matrix();
     return x;
   }

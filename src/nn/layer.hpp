@@ -18,7 +18,11 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Forward pass. `training` enables stochastic behaviour (dropout).
+  /// Forward pass. `training` enables stochastic behaviour (dropout) and
+  /// caching for `backward`. Contract: with `training == false` a layer
+  /// must not mutate any member state — inference over a shared network
+  /// (e.g. one oracle queried by many parallel campaign runs) relies on
+  /// read-only forwards being concurrency-safe.
   virtual math::Matrix forward(const math::Matrix& x, bool training) = 0;
   /// Backward pass: receives dL/d(output), returns dL/d(input), and
   /// accumulates parameter gradients internally.

@@ -23,7 +23,9 @@ class Mlp {
 
   /// Forward pass over the whole stack.
   math::Matrix forward(const math::Matrix& x, bool training);
-  /// Inference-mode forward (no dropout).
+  /// Inference-mode forward (no dropout, no caching). Mutation-free per
+  /// the Layer contract, hence safe to call concurrently from multiple
+  /// threads on one shared network.
   [[nodiscard]] math::Matrix predict(const math::Matrix& x) {
     return forward(x, false);
   }

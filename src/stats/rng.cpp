@@ -12,6 +12,14 @@ std::uint64_t mix(std::uint64_t z) {
 }
 }  // namespace
 
+Rng Rng::from_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two rounds of the splitmix64 finalizer over (seed, stream). Unlike
+  // derive(), no mt19937_64 parent state is initialised, so opening stream k
+  // of a campaign costs a handful of multiplies and is safe to do from any
+  // thread.
+  return Rng(mix(mix(seed) ^ mix(stream ^ 0x5851f42d4c957f2dULL)));
+}
+
 Rng Rng::derive(std::uint64_t stream) const {
   // Derivation depends only on the original seed and stream id, not on how
   // many draws have been made from this generator: copy the engine, pull one

@@ -20,6 +20,14 @@ class Rng {
   /// child sequence.
   [[nodiscard]] Rng derive(std::uint64_t stream) const;
 
+  /// Counter-based stream splitting: a pure function of (seed, stream) with
+  /// no parent engine to construct or advance, so any stream of a campaign
+  /// can be opened directly — and concurrently — from its run index. The
+  /// parallel campaign engine relies on this for bit-identical results at
+  /// any thread count.
+  [[nodiscard]] static Rng from_stream(std::uint64_t seed,
+                                       std::uint64_t stream);
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
   /// Uniform integer in [lo, hi] (inclusive).

@@ -66,8 +66,10 @@ TEST(Mlp, GradientCheck) {
   math::Matrix y(1, 4);
   for (auto& v : y.data()) v = rng.uniform(-1.0, 1.0);
 
-  // Analytic gradients.
-  const math::Matrix pred = net.forward(x, false);
+  // Analytic gradients. backward() requires a training-mode forward —
+  // inference forwards cache nothing (Layer contract); with no dropout in
+  // this net the outputs are identical either way.
+  const math::Matrix pred = net.forward(x, true);
   net.backward(MseLoss::gradient(pred, y));
   const auto params = net.parameters();
   const auto grads = net.gradients();

@@ -127,6 +127,77 @@ TEST(Summary, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(median(xs), 5.0);
 }
 
+TEST(Rng, FromStreamReproducible) {
+  // The same (seed, stream) pair must always open the same sequence.
+  for (std::uint64_t stream : {0ULL, 1ULL, 2ULL, 17ULL, 1ULL << 40}) {
+    Rng a = Rng::from_stream(999, stream);
+    Rng b = Rng::from_stream(999, stream);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+  }
+}
+
+TEST(Rng, FromStreamDistinctStreamsDiffer) {
+  Rng a = Rng::from_stream(7, 1);
+  Rng b = Rng::from_stream(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.engine()() == b.engine()();
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, FromStreamDistinctSeedsDiffer) {
+  Rng a = Rng::from_stream(7, 1);
+  Rng b = Rng::from_stream(8, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.engine()() == b.engine()();
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, FromStreamUncorrelatedSmokeCheck) {
+  // Adjacent streams of one seed should look independent: the mean of each
+  // stream and the correlation between sibling streams both stay near their
+  // iid expectations. This is a smoke check, not a statistical proof.
+  const int kStreams = 64;
+  const int kDraws = 256;
+  double corr_accum = 0.0;
+  for (int s = 0; s < kStreams; ++s) {
+    Rng a = Rng::from_stream(123, static_cast<std::uint64_t>(s));
+    Rng b = Rng::from_stream(123, static_cast<std::uint64_t>(s) + 1);
+    double mean_a = 0.0;
+    double mean_b = 0.0;
+    double cross = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double xa = a.uniform(0.0, 1.0);
+      const double xb = b.uniform(0.0, 1.0);
+      mean_a += xa;
+      mean_b += xb;
+      cross += (xa - 0.5) * (xb - 0.5);
+    }
+    mean_a /= kDraws;
+    mean_b /= kDraws;
+    // Mean of kDraws U(0,1) draws: sd ~= 0.289/sqrt(256) ~= 0.018.
+    EXPECT_NEAR(mean_a, 0.5, 0.1);
+    EXPECT_NEAR(mean_b, 0.5, 0.1);
+    corr_accum += cross / kDraws / (1.0 / 12.0);  // normalized correlation
+  }
+  EXPECT_NEAR(corr_accum / kStreams, 0.0, 0.05);
+}
+
+TEST(Rng, FromStreamIndependentOfParentState) {
+  // from_stream is a static pure function: drawing from some other Rng
+  // beforehand can't perturb it (unlike a shared-engine scheme would).
+  Rng noise(55);
+  for (int i = 0; i < 10; ++i) (void)noise.uniform(0.0, 1.0);
+  Rng a = Rng::from_stream(42, 3);
+  Rng b = Rng::from_stream(42, 3);
+  EXPECT_EQ(a.engine()(), b.engine()());
+}
+
 TEST(Summary, Boxplot) {
   std::vector<double> xs;
   for (int i = 1; i <= 101; ++i) xs.push_back(i);
