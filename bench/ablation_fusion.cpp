@@ -35,11 +35,11 @@ int main() {
     loop.fusion.lidar_weight_vehicle = c.lidar_weight;
     experiments::CampaignRunner runner(loop, oracles);
 
-    experiments::CampaignSpec golden{"golden", sim::ScenarioId::kDs1,
+    experiments::CampaignSpec golden{"golden", "DS-1",
                                      core::AttackVector::kMoveOut,
                                      experiments::AttackMode::kGolden,
                                      std::max(8, n / 2), 111};
-    experiments::CampaignSpec attack{"attack", sim::ScenarioId::kDs1,
+    experiments::CampaignSpec attack{"attack", "DS-1",
                                      core::AttackVector::kMoveOut,
                                      experiments::AttackMode::kRobotack, n,
                                      222};

@@ -13,7 +13,7 @@ namespace {
 
 experiments::CampaignResult run_with(
     const experiments::LoopConfig& base, const experiments::OracleSet& oracles,
-    sim::ScenarioId sid, core::AttackVector v, int n,
+    const std::string& scenario, core::AttackVector v, int n,
     double gamma, double p99_mult, bool enable_ids) {
   experiments::LoopConfig loop = base;
   loop.enable_ids = enable_ids;
@@ -25,7 +25,7 @@ experiments::CampaignResult run_with(
     const auto loop_seed = run_rng.engine()();
     const auto attacker_seed = run_rng.engine()();
     stats::Rng srng(scenario_seed);
-    sim::Scenario sc = sim::make_scenario(sid, srng);
+    sim::Scenario sc = sim::make_scenario(scenario, srng);
     experiments::ClosedLoop cl(sc, loop, loop_seed);
     auto cfg = experiments::make_attacker_config(
         loop, v, core::TimingPolicy::kSafetyHijacker);
@@ -52,7 +52,7 @@ int main() {
     std::vector<std::string> head{"gamma", "triggered", "EB", "crash"};
     std::vector<std::vector<std::string>> rows;
     for (const double gamma : {3.0, 6.0, 10.0, 14.0, 20.0}) {
-      const auto r = run_with(loop, oracles, sim::ScenarioId::kDs2,
+      const auto r = run_with(loop, oracles, "DS-2",
                               core::AttackVector::kMoveOut, n, gamma, 1.0,
                               false);
       rows.push_back({experiments::fmt(gamma, 0),
@@ -72,7 +72,7 @@ int main() {
                                   "IDS flagged"};
     std::vector<std::vector<std::string>> rows;
     for (const double mult : {0.5, 1.0, 2.0}) {
-      const auto r = run_with(loop, oracles, sim::ScenarioId::kDs1,
+      const auto r = run_with(loop, oracles, "DS-1",
                               core::AttackVector::kDisappear, n, 6.0, mult,
                               true);
       rows.push_back({experiments::fmt(mult, 1),

@@ -42,7 +42,7 @@ int main() {
       const auto loop_seed = run_rng.engine()();
       const auto attacker_seed = run_rng.engine()();
       stats::Rng srng(scenario_seed);
-      sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs2, srng);
+      sim::Scenario sc = sim::make_scenario("DS-2", srng);
       experiments::ClosedLoop cl(sc, loop, loop_seed);
       auto cfg = experiments::make_attacker_config(
           loop, core::AttackVector::kMoveOut,

@@ -9,7 +9,7 @@
 #include "perception/hungarian.hpp"
 #include "perception/mot_tracker.hpp"
 #include "perception/perception_system.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 
 using namespace rt;
 
@@ -59,7 +59,7 @@ void BM_DetectorModel(benchmark::State& state) {
                                 perception::DetectorNoiseModel::paper_defaults(),
                                 stats::Rng(3));
   stats::Rng rng(4);
-  sim::Scenario sc = sim::make_ds5(rng);
+  sim::Scenario sc = sim::make_scenario("DS-5", rng);
   sim::World world = sc.make_world();
   const auto gt = world.ground_truth();
   double t = 0.0;
@@ -77,7 +77,7 @@ void BM_FullPerceptionStep(benchmark::State& state) {
       cam, perception::DetectorNoiseModel::paper_defaults(), stats::Rng(5));
   perception::LidarModel lidar(perception::LidarConfig{}, stats::Rng(6));
   stats::Rng rng(7);
-  sim::Scenario sc = sim::make_ds5(rng);
+  sim::Scenario sc = sim::make_scenario("DS-5", rng);
   sim::World world = sc.make_world();
   const auto gt = world.ground_truth();
   double t = 0.0;
@@ -99,7 +99,7 @@ void BM_CampaignSchedulerThroughput(benchmark::State& state) {
   experiments::CampaignRunner runner(loop, {});
   experiments::CampaignScheduler scheduler(runner, threads);
   const experiments::CampaignSpec spec{
-      "DS-1-Disappear-NoSh-bench", sim::ScenarioId::kDs1,
+      "DS-1-Disappear-NoSh-bench", "DS-1",
       core::AttackVector::kDisappear, experiments::AttackMode::kNoSh, 16,
       4242};
   for (auto _ : state) {

@@ -2,8 +2,10 @@
 
 // Shared helpers for the benchmark/reproduction binaries.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "experiments/campaign.hpp"
@@ -41,6 +43,76 @@ inline void header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+}
+
+/// Shared CLI options of the grid drivers. Defaults come from the
+/// environment knobs (ROBOTACK_RUNS / ROBOTACK_THREADS) so existing
+/// invocations keep working; flags override the environment.
+struct BenchOptions {
+  int runs{0};
+  unsigned threads{0};  ///< 0 = one thread per hardware core
+  std::uint64_t seed{0};
+  std::string csv_path;  ///< empty = no CSV output
+};
+
+/// Parses --runs N, --seed S, --threads T, --csv PATH (and --help).
+/// Unknown flags or missing values print usage and exit non-zero.
+inline BenchOptions parse_options(int argc, char** argv,
+                                  std::uint64_t default_seed) {
+  BenchOptions opts;
+  opts.runs = runs_per_campaign();
+  opts.threads = campaign_threads();
+  opts.seed = default_seed;
+  const auto usage = [&](std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s [--runs N] [--seed S] [--threads T] [--csv PATH]\n"
+                 "  --runs N     runs per campaign (default %d; env ROBOTACK_RUNS)\n"
+                 "  --seed S     base campaign seed (default %llu)\n"
+                 "  --threads T  campaign-engine threads, 0 = per core "
+                 "(env ROBOTACK_THREADS)\n"
+                 "  --csv PATH   also write the result table as CSV\n",
+                 argv[0], opts.runs,
+                 static_cast<unsigned long long>(default_seed));
+  };
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+        usage(stderr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto numeric = [&](const char* text) -> unsigned long long {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv[0],
+                     argv[i - 1], text);
+        usage(stderr);
+        std::exit(2);
+      }
+      return parsed;
+    };
+    if (std::strcmp(argv[i], "--runs") == 0) {
+      opts.runs = std::max(1, static_cast<int>(numeric(value())));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = numeric(value());
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = static_cast<unsigned>(numeric(value()));
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opts.csv_path = value();
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
+      usage(stderr);
+      std::exit(2);
+    }
+  }
+  return opts;
 }
 
 }  // namespace rt::bench

@@ -3,8 +3,10 @@
 // plus the §VI-D improvement ratios.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
+#include "experiments/campaign_grid.hpp"
 #include "experiments/reporting.hpp"
 #include "stats/summary.hpp"
 
@@ -13,8 +15,7 @@ using namespace rt;
 namespace {
 
 struct Panel {
-  const char* name;
-  sim::ScenarioId scenario;
+  const char* scenario;
   core::AttackVector vector;
   double paper_median_nosh;
   double paper_median_r;
@@ -22,38 +23,61 @@ struct Panel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/555);
   bench::header("Fig. 6 — min safety potential: R w/o SH vs R");
   experiments::LoopConfig loop;
   const auto oracles = bench::oracles(loop);
   experiments::CampaignRunner runner(loop, oracles);
-  const int n = bench::runs_per_campaign();
+  experiments::CampaignScheduler scheduler(runner, opts.threads);
+
+  // Every panel's R / R-w/o-SH pair as one grid: modes × vectors ×
+  // scenarios, with the Move_In scenarios as a second block.
+  const auto specs =
+      experiments::CampaignGridBuilder()
+          .runs(opts.runs)
+          .seed(opts.seed)
+          .modes({experiments::AttackMode::kNoSh,
+                  experiments::AttackMode::kRobotack})
+          .vectors({core::AttackVector::kDisappear,
+                    core::AttackVector::kMoveOut})
+          .scenarios({"DS-1", "DS-2"})
+          .add_grid()
+          .vectors({core::AttackVector::kMoveIn})
+          .scenarios({"DS-3", "DS-4"})
+          .build();
+  const auto results = scheduler.run_all(specs);
+  const auto find = [&](const std::string& name)
+      -> const experiments::CampaignResult& {
+    for (const auto& r : results) {
+      if (r.spec.name == name) return r;
+    }
+    std::fprintf(stderr, "campaign %s missing from grid\n", name.c_str());
+    std::abort();
+  };
+
+  std::vector<std::string> csv_head{"panel", "median RwoSH", "median R",
+                                    "EB RwoSH", "EB R", "crash RwoSH",
+                                    "crash R"};
+  std::vector<std::vector<std::string>> csv_rows;
 
   const Panel panels[] = {
-      {"DS-1-Disappear", sim::ScenarioId::kDs1, core::AttackVector::kDisappear,
-       19.0, 9.0},
-      {"DS-1-Move_Out", sim::ScenarioId::kDs1, core::AttackVector::kMoveOut,
-       19.0, 13.0},
-      {"DS-2-Disappear", sim::ScenarioId::kDs2, core::AttackVector::kDisappear,
-       7.0, 3.0},
-      {"DS-2-Move_Out", sim::ScenarioId::kDs2, core::AttackVector::kMoveOut,
-       9.0, 3.0},
+      {"DS-1", core::AttackVector::kDisappear, 19.0, 9.0},
+      {"DS-1", core::AttackVector::kMoveOut, 19.0, 13.0},
+      {"DS-2", core::AttackVector::kDisappear, 7.0, 3.0},
+      {"DS-2", core::AttackVector::kMoveOut, 9.0, 3.0},
   };
 
   for (const Panel& p : panels) {
-    experiments::CampaignSpec nosh{std::string(p.name) + "-RwoSH", p.scenario,
-                                   p.vector, experiments::AttackMode::kNoSh,
-                                   n, 555};
-    experiments::CampaignSpec smart{std::string(p.name) + "-R", p.scenario,
-                                    p.vector,
-                                    experiments::AttackMode::kRobotack, n,
-                                    777};
-    const auto rn = runner.run(nosh);
-    const auto rs = runner.run(smart);
+    const std::string base =
+        std::string(p.scenario) + "-" + core::to_string(p.vector);
+    const auto& rn = find(base + "-RwoSH");
+    const auto& rs = find(base + "-R");
     const auto dn = rn.min_deltas();
     const auto ds = rs.min_deltas();
-    std::printf("\n%s (paper medians: R w/o SH %.0f, R %.0f; delta<4 = accident)\n",
-                p.name, p.paper_median_nosh, p.paper_median_r);
+    std::printf(
+        "\n%s (paper medians: R w/o SH %.0f, R %.0f; delta<4 = accident)\n",
+        base.c_str(), p.paper_median_nosh, p.paper_median_r);
     if (!dn.empty()) {
       std::printf("  R w/o SH: %s\n", stats::boxplot(dn).to_string().c_str());
     }
@@ -70,26 +94,34 @@ int main() {
         experiments::fmt_pct(rn.eb_rate()).c_str(), eb_ratio,
         experiments::fmt_pct(rs.crash_rate()).c_str(),
         experiments::fmt_pct(rn.crash_rate()).c_str(), crash_ratio);
+    csv_rows.push_back({base,
+                        experiments::fmt(dn.empty() ? 0.0 : stats::median(dn)),
+                        experiments::fmt(ds.empty() ? 0.0 : stats::median(ds)),
+                        experiments::fmt_pct(rn.eb_rate()),
+                        experiments::fmt_pct(rs.eb_rate()),
+                        experiments::fmt_pct(rn.crash_rate()),
+                        experiments::fmt_pct(rs.crash_rate())});
   }
 
   // Move_In scenarios: EB-only comparison (paper: 1.9x / 1.6x more EB).
   bench::header("Move_In EB comparison (paper: DS-3 1.9x, DS-4 1.6x)");
-  for (const auto& [name, sid] :
-       {std::pair{"DS-3-Move_In", sim::ScenarioId::kDs3},
-        std::pair{"DS-4-Move_In", sim::ScenarioId::kDs4}}) {
-    experiments::CampaignSpec nosh{std::string(name) + "-RwoSH", sid,
-                                   core::AttackVector::kMoveIn,
-                                   experiments::AttackMode::kNoSh, n, 999};
-    experiments::CampaignSpec smart{std::string(name) + "-R", sid,
-                                    core::AttackVector::kMoveIn,
-                                    experiments::AttackMode::kRobotack, n,
-                                    333};
-    const auto rn = runner.run(nosh);
-    const auto rs = runner.run(smart);
-    std::printf("  %s: EB %s (R) vs %s (R w/o SH), ratio x%.1f\n", name,
-                experiments::fmt_pct(rs.eb_rate()).c_str(),
+  for (const char* scenario : {"DS-3", "DS-4"}) {
+    const std::string base = std::string(scenario) + "-Move_In";
+    const auto& rn = find(base + "-RwoSH");
+    const auto& rs = find(base + "-R");
+    std::printf("  %s: EB %s (R) vs %s (R w/o SH), ratio x%.1f\n",
+                base.c_str(), experiments::fmt_pct(rs.eb_rate()).c_str(),
                 experiments::fmt_pct(rn.eb_rate()).c_str(),
                 rn.eb_rate() > 0 ? rs.eb_rate() / rn.eb_rate() : 0.0);
+    csv_rows.push_back({base, "-", "-",
+                        experiments::fmt_pct(rn.eb_rate()),
+                        experiments::fmt_pct(rs.eb_rate()),
+                        experiments::fmt_pct(rn.crash_rate()),
+                        experiments::fmt_pct(rs.crash_rate())});
+  }
+  if (!opts.csv_path.empty()) {
+    experiments::write_csv(opts.csv_path, csv_head, csv_rows);
+    std::printf("wrote %s\n", opts.csv_path.c_str());
   }
   return 0;
 }

@@ -19,7 +19,7 @@ int main() {
 
   struct Cell {
     const char* label;
-    sim::ScenarioId scenario;
+    const char* scenario;
     core::AttackVector vector;
     double paper_median;
   };
@@ -27,14 +27,14 @@ int main() {
   // pedestrian Move_Out 5, Move_In 3 (Disappear has no shift phase in our
   // implementation; the paper lists its total perturbation instead).
   const Cell cells[] = {
-      {"Vehicle / Move_Out (DS-1)", sim::ScenarioId::kDs1,
-       core::AttackVector::kMoveOut, 6.0},
-      {"Vehicle / Move_In  (DS-3)", sim::ScenarioId::kDs3,
-       core::AttackVector::kMoveIn, 10.0},
-      {"Pedestrian / Move_Out (DS-2)", sim::ScenarioId::kDs2,
-       core::AttackVector::kMoveOut, 5.0},
-      {"Pedestrian / Move_In  (DS-4)", sim::ScenarioId::kDs4,
-       core::AttackVector::kMoveIn, 3.0},
+      {"Vehicle / Move_Out (DS-1)", "DS-1", core::AttackVector::kMoveOut,
+       6.0},
+      {"Vehicle / Move_In  (DS-3)", "DS-3", core::AttackVector::kMoveIn,
+       10.0},
+      {"Pedestrian / Move_Out (DS-2)", "DS-2", core::AttackVector::kMoveOut,
+       5.0},
+      {"Pedestrian / Move_In  (DS-4)", "DS-4", core::AttackVector::kMoveIn,
+       3.0},
   };
 
   for (const Cell& c : cells) {

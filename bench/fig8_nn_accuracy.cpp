@@ -72,10 +72,8 @@ int main() {
   experiments::CampaignRunner runner(loop, oracles);
   const int n = bench::runs_per_campaign();
   std::vector<std::pair<double, bool>> samples;  // (|error|, success)
-  for (const auto& [sid, name] :
-       {std::pair{sim::ScenarioId::kDs1, "DS-1"},
-        std::pair{sim::ScenarioId::kDs2, "DS-2"}}) {
-    experiments::CampaignSpec spec{std::string(name) + "-Move_Out-R", sid,
+  for (const char* name : {"DS-1", "DS-2"}) {
+    experiments::CampaignSpec spec{std::string(name) + "-Move_Out-R", name,
                                    core::AttackVector::kMoveOut,
                                    experiments::AttackMode::kRobotack, n,
                                    97531};

@@ -32,17 +32,19 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/20200613);
   bench::header("Table II — attack summary (paper vs measured)");
   experiments::LoopConfig loop;
   const auto oracles = bench::oracles(loop);
   experiments::CampaignRunner runner(loop, oracles);
 
-  experiments::CampaignScheduler scheduler(runner, bench::campaign_threads());
+  experiments::CampaignScheduler scheduler(runner, opts.threads);
 
-  const int n = bench::runs_per_campaign();
-  std::printf("runs per campaign: %d (ROBOTACK_RUNS to change)\n", n);
-  std::printf("scheduler threads: %u (ROBOTACK_THREADS to change)\n",
+  const int n = opts.runs;
+  std::printf("runs per campaign: %d (--runs or ROBOTACK_RUNS to change)\n",
+              n);
+  std::printf("scheduler threads: %u (--threads or ROBOTACK_THREADS)\n",
               scheduler.threads());
 
   std::vector<std::string> head{"ID",       "K(paper)", "K",     "#runs",
@@ -62,7 +64,7 @@ int main() {
   int random_eb = 0;
   int random_crash = 0;
 
-  const auto specs = experiments::table2_campaigns(n, 20200613);
+  const auto specs = experiments::table2_campaigns(n, opts.seed);
   const auto t0 = std::chrono::steady_clock::now();
   const auto results = scheduler.run_all(specs);
   const double elapsed =
@@ -95,8 +97,8 @@ int main() {
         crashable_runs += result.n();
         total_crash += result.crash_count();
       }
-      const bool is_ped = specs[i].scenario == sim::ScenarioId::kDs2 ||
-                          specs[i].scenario == sim::ScenarioId::kDs4;
+      const bool is_ped =
+          specs[i].scenario == "DS-2" || specs[i].scenario == "DS-4";
       for (const auto& r : result.runs) {
         const bool success = move_in ? r.eb : r.crash;
         (is_ped ? ped_runs : veh_runs) += 1;
@@ -109,6 +111,10 @@ int main() {
     }
   }
   std::printf("%s", experiments::format_table(head, rows).c_str());
+  if (!opts.csv_path.empty()) {
+    experiments::write_csv(opts.csv_path, head, rows);
+    std::printf("wrote %s\n", opts.csv_path.c_str());
+  }
 
   bench::header("headline aggregates (paper -> measured)");
   const double r_eb = total_runs ? 100.0 * total_eb / total_runs : 0.0;

@@ -10,6 +10,13 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$jobs"
 ctest --test-dir build-release --output-on-failure -j "$jobs"
 
+# Smoke-run the guided examples so they cannot silently rot: quickstart
+# (trains or loads the cached oracles) and the scenario-registry showcase
+# (registers a custom family + grid campaign; hermetic, few runs).
+echo "==> example smoke runs"
+./build-release/examples/quickstart
+./build-release/examples/scenario_showcase 3
+
 echo "==> Debug + ASan/UBSan"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DROBOTACK_SANITIZE=ON
 cmake --build build-asan -j "$jobs"

@@ -7,13 +7,13 @@
 
 using namespace rt;
 
-static void run_timeline(sim::ScenarioId sid, core::AttackVector v,
+static void run_timeline(const std::string& key, core::AttackVector v,
                          core::TimingPolicy timing, double delta_trigger,
                          int fixed_k) {
   experiments::LoopConfig loop;
   loop.keep_timeline = true;
   stats::Rng rng(7);
-  sim::Scenario sc = sim::make_scenario(sid, rng);
+  sim::Scenario sc = sim::make_scenario(key, rng);
   experiments::ClosedLoop cl(sc, loop, 1001);
   if (timing != core::TimingPolicy::kSafetyHijacker || true) {
     auto cfg = experiments::make_attacker_config(loop, v, timing);
@@ -25,7 +25,7 @@ static void run_timeline(sim::ScenarioId sid, core::AttackVector v,
   }
   auto r = cl.run();
   std::printf("%s %s: EB=%d crash=%d coll=%d minD=%.2f trig=%d t=%.2f K=%d K'=%d pert=%d\n",
-              sim::to_string(sid), core::to_string(v), r.eb, r.crash,
+              key.c_str(), core::to_string(v), r.eb, r.crash,
               r.collision, r.min_delta_since_attack, r.attack.triggered,
               r.attack.start_time, r.attack.planned_k, r.attack.k_prime,
               r.attack.frames_perturbed);
@@ -37,15 +37,15 @@ static void run_timeline(sim::ScenarioId sid, core::AttackVector v,
   }
 }
 
-static void golden_timeline(sim::ScenarioId sid) {
+static void golden_timeline(const std::string& key) {
   experiments::LoopConfig loop;
   loop.keep_timeline = true;
   stats::Rng rng(7);
-  sim::Scenario sc = sim::make_scenario(sid, rng);
+  sim::Scenario sc = sim::make_scenario(key, rng);
   experiments::ClosedLoop cl(sc, loop, 1001);
   auto r = cl.run();
   std::printf("GOLDEN %s: EB=%d crash=%d coll=%d minD=%.2f end=%.1f\n",
-              sim::to_string(sid), r.eb, r.crash, r.collision, r.min_delta,
+              key.c_str(), r.eb, r.crash, r.collision, r.min_delta,
               r.end_time);
   for (std::size_t i = 0; i < r.timeline.size(); i += 8) {
     const auto& s = r.timeline[i];
@@ -57,35 +57,33 @@ static void golden_timeline(sim::ScenarioId sid) {
 int main(int argc, char** argv) {
   const int mode = argc > 1 ? std::atoi(argv[1]) : 0;
   if (mode == 0) {
-    for (auto sid : {sim::ScenarioId::kDs1, sim::ScenarioId::kDs2,
-                     sim::ScenarioId::kDs3, sim::ScenarioId::kDs4}) {
-      golden_timeline(sid);
+    for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-4"}) {
+      golden_timeline(key);
     }
   } else if (mode == 1) {
-    run_timeline(sim::ScenarioId::kDs2, core::AttackVector::kDisappear,
+    run_timeline("DS-2", core::AttackVector::kDisappear,
                  core::TimingPolicy::kAtDeltaThreshold, 20.0, 30);
-    run_timeline(sim::ScenarioId::kDs2, core::AttackVector::kMoveOut,
+    run_timeline("DS-2", core::AttackVector::kMoveOut,
                  core::TimingPolicy::kAtDeltaThreshold, 20.0, 40);
-    run_timeline(sim::ScenarioId::kDs1, core::AttackVector::kDisappear,
+    run_timeline("DS-1", core::AttackVector::kDisappear,
                  core::TimingPolicy::kAtDeltaThreshold, 14.0, 50);
-    run_timeline(sim::ScenarioId::kDs1, core::AttackVector::kMoveOut,
+    run_timeline("DS-1", core::AttackVector::kMoveOut,
                  core::TimingPolicy::kAtDeltaThreshold, 14.0, 65);
-    run_timeline(sim::ScenarioId::kDs3, core::AttackVector::kMoveIn,
+    run_timeline("DS-3", core::AttackVector::kMoveIn,
                  core::TimingPolicy::kAtDeltaThreshold, 30.0, 48);
-    run_timeline(sim::ScenarioId::kDs4, core::AttackVector::kMoveIn,
+    run_timeline("DS-4", core::AttackVector::kMoveIn,
                  core::TimingPolicy::kAtDeltaThreshold, 30.0, 24);
   } else if (mode == 3) {
     // Golden sweep across seeds.
-    for (auto sid : {sim::ScenarioId::kDs1, sim::ScenarioId::kDs2,
-                     sim::ScenarioId::kDs3, sim::ScenarioId::kDs4,
-                     sim::ScenarioId::kDs5}) {
+    for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-4",
+                         "DS-5"}) {
       int eb = 0, crash = 0;
       double worst = 1e9;
       const int N = 40;
       for (int i = 0; i < N; ++i) {
         experiments::LoopConfig loop;
         stats::Rng rng(100 + i);
-        sim::Scenario sc = sim::make_scenario(sid, rng);
+        sim::Scenario sc = sim::make_scenario(key, rng);
         experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
         auto r = cl.run();
         eb += r.eb;
@@ -93,7 +91,7 @@ int main(int argc, char** argv) {
         worst = std::min(worst, r.min_delta);
       }
       std::printf("GOLDEN-SWEEP %s: EB=%d/%d crash=%d/%d worst_minD=%.2f\n",
-                  sim::to_string(sid), eb, N, crash, N, worst);
+                  key, eb, N, crash, N, worst);
     }
   } else if (mode == 8) {
     for (double dt2 : {12.0, 16.0, 20.0}) {
@@ -102,7 +100,7 @@ int main(int argc, char** argv) {
         for (int i = 0; i < 8; ++i) {
           experiments::LoopConfig loop;
           stats::Rng rng(7);
-          sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+          sim::Scenario sc = sim::make_scenario("DS-2", rng);
           experiments::ClosedLoop cl(sc, loop, 1001 + i);
           auto cfg = experiments::make_attacker_config(
               loop, core::AttackVector::kDisappear,
@@ -139,8 +137,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 40; ++i) {
       experiments::LoopConfig loop;
       stats::Rng rng(100 + i);
-      sim::Scenario sc = sim::make_scenario(
-          static_cast<sim::ScenarioId>(4 - 1), rng);  // DS-3 hmm placeholder
+      sim::Scenario sc = sim::make_scenario("DS-4", rng);
       experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
       auto r = cl.run();
       if (r.eb) std::printf("EB run seed=%d\n", i);
@@ -152,9 +149,7 @@ int main(int argc, char** argv) {
       loop.keep_timeline = true;
       stats::Rng rng(100 + i);
       sim::Scenario sc = sim::make_scenario(
-          argc > 2 && std::atoi(argv[2]) == 2 ? sim::ScenarioId::kDs2
-                                              : sim::ScenarioId::kDs1,
-          rng);
+          argc > 2 && std::atoi(argv[2]) == 2 ? "DS-2" : "DS-1", rng);
       experiments::ClosedLoop cl(sc, loop, 5000 + i * 13);
       auto r = cl.run();
       if (!r.crash) continue;

@@ -21,7 +21,7 @@ int main() {
       experiments::default_cache_dir(), loop, {});
 
   stats::Rng rng(7);
-  sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+  sim::Scenario ds2 = sim::make_scenario("DS-2", rng);
   std::printf("\nscenario: %s — %s\n", ds2.name.c_str(),
               ds2.description.c_str());
 

@@ -2,7 +2,7 @@
 // illegally crossing), printed as a timeline.
 //
 // Demonstrates the core public API:
-//   sim::make_scenario      -> a driving scenario (ground truth)
+//   sim::ScenarioRegistry   -> driving scenario families (ground truth)
 //   experiments::ClosedLoop -> the simulated LGSVL+Apollo rig
 //   core::Robotack          -> the malware on the camera link
 //   experiments oracles     -> training/caching the safety hijacker NN
@@ -46,7 +46,7 @@ int main() {
   // Golden run: no malware.
   {
     stats::Rng rng(7);
-    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    sim::Scenario ds2 = sim::make_scenario("DS-2", rng);
     experiments::ClosedLoop golden(ds2, loop, /*seed=*/1001);
     print_result("golden:", golden.run());
   }
@@ -54,7 +54,7 @@ int main() {
   // Attacked run: RoboTack with the Move_Out vector.
   {
     stats::Rng rng(7);
-    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    sim::Scenario ds2 = sim::make_scenario("DS-2", rng);
     experiments::ClosedLoop attacked(ds2, loop, /*seed=*/1001);
     auto cfg = experiments::make_attacker_config(
         loop, core::AttackVector::kMoveOut,
@@ -69,7 +69,7 @@ int main() {
   // Attacked run: Disappear.
   {
     stats::Rng rng(7);
-    sim::Scenario ds2 = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    sim::Scenario ds2 = sim::make_scenario("DS-2", rng);
     experiments::ClosedLoop attacked(ds2, loop, /*seed=*/1001);
     auto cfg = experiments::make_attacker_config(
         loop, core::AttackVector::kDisappear,

@@ -1,0 +1,106 @@
+// Showcase of the open scenario API: registers a custom scenario family at
+// startup, then drives it — together with the built-in extended families —
+// through a CampaignGridBuilder grid on the parallel campaign engine.
+//
+// This is the "adding a scenario is one registration + one grid line"
+// workflow from README "Defining a new scenario". It uses the no-oracle
+// NoSh/Golden modes so it runs hermetically (no training, no cache).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/campaign_grid.hpp"
+#include "experiments/reporting.hpp"
+#include "sim/road.hpp"
+#include "sim/scenario_registry.hpp"
+#include "stats/summary.hpp"
+
+using namespace rt;
+
+namespace {
+
+// A scenario the paper never had: a vehicle pulls out of the parking lane
+// into the ego lane while the EV approaches.
+sim::Scenario make_pull_out(const sim::ScenarioParams& p, stats::Rng&) {
+  sim::Scenario s;
+  s.key = "pull-out";
+  s.name = "pull-out";
+  s.description = "parked vehicle pulls out into the ego lane ahead of the EV";
+  s.duration = p.duration;
+  s.ego_cruise_speed = sim::kph_to_mps(p.ego_speed_kph);
+  s.ego = sim::EgoVehicle(0.0, sim::kph_to_mps(p.ego_speed_kph));
+  s.target_id = 1;
+  s.actors.emplace_back(
+      1, sim::ActorType::kVehicle,
+      math::Vec2{p.target_gap, sim::Road::kParkingLaneCenter},
+      sim::StartTrigger::ego_within(p.trigger_distance),
+      std::vector<sim::Waypoint>{
+          {{p.target_gap + 25.0, sim::Road::kEgoLaneCenter},
+           sim::kph_to_mps(0.6 * p.target_speed_kph)},
+          {{3000.0, sim::Road::kEgoLaneCenter},
+           sim::kph_to_mps(p.target_speed_kph)}});
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  // 1. Register the custom family (one call; DS-1..DS-5 and the extended
+  //    families are pre-registered).
+  sim::ScenarioParams defaults;
+  defaults.target_gap = 90.0;
+  defaults.trigger_distance = 60.0;
+  defaults.target_speed_kph = 30.0;
+  sim::ScenarioRegistry::global().register_scenario(
+      {"pull-out", "parked vehicle pulls out into the ego lane", defaults,
+       &make_pull_out});
+
+  std::printf("registered scenario families:\n");
+  for (const auto& key : sim::ScenarioRegistry::global().keys()) {
+    std::printf("  %-20s %s\n", key.c_str(),
+                sim::ScenarioRegistry::global().get(key).description.c_str());
+  }
+
+  // 2. One grid over the non-paper families: golden sanity runs plus a
+  //    no-oracle attack, with a sweep of the lead/target speed.
+  const auto specs =
+      experiments::CampaignGridBuilder()
+          .runs(n)
+          .seed(24680)
+          .modes({experiments::AttackMode::kGolden,
+                  experiments::AttackMode::kNoSh})
+          .vectors({core::AttackVector::kMoveOut})
+          .scenarios({"cut-in", "staggered-crossing", "dense-follow",
+                      "pull-out"})
+          .add_grid()
+          .modes({experiments::AttackMode::kNoSh})
+          .scenarios({"pull-out"})
+          .sweep("target_speed_kph", {24.0, 30.0, 36.0})
+          .build();
+
+  experiments::LoopConfig loop;
+  experiments::CampaignRunner runner(loop, {});
+  experiments::CampaignScheduler scheduler(runner, 0);
+  std::printf("\nrunning %zu campaigns x %d runs (%u threads)...\n",
+              specs.size(), n, scheduler.threads());
+  const auto results = scheduler.run_all(specs);
+
+  std::vector<std::string> head{"campaign", "#runs", "EB", "crash",
+                                "min delta (median)"};
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : results) {
+    std::vector<double> dmin;
+    for (const auto& run : r.runs) dmin.push_back(run.min_delta);
+    rows.push_back({r.spec.name, std::to_string(r.n()),
+                    experiments::fmt_pct(r.eb_rate()),
+                    experiments::fmt_pct(r.crash_rate()),
+                    experiments::fmt(stats::median(dmin), 1)});
+  }
+  std::printf("%s", experiments::format_table(head, rows).c_str());
+  std::printf(
+      "\ngolden rows stay accident-free; the no-SH attack rows show how\n"
+      "vulnerable each new family is even without the learned timing.\n");
+  return 0;
+}

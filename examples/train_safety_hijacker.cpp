@@ -19,8 +19,8 @@ int main() {
                        core::AttackVector::kMoveIn}) {
     std::printf("=== oracle for %s ===\n", core::to_string(v));
     std::printf("scenarios: ");
-    for (const auto sid : experiments::scenarios_for(v)) {
-      std::printf("%s ", sim::to_string(sid));
+    for (const auto& key : experiments::scenarios_for(v)) {
+      std::printf("%s ", key.c_str());
     }
     std::printf("\ngenerating (delta_inject, k) sweep: %zu x %zu x %d runs...\n",
                 cfg.delta_triggers.size(), cfg.ks.size(), cfg.repeats);

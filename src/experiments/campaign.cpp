@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "experiments/campaign_grid.hpp"
 #include "experiments/thread_pool.hpp"
 #include "stats/summary.hpp"
 
@@ -118,7 +119,10 @@ RunResult CampaignRunner::run_one(const CampaignSpec& spec,
   const auto attacker_seed = run_rng.engine()();
 
   stats::Rng scenario_rng(scenario_seed);
-  sim::Scenario scenario = sim::make_scenario(spec.scenario, scenario_rng);
+  const auto& registry = sim::ScenarioRegistry::global();
+  sim::Scenario scenario =
+      spec.params ? registry.make(spec.scenario, *spec.params, scenario_rng)
+                  : registry.make(spec.scenario, scenario_rng);
 
   LoopConfig cfg = base_;
   cfg.keep_timeline = false;
@@ -179,45 +183,34 @@ CampaignResult CampaignScheduler::run(const CampaignSpec& spec) const {
 
 std::vector<CampaignSpec> table2_campaigns(int runs_per,
                                            std::uint64_t seed) {
-  using sim::ScenarioId;
   using core::AttackVector;
-  std::vector<CampaignSpec> out;
-  auto add = [&](const char* name, ScenarioId s, AttackVector v,
-                 AttackMode m) {
-    out.push_back({name, s, v, m, runs_per, seed + out.size() * 1000});
-  };
-  add("DS-1-Disappear-R", ScenarioId::kDs1, AttackVector::kDisappear,
-      AttackMode::kRobotack);
-  add("DS-2-Disappear-R", ScenarioId::kDs2, AttackVector::kDisappear,
-      AttackMode::kRobotack);
-  add("DS-1-Move_Out-R", ScenarioId::kDs1, AttackVector::kMoveOut,
-      AttackMode::kRobotack);
-  add("DS-2-Move_Out-R", ScenarioId::kDs2, AttackVector::kMoveOut,
-      AttackMode::kRobotack);
-  add("DS-3-Move_In-R", ScenarioId::kDs3, AttackVector::kMoveIn,
-      AttackMode::kRobotack);
-  add("DS-4-Move_In-R", ScenarioId::kDs4, AttackVector::kMoveIn,
-      AttackMode::kRobotack);
-  add("DS-5-Baseline-Random", ScenarioId::kDs5, AttackVector::kMoveOut,
-      AttackMode::kRandomBaseline);
-  return out;
+  return CampaignGridBuilder()
+      .runs(runs_per)
+      .seed(seed)
+      .vectors({AttackVector::kDisappear, AttackVector::kMoveOut})
+      .scenarios({"DS-1", "DS-2"})
+      .add_grid()
+      .vectors({AttackVector::kMoveIn})
+      .scenarios({"DS-3", "DS-4"})
+      .add_grid()
+      .modes({AttackMode::kRandomBaseline})
+      .vectors({AttackVector::kMoveOut})
+      .scenarios({"DS-5"})
+      .build();
 }
 
 std::vector<CampaignSpec> no_sh_campaigns(int runs_per, std::uint64_t seed) {
-  using sim::ScenarioId;
   using core::AttackVector;
-  std::vector<CampaignSpec> out;
-  auto add = [&](const char* name, ScenarioId s, AttackVector v) {
-    out.push_back({name, s, v, AttackMode::kNoSh, runs_per,
-                   seed + out.size() * 1000});
-  };
-  add("DS-1-Disappear-RwoSH", ScenarioId::kDs1, AttackVector::kDisappear);
-  add("DS-2-Disappear-RwoSH", ScenarioId::kDs2, AttackVector::kDisappear);
-  add("DS-1-Move_Out-RwoSH", ScenarioId::kDs1, AttackVector::kMoveOut);
-  add("DS-2-Move_Out-RwoSH", ScenarioId::kDs2, AttackVector::kMoveOut);
-  add("DS-3-Move_In-RwoSH", ScenarioId::kDs3, AttackVector::kMoveIn);
-  add("DS-4-Move_In-RwoSH", ScenarioId::kDs4, AttackVector::kMoveIn);
-  return out;
+  return CampaignGridBuilder()
+      .runs(runs_per)
+      .seed(seed)
+      .modes({AttackMode::kNoSh})
+      .vectors({AttackVector::kDisappear, AttackVector::kMoveOut})
+      .scenarios({"DS-1", "DS-2"})
+      .add_grid()
+      .vectors({AttackVector::kMoveIn})
+      .scenarios({"DS-3", "DS-4"})
+      .build();
 }
 
 }  // namespace rt::experiments

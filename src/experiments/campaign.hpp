@@ -4,10 +4,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "experiments/closed_loop.hpp"
+#include "sim/scenario_registry.hpp"
 
 namespace rt::experiments {
 
@@ -35,13 +37,16 @@ enum class AttackMode : std::uint8_t {
 }
 
 /// One experimental campaign: N seeded runs of <scenario, vector, mode>.
+/// `scenario` is a ScenarioRegistry key; `params`, when set, overrides the
+/// family defaults for every run (nullopt = paper defaults).
 struct CampaignSpec {
   std::string name;  ///< e.g. "DS-1-Disappear-R"
-  sim::ScenarioId scenario{sim::ScenarioId::kDs1};
+  std::string scenario{"DS-1"};
   core::AttackVector vector{core::AttackVector::kDisappear};
   AttackMode mode{AttackMode::kRobotack};
   int runs{120};
   std::uint64_t seed{1234};
+  std::optional<sim::ScenarioParams> params{};
 };
 
 /// Aggregated campaign outcome (plus every per-run result).
@@ -131,7 +136,8 @@ class CampaignScheduler {
   unsigned threads_;
 };
 
-/// The seven campaigns of Table II (plus golden sanity campaigns).
+/// The seven campaigns of Table II (see campaign_grid.hpp for the builder
+/// these are defined with).
 [[nodiscard]] std::vector<CampaignSpec> table2_campaigns(int runs_per,
                                                          std::uint64_t seed);
 

@@ -46,6 +46,17 @@ std::string format_table(const std::vector<std::string>& header,
   return out;
 }
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows) {
@@ -54,7 +65,7 @@ void write_csv(const std::string& path,
   const auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) os << ',';
-      os << row[i];
+      os << csv_escape(row[i]);
     }
     os << '\n';
   };

@@ -17,7 +17,12 @@ namespace rt::experiments {
 /// Percentage formatting: fmt_pct(0.526) == "52.6%".
 [[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
 
-/// Writes rows as CSV (no quoting — callers pass clean cells).
+/// RFC-4180 cell quoting: cells containing commas, double quotes, CR or LF
+/// are wrapped in double quotes with embedded quotes doubled; clean cells
+/// pass through unchanged.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Writes rows as CSV with RFC-4180 quoting applied per cell.
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);

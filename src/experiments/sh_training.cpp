@@ -6,14 +6,13 @@
 
 namespace rt::experiments {
 
-std::vector<sim::ScenarioId> scenarios_for(core::AttackVector v) {
-  using sim::ScenarioId;
+std::vector<std::string> scenarios_for(core::AttackVector v) {
   switch (v) {
     case core::AttackVector::kMoveOut:
     case core::AttackVector::kDisappear:
-      return {ScenarioId::kDs1, ScenarioId::kDs2};
+      return {"DS-1", "DS-2"};
     case core::AttackVector::kMoveIn:
-      return {ScenarioId::kDs3, ScenarioId::kDs4};
+      return {"DS-3", "DS-4"};
   }
   return {};
 }
@@ -24,12 +23,18 @@ nn::Dataset generate_sh_dataset(core::AttackVector v, const LoopConfig& base,
   std::vector<double> targets;
   stats::Rng root(cfg.seed);
 
-  for (const sim::ScenarioId sid : scenarios_for(v)) {
+  const auto& registry = sim::ScenarioRegistry::global();
+  for (const std::string& key : scenarios_for(v)) {
+    // The registration-stable index keeps the derived streams identical to
+    // the ScenarioId-enum era (DS-1..DS-5 are indices 0..4), so cached
+    // oracles and pinned aggregates survive the registry redesign.
+    const auto scenario_index =
+        static_cast<std::uint64_t>(registry.index_of(key));
     for (const double delta_trigger : cfg.delta_triggers) {
       for (const int k : cfg.ks) {
         for (int rep = 0; rep < cfg.repeats; ++rep) {
           stats::Rng run_rng = root.derive(
-              (static_cast<std::uint64_t>(sid) << 40) ^
+              (scenario_index << 40) ^
               (static_cast<std::uint64_t>(
                    std::llround(delta_trigger * 16.0))
                << 24) ^
@@ -40,7 +45,7 @@ nn::Dataset generate_sh_dataset(core::AttackVector v, const LoopConfig& base,
           const auto attacker_seed = run_rng.engine()();
 
           stats::Rng scenario_rng(scenario_seed);
-          sim::Scenario scenario = sim::make_scenario(sid, scenario_rng);
+          sim::Scenario scenario = registry.make(key, scenario_rng);
 
           LoopConfig loop_cfg = base;
           loop_cfg.keep_timeline = true;

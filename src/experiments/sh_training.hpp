@@ -23,8 +23,8 @@ struct ShTrainingConfig {
 
 /// Which driving scenarios exercise a given attack vector (the paper's
 /// campaign mapping: Move_Out/Disappear on DS-1/DS-2; Move_In on DS-3/DS-4).
-[[nodiscard]] std::vector<sim::ScenarioId> scenarios_for(
-    core::AttackVector v);
+/// Returned as ScenarioRegistry keys.
+[[nodiscard]] std::vector<std::string> scenarios_for(core::AttackVector v);
 
 /// Generates the oracle's dataset for one vector by running scripted
 /// attacks over the (delta_inject, k) grid and labeling each launch with

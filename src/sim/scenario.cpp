@@ -1,5 +1,7 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+
 #include "sim/road.hpp"
 
 namespace rt::sim {
@@ -7,94 +9,98 @@ namespace rt::sim {
 namespace {
 /// Far-away x used as "drive straight ahead forever".
 constexpr double kFarAhead = 3000.0;
+
+Scenario base_scenario(const ScenarioParams& p) {
+  Scenario s;
+  s.duration = p.duration;
+  s.ego_cruise_speed = kph_to_mps(p.ego_speed_kph);
+  s.ego = EgoVehicle(0.0, kph_to_mps(p.ego_speed_kph));
+  return s;
+}
 }  // namespace
 
-Scenario make_ds1() {
-  Scenario s;
-  s.id = ScenarioId::kDs1;
+Scenario make_ds1(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "DS-1";
   s.name = "DS-1";
   s.description =
       "EV follows a 25 kph target vehicle starting 60 m ahead in the ego "
       "lane";
-  s.duration = 40.0;
-  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
   s.target_id = 1;
   s.actors.emplace_back(
-      1, ActorType::kVehicle, math::Vec2{60.0, Road::kEgoLaneCenter},
+      1, ActorType::kVehicle, math::Vec2{p.target_gap, Road::kEgoLaneCenter},
       StartTrigger::immediately(),
       std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
-                             kph_to_mps(25.0)}});
+                             kph_to_mps(p.target_speed_kph)}});
   return s;
 }
 
-Scenario make_ds2() {
-  Scenario s;
-  s.id = ScenarioId::kDs2;
+Scenario make_ds2(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "DS-2";
   s.name = "DS-2";
   s.description = "pedestrian illegally crosses the street ahead of the EV";
-  s.duration = 35.0;
-  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
   s.target_id = 1;
   // The pedestrian waits at the right curb and begins the crossing when the
-  // EV is 60 m away, walking at 1.2 m/s all the way to the opposite curb.
+  // EV comes within the trigger distance, walking at gait speed all the way
+  // to the opposite curb.
   const double start_y = -6.5;
-  const double cross_x = 70.0;
+  const double cross_x = p.trigger_distance;
   s.actors.emplace_back(
       1, ActorType::kPedestrian, math::Vec2{cross_x, start_y},
-      StartTrigger::ego_within(70.0),
-      std::vector<Waypoint>{{{cross_x, 6.5}, 1.05}});
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{{{cross_x, 6.5}, p.pedestrian_gait}});
   return s;
 }
 
-Scenario make_ds3() {
-  Scenario s;
-  s.id = ScenarioId::kDs3;
+Scenario make_ds3(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "DS-3";
   s.name = "DS-3";
   s.description = "target vehicle parked in the parking lane";
-  s.duration = 25.0;
-  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
   s.target_id = 1;
   // Parked: no route, never moves.
   s.actors.emplace_back(1, ActorType::kVehicle,
-                        math::Vec2{120.0, Road::kParkingLaneCenter});
+                        math::Vec2{p.target_gap, Road::kParkingLaneCenter});
   return s;
 }
 
-Scenario make_ds4() {
-  Scenario s;
-  s.id = ScenarioId::kDs4;
+Scenario make_ds4(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "DS-4";
   s.name = "DS-4";
   s.description =
       "pedestrian walks toward the EV in the parking lane for 5 m, then "
       "stands still";
-  s.duration = 25.0;
-  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
   s.target_id = 1;
   s.actors.emplace_back(
-      1, ActorType::kPedestrian, math::Vec2{110.0, Road::kParkingLaneCenter},
-      StartTrigger::ego_within(90.0),
-      std::vector<Waypoint>{{{105.0, Road::kParkingLaneCenter}, 1.4}});
+      1, ActorType::kPedestrian,
+      math::Vec2{p.target_gap, Road::kParkingLaneCenter},
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{{{p.target_gap - p.walk_distance,
+                              Road::kParkingLaneCenter},
+                             p.pedestrian_gait}});
   return s;
 }
 
-Scenario make_ds5(stats::Rng& rng) {
-  Scenario s;
-  s.id = ScenarioId::kDs5;
+Scenario make_ds5(const ScenarioParams& p, stats::Rng& rng) {
+  Scenario s = base_scenario(p);
+  s.key = "DS-5";
   s.name = "DS-5";
   s.description =
       "EV follows a target vehicle; NPC vehicles with randomized speeds and "
       "positions share the road";
-  s.duration = 40.0;
-  s.ego = EgoVehicle(0.0, kph_to_mps(45.0));
   s.target_id = 1;
   s.actors.emplace_back(
-      1, ActorType::kVehicle, math::Vec2{60.0, Road::kEgoLaneCenter},
+      1, ActorType::kVehicle, math::Vec2{p.target_gap, Road::kEgoLaneCenter},
       StartTrigger::immediately(),
       std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
-                             kph_to_mps(25.0)}});
-  // NPC vehicles in the adjacent (oncoming) lane at random speeds.
+                             kph_to_mps(p.target_speed_kph)}});
+  // NPC vehicles in the adjacent (oncoming) lane at random speeds. The
+  // density knob sets the upper count; the paper default (3) draws 2-3.
   ActorId next_id = 2;
-  const int n_oncoming = static_cast<int>(rng.uniform_int(2, 3));
+  const int n_oncoming = static_cast<int>(
+      rng.uniform_int(std::max(0, p.npc_vehicles - 1), p.npc_vehicles));
   for (int i = 0; i < n_oncoming; ++i) {
     const double x0 = rng.uniform(120.0, 400.0);
     const double speed = kph_to_mps(rng.uniform(20.0, 45.0));
@@ -118,31 +124,114 @@ Scenario make_ds5(stats::Rng& rng) {
                                      Road::kParkingLaneCenter});
   }
   // Pedestrians walking along the sidewalks (never entering the road).
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < p.npc_pedestrians; ++i) {
     const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
     const double x0 = rng.uniform(40.0, 260.0);
     s.actors.emplace_back(
         next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
         StartTrigger::immediately(),
-        std::vector<Waypoint>{{{x0 + rng.uniform(-60.0, 60.0), side}, 1.3}});
+        std::vector<Waypoint>{{{x0 + rng.uniform(-60.0, 60.0), side},
+                               p.pedestrian_gait}});
   }
   return s;
 }
 
-Scenario make_scenario(ScenarioId id, stats::Rng& rng) {
-  switch (id) {
-    case ScenarioId::kDs1:
-      return make_ds1();
-    case ScenarioId::kDs2:
-      return make_ds2();
-    case ScenarioId::kDs3:
-      return make_ds3();
-    case ScenarioId::kDs4:
-      return make_ds4();
-    case ScenarioId::kDs5:
-      return make_ds5(rng);
+Scenario make_cut_in(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "cut-in";
+  s.name = "cut-in";
+  s.description =
+      "vehicle in the adjacent lane overtakes and merges into the ego lane "
+      "ahead of the EV, then slows to target speed";
+  s.target_id = 1;
+  // The lead drives ahead in the adjacent lane, merges over one lane width
+  // past the trigger point, then settles to the (slower) target speed in
+  // the ego lane. All legs are position-scripted, so the family is fully
+  // deterministic.
+  const double merge_start_x = p.target_gap + p.trigger_distance;
+  const double merge_end_x = merge_start_x + 35.0;
+  const double fast = kph_to_mps(p.target_speed_kph + 15.0);
+  const double slow = kph_to_mps(p.target_speed_kph);
+  s.actors.emplace_back(
+      1, ActorType::kVehicle,
+      math::Vec2{p.target_gap, Road::kAdjacentLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{
+          {{merge_start_x, Road::kAdjacentLaneCenter}, fast},
+          {{merge_end_x, Road::kEgoLaneCenter}, fast},
+          {{kFarAhead, Road::kEgoLaneCenter}, slow}});
+  return s;
+}
+
+Scenario make_staggered_crossing(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "staggered-crossing";
+  s.name = "staggered-crossing";
+  s.description =
+      "two pedestrians cross from opposite curbs, the second staggered "
+      "further down the road";
+  s.target_id = 1;
+  // Both pedestrians wait on their curb beyond the trigger distance, so the
+  // ego-within gate genuinely fires mid-approach (unlike DS-2, whose
+  // historical trigger is satisfied at t = 0 and kept so for bit-identity).
+  // First pedestrian: crosses from the right curb.
+  const double first_x = p.trigger_distance + 20.0;
+  s.actors.emplace_back(
+      1, ActorType::kPedestrian, math::Vec2{first_x, -6.5},
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{{{first_x, 6.5}, p.pedestrian_gait}});
+  // Second pedestrian: crosses from the left curb, 25 m further ahead, on
+  // the same ego-distance trigger — it fires ~25 m of ego travel later.
+  const double second_x = first_x + 25.0;
+  s.actors.emplace_back(
+      2, ActorType::kPedestrian, math::Vec2{second_x, 6.5},
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{{{second_x, -6.5}, 0.9 * p.pedestrian_gait}});
+  return s;
+}
+
+Scenario make_dense_follow(const ScenarioParams& p, stats::Rng& rng) {
+  Scenario s = base_scenario(p);
+  s.key = "dense-follow";
+  s.name = "dense-follow";
+  s.description =
+      "DS-1-style car following inside randomized dense traffic: NPCs drawn "
+      "into random lanes plus sidewalk pedestrians";
+  s.target_id = 1;
+  s.actors.emplace_back(
+      1, ActorType::kVehicle, math::Vec2{p.target_gap, Road::kEgoLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
+                             kph_to_mps(p.target_speed_kph)}});
+  // NPC vehicles with randomized lane assignment: oncoming traffic in the
+  // adjacent lane or parked in the parking lane.
+  ActorId next_id = 2;
+  for (int i = 0; i < p.npc_vehicles; ++i) {
+    const double x0 = rng.uniform(110.0, 420.0);
+    if (rng.bernoulli(0.6)) {
+      const double speed = kph_to_mps(rng.uniform(20.0, 45.0));
+      s.actors.emplace_back(
+          next_id++, ActorType::kVehicle,
+          math::Vec2{x0, Road::kAdjacentLaneCenter},
+          StartTrigger::immediately(),
+          std::vector<Waypoint>{
+              {{-200.0, Road::kAdjacentLaneCenter}, speed}});
+    } else {
+      s.actors.emplace_back(next_id++, ActorType::kVehicle,
+                            math::Vec2{x0, Road::kParkingLaneCenter});
+    }
   }
-  return make_ds1();
+  // Sidewalk pedestrians as in DS-5.
+  for (int i = 0; i < p.npc_pedestrians; ++i) {
+    const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
+    const double x0 = rng.uniform(40.0, 260.0);
+    s.actors.emplace_back(
+        next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
+        StartTrigger::immediately(),
+        std::vector<Waypoint>{{{x0 + rng.uniform(-60.0, 60.0), side},
+                               p.pedestrian_gait}});
+  }
+  return s;
 }
 
 }  // namespace rt::sim

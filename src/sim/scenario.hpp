@@ -10,24 +10,22 @@
 
 namespace rt::sim {
 
-/// Identifier of the five driving scenarios of §V-C.
-enum class ScenarioId : std::uint8_t { kDs1, kDs2, kDs3, kDs4, kDs5 };
-
-[[nodiscard]] constexpr const char* to_string(ScenarioId id) {
-  switch (id) {
-    case ScenarioId::kDs1:
-      return "DS-1";
-    case ScenarioId::kDs2:
-      return "DS-2";
-    case ScenarioId::kDs3:
-      return "DS-3";
-    case ScenarioId::kDs4:
-      return "DS-4";
-    case ScenarioId::kDs5:
-      return "DS-5";
-  }
-  return "?";
-}
+/// Tunable knobs of a scenario family. Every registered generator reads the
+/// subset that makes sense for its family and ignores the rest; each
+/// `ScenarioSpec` carries the family defaults that reproduce the paper's
+/// hand-scripted LGSVL world exactly, so instantiating a family without
+/// overrides is bit-identical to the historical factory.
+struct ScenarioParams {
+  double duration{40.0};          ///< seconds of simulated time
+  double ego_speed_kph{45.0};     ///< EV cruise speed
+  double target_speed_kph{25.0};  ///< scripted speed of the target vehicle
+  double target_gap{60.0};        ///< initial ego->target longitudinal gap, m
+  double pedestrian_gait{1.05};   ///< walking speed of scripted pedestrians, m/s
+  double trigger_distance{70.0};  ///< ego-within distance that starts motion
+  double walk_distance{5.0};      ///< approach distance before standing, m
+  int npc_vehicles{3};            ///< NPC vehicle density (random families)
+  int npc_pedestrians{3};         ///< sidewalk pedestrian count (random families)
+};
 
 /// A fully-specified driving scenario: ego start state + scripted actors.
 ///
@@ -35,7 +33,7 @@ enum class ScenarioId : std::uint8_t { kDs1, kDs2, kDs3, kDs4, kDs5 };
 /// take place on a straight 50 kph road ("Borregas Avenue"); the EV cruises
 /// at 45 kph unless the scenario says otherwise.
 struct Scenario {
-  ScenarioId id{ScenarioId::kDs1};
+  std::string key;  ///< registry key of the family this was built from
   std::string name;
   std::string description;
   double duration{40.0};            ///< seconds of simulated time
@@ -52,27 +50,40 @@ struct Scenario {
 
 /// DS-1: EV follows a target vehicle driving at 25 kph that starts 60 m
 /// ahead in the ego lane. Evaluates Disappear / Move_Out on a vehicle.
-[[nodiscard]] Scenario make_ds1();
+[[nodiscard]] Scenario make_ds1(const ScenarioParams& p);
 
 /// DS-2: a pedestrian illegally crosses the street ahead of the EV; the
 /// golden run stops >= 10 m short. Evaluates Disappear / Move_Out on a
 /// pedestrian.
-[[nodiscard]] Scenario make_ds2();
+[[nodiscard]] Scenario make_ds2(const ScenarioParams& p);
 
 /// DS-3: a target vehicle is parked in the parking lane; the golden run
 /// lane-keeps. Evaluates Move_In on a vehicle.
-[[nodiscard]] Scenario make_ds3();
+[[nodiscard]] Scenario make_ds3(const ScenarioParams& p);
 
 /// DS-4: a pedestrian walks longitudinally toward the EV in the parking
 /// lane for 5 m, then stands still; the golden run slows to 35 kph.
 /// Evaluates Move_In on a pedestrian.
-[[nodiscard]] Scenario make_ds4();
+[[nodiscard]] Scenario make_ds4(const ScenarioParams& p);
 
 /// DS-5: EV follows a target vehicle as in DS-1 with additional NPC
 /// vehicles at randomized speeds/positions. Baseline-random scenario.
-[[nodiscard]] Scenario make_ds5(stats::Rng& rng);
+[[nodiscard]] Scenario make_ds5(const ScenarioParams& p, stats::Rng& rng);
 
-/// Builds the scenario with the given id (DS-5 consumes randomness).
-[[nodiscard]] Scenario make_scenario(ScenarioId id, stats::Rng& rng);
+/// cut-in: a faster vehicle in the adjacent lane overtakes-and-merges into
+/// the ego lane ahead of the EV, then slows to target speed. Not in the
+/// paper; exercises Move_* on a laterally moving vehicle victim.
+[[nodiscard]] Scenario make_cut_in(const ScenarioParams& p);
+
+/// staggered-crossing: two pedestrians cross the street from opposite
+/// curbs, the second offset further down the road so the EV meets them in
+/// sequence. Not in the paper; stresses multi-victim selection.
+[[nodiscard]] Scenario make_staggered_crossing(const ScenarioParams& p);
+
+/// dense-follow: DS-1-style car following inside randomized dense traffic —
+/// NPC vehicles drawn into random lanes (oncoming or parked) plus sidewalk
+/// pedestrians. Not in the paper; a harder, noisier DS-1.
+[[nodiscard]] Scenario make_dense_follow(const ScenarioParams& p,
+                                         stats::Rng& rng);
 
 }  // namespace rt::sim

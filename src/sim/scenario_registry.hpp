@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace rt::sim {
+
+/// One registered scenario family: a string key, a human description, the
+/// parameter defaults that reproduce the family's canonical world, and the
+/// generator that instantiates a `Scenario` from parameters (+ randomness
+/// for stochastic families; deterministic families simply ignore the Rng).
+struct ScenarioSpec {
+  using Generator =
+      std::function<Scenario(const ScenarioParams&, stats::Rng&)>;
+
+  std::string key;
+  std::string description;
+  ScenarioParams defaults{};
+  Generator generate;
+};
+
+/// Process-wide registry of scenario families. The paper's DS-1..DS-5 are
+/// pre-registered (in that order, so their indices are stable across
+/// releases), followed by the extended families; user code can append its
+/// own families at startup and drive them through the same campaign
+/// machinery.
+///
+/// Lookup/instantiation is const and safe to call concurrently (the
+/// parallel campaign engine does); registration is not synchronized and
+/// belongs in single-threaded startup code.
+class ScenarioRegistry {
+ public:
+  /// Registers a new family. Throws std::invalid_argument on an empty key,
+  /// a missing generator, or a duplicate key.
+  void register_scenario(ScenarioSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Throws std::out_of_range (listing the known keys) when absent.
+  [[nodiscard]] const ScenarioSpec& get(const std::string& key) const;
+
+  /// Registration-stable index of the family (DS-1..DS-5 are 0..4). Used
+  /// to derive deterministic RNG streams from a scenario choice.
+  [[nodiscard]] std::size_t index_of(const std::string& key) const;
+
+  /// Keys in registration order — stable for the lifetime of the registry
+  /// (appending new families never reorders existing ones).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// The family defaults (a copy — tweak and pass back to `make`).
+  [[nodiscard]] ScenarioParams defaults(const std::string& key) const;
+
+  /// Instantiates the family with its paper-default parameters.
+  [[nodiscard]] Scenario make(const std::string& key, stats::Rng& rng) const;
+
+  /// Instantiates the family with explicit parameter overrides.
+  [[nodiscard]] Scenario make(const std::string& key,
+                              const ScenarioParams& params,
+                              stats::Rng& rng) const;
+
+  /// The process-wide registry, with all built-in families registered.
+  [[nodiscard]] static ScenarioRegistry& global();
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Builds a scenario from the global registry with family defaults.
+/// (Deterministic families ignore `rng`.)
+[[nodiscard]] Scenario make_scenario(const std::string& key, stats::Rng& rng);
+
+/// Named access to ScenarioParams fields, for CLI flags and grid sweeps.
+/// Unknown names throw std::invalid_argument listing the valid ones.
+[[nodiscard]] std::vector<std::string> scenario_param_names();
+void set_scenario_param(ScenarioParams& params, const std::string& name,
+                        double value);
+[[nodiscard]] double get_scenario_param(const ScenarioParams& params,
+                                        const std::string& name);
+
+}  // namespace rt::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "experiments/campaign.hpp"
+#include "experiments/campaign_grid.hpp"
 #include "experiments/sh_training.hpp"
 #include "experiments/thread_pool.hpp"
 
@@ -90,7 +91,7 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
 }
 
 CampaignSpec small_spec() {
-  return {"DS-1-Disappear-R-x8", sim::ScenarioId::kDs1,
+  return {"DS-1-Disappear-R-x8", "DS-1",
           core::AttackVector::kDisappear, AttackMode::kRobotack, 8, 777};
 }
 
@@ -120,11 +121,11 @@ TEST(CampaignScheduler, GridKeepsSpecOrderAndReportsProgress) {
   LoopConfig loop;
   CampaignRunner runner(loop, {});
   std::vector<CampaignSpec> specs{
-      {"a", sim::ScenarioId::kDs1, core::AttackVector::kDisappear,
+      {"a", "DS-1", core::AttackVector::kDisappear,
        AttackMode::kNoSh, 3, 1},
-      {"b", sim::ScenarioId::kDs3, core::AttackVector::kMoveIn,
+      {"b", "DS-3", core::AttackVector::kMoveIn,
        AttackMode::kGolden, 2, 2},
-      {"c", sim::ScenarioId::kDs2, core::AttackVector::kMoveOut,
+      {"c", "DS-2", core::AttackVector::kMoveOut,
        AttackMode::kNoSh, 4, 3},
   };
   CampaignScheduler scheduler(runner, 4);
@@ -154,9 +155,9 @@ TEST(CampaignScheduler, GridMatchesPerSpecSerialRuns) {
   LoopConfig loop;
   CampaignRunner runner(loop, {});
   std::vector<CampaignSpec> specs{
-      {"x", sim::ScenarioId::kDs2, core::AttackVector::kDisappear,
+      {"x", "DS-2", core::AttackVector::kDisappear,
        AttackMode::kNoSh, 4, 11},
-      {"y", sim::ScenarioId::kDs5, core::AttackVector::kMoveOut,
+      {"y", "DS-5", core::AttackVector::kMoveOut,
        AttackMode::kRandomBaseline, 4, 12},
   };
   const auto grid = CampaignScheduler(runner, 0).run_all(specs);
@@ -186,6 +187,30 @@ TEST(CampaignScheduler, SharedOracleRobotackModeIsDeterministic) {
   EXPECT_GT(one.triggered_count(), 0);  // the oracle actually fires
   const auto many = CampaignScheduler(runner, 8).run(small_spec());
   expect_identical(one, many);
+}
+
+TEST(CampaignScheduler, NewScenarioFamiliesDeterministicAcrossThreads) {
+  // The three extended families (one deterministic cut-in, one two-victim
+  // crossing, one randomized dense-traffic) run green through a grid-built
+  // campaign with bit-identical 1-vs-N-thread results.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const auto specs =
+      CampaignGridBuilder()
+          .runs(4)
+          .seed(2468)
+          .modes({AttackMode::kNoSh})
+          .vectors({core::AttackVector::kMoveOut})
+          .scenarios({"cut-in", "staggered-crossing", "dense-follow"})
+          .build();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "cut-in-Move_Out-RwoSH");
+  const auto one = CampaignScheduler(runner, 1).run_all(specs);
+  const auto many = CampaignScheduler(runner, 8).run_all(specs);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_identical(one[i], many[i]);
+  }
 }
 
 TEST(CampaignRunner, RunOneIsPureFunctionOfSpecAndIndex) {

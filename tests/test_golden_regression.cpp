@@ -106,7 +106,7 @@ TEST(GoldenTableII, Ds1DisappearMiniCampaign) {
 
   experiments::CampaignRunner runner(loop, oracles);
   experiments::CampaignSpec spec{"DS-1-Disappear-R",
-                                 sim::ScenarioId::kDs1,
+                                 "DS-1",
                                  AttackVector::kDisappear,
                                  experiments::AttackMode::kRobotack,
                                  8,

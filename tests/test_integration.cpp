@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "experiments/campaign.hpp"
 #include "experiments/characterization.hpp"
 #include "experiments/reporting.hpp"
@@ -9,7 +11,7 @@ namespace rt::experiments {
 namespace {
 
 /// Golden runs of every scenario must be accident-free.
-class GoldenRunTest : public ::testing::TestWithParam<sim::ScenarioId> {};
+class GoldenRunTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(GoldenRunTest, NoAccident) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
@@ -18,18 +20,17 @@ TEST_P(GoldenRunTest, NoAccident) {
     sim::Scenario sc = sim::make_scenario(GetParam(), rng);
     ClosedLoop cl(sc, loop, seed * 97);
     const RunResult r = cl.run();
-    EXPECT_FALSE(r.crash) << sim::to_string(GetParam()) << " seed " << seed;
+    EXPECT_FALSE(r.crash) << GetParam() << " seed " << seed;
     EXPECT_FALSE(r.collision);
     EXPECT_GT(r.min_delta, 4.0);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, GoldenRunTest,
-                         ::testing::Values(sim::ScenarioId::kDs1,
-                                           sim::ScenarioId::kDs2,
-                                           sim::ScenarioId::kDs3,
-                                           sim::ScenarioId::kDs4,
-                                           sim::ScenarioId::kDs5));
+                         ::testing::Values("DS-1", "DS-2", "DS-3", "DS-4",
+                                           "DS-5", "cut-in",
+                                           "staggered-crossing",
+                                           "dense-follow"));
 
 TEST(AttackedRun, ScriptedDisappearOnDs2CausesAccidents) {
   // Even with dumb scripted timing (no NN), hiding the crossing pedestrian
@@ -40,7 +41,7 @@ TEST(AttackedRun, ScriptedDisappearOnDs2CausesAccidents) {
   for (int i = 0; i < 6; ++i) {
     LoopConfig loop;
     stats::Rng rng(7);
-    sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs2, rng);
+    sim::Scenario sc = sim::make_scenario("DS-2", rng);
     ClosedLoop cl(sc, loop, 1001 + i);
     auto cfg = make_attacker_config(loop, core::AttackVector::kDisappear,
                                     core::TimingPolicy::kAtDeltaThreshold);
@@ -59,7 +60,7 @@ TEST(AttackedRun, ScriptedDisappearOnDs2CausesAccidents) {
 TEST(AttackedRun, ScriptedMoveOutOnDs1ForcesHardOutcome) {
   LoopConfig loop;
   stats::Rng rng(7);
-  sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs1, rng);
+  sim::Scenario sc = sim::make_scenario("DS-1", rng);
   ClosedLoop cl(sc, loop, 1001);
   auto cfg = make_attacker_config(loop, core::AttackVector::kMoveOut,
                                   core::TimingPolicy::kAtDeltaThreshold);
@@ -107,7 +108,7 @@ TEST(Campaign, SpecsCoverTable2) {
 TEST(Campaign, GoldenModeRunsWithoutAttacker) {
   LoopConfig loop;
   CampaignRunner runner(loop, {});
-  CampaignSpec spec{"golden", sim::ScenarioId::kDs3,
+  CampaignSpec spec{"golden", "DS-3",
                     core::AttackVector::kMoveIn, AttackMode::kGolden, 3, 42};
   const auto result = runner.run(spec);
   EXPECT_EQ(result.n(), 3);
@@ -118,7 +119,7 @@ TEST(Campaign, GoldenModeRunsWithoutAttacker) {
 TEST(Campaign, DeterministicAcrossInvocations) {
   LoopConfig loop;
   CampaignRunner runner(loop, {});
-  CampaignSpec spec{"nosh", sim::ScenarioId::kDs2,
+  CampaignSpec spec{"nosh", "DS-2",
                     core::AttackVector::kDisappear, AttackMode::kNoSh, 3, 5};
   const auto a = runner.run(spec);
   const auto b = runner.run(spec);
@@ -186,6 +187,34 @@ TEST(Reporting, TableAndFormat) {
   EXPECT_EQ(fmt_pct(0.526), "52.6%");
 }
 
+TEST(Reporting, CsvEscapeRfc4180) {
+  // Clean cells pass through untouched.
+  EXPECT_EQ(csv_escape("DS-1-Disappear-R"), "DS-1-Disappear-R");
+  EXPECT_EQ(csv_escape(""), "");
+  // Commas, quotes and newlines force quoting; inner quotes double.
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rcell"), "\"cr\rcell\"");
+  EXPECT_EQ(csv_escape("both,\"x\""), "\"both,\"\"x\"\"\"");
+}
+
+TEST(Reporting, WriteCsvQuotesDirtyCells) {
+  const std::string path =
+      ::testing::TempDir() + "/robotack_write_csv_test.csv";
+  write_csv(path, {"id", "note"},
+            {{"r1", "contains, comma"}, {"r2", "quote \" inside"}});
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "id,note");
+  std::getline(is, line);
+  EXPECT_EQ(line, "r1,\"contains, comma\"");
+  std::getline(is, line);
+  EXPECT_EQ(line, "r2,\"quote \"\" inside\"");
+}
+
 TEST(Ids, RandomLongDisappearTripsAbsenceTest) {
   // A random-length Disappear on a LiDAR-visible vehicle beyond the streak
   // p99 must be flagged; RoboTack's K_max-bounded one on DS-1 stays under
@@ -193,7 +222,7 @@ TEST(Ids, RandomLongDisappearTripsAbsenceTest) {
   LoopConfig loop;
   loop.enable_ids = true;
   stats::Rng rng(7);
-  sim::Scenario sc = sim::make_scenario(sim::ScenarioId::kDs1, rng);
+  sim::Scenario sc = sim::make_scenario("DS-1", rng);
   ClosedLoop cl(sc, loop, 31);
   auto cfg = make_attacker_config(loop, core::AttackVector::kDisappear,
                                   core::TimingPolicy::kAtDeltaThreshold);

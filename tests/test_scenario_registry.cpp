@@ -1,0 +1,306 @@
+// Scenario-registry and campaign-grid tests: unknown-key errors, key
+// ordering stability, parameter-override determinism, and golden pins
+// asserting the registry-built paper scenarios (and the grid-built Table II
+// spec list) are identical to their pre-registry hand-rolled versions.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "experiments/campaign.hpp"
+#include "experiments/campaign_grid.hpp"
+#include "sim/road.hpp"
+#include "sim/scenario_registry.hpp"
+
+namespace rt {
+namespace {
+
+using experiments::AttackMode;
+using experiments::CampaignGridBuilder;
+using experiments::CampaignRunner;
+using experiments::CampaignSpec;
+using experiments::LoopConfig;
+using sim::Scenario;
+using sim::ScenarioParams;
+using sim::ScenarioRegistry;
+
+TEST(ScenarioRegistry, UnknownKeyThrowsListingKnownKeys) {
+  const auto& reg = ScenarioRegistry::global();
+  EXPECT_FALSE(reg.contains("DS-99"));
+  stats::Rng rng(1);
+  try {
+    (void)reg.make("DS-99", rng);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DS-99"), std::string::npos);
+    EXPECT_NE(what.find("DS-1"), std::string::npos);  // lists known keys
+  }
+  EXPECT_THROW((void)reg.get(""), std::out_of_range);
+  EXPECT_THROW((void)reg.defaults("nope"), std::out_of_range);
+  EXPECT_THROW((void)reg.index_of("nope"), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, RegistrationValidation) {
+  ScenarioRegistry reg;
+  EXPECT_THROW(reg.register_scenario({"", "desc", {}, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_scenario({"k", "no generator", {}, nullptr}),
+               std::invalid_argument);
+  const auto gen = [](const ScenarioParams& p, stats::Rng&) {
+    Scenario s;
+    s.key = "k";
+    s.duration = p.duration;
+    return s;
+  };
+  reg.register_scenario({"k", "ok", {}, gen});
+  EXPECT_THROW(reg.register_scenario({"k", "duplicate", {}, gen}),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ScenarioRegistry, KeysOrderingIsRegistrationStable) {
+  const auto& reg = ScenarioRegistry::global();
+  const auto keys = reg.keys();
+  ASSERT_GE(keys.size(), 8u);
+  // The paper's five scenarios keep their enum-era indices 0..4 forever
+  // (SH-training RNG streams derive from them), extended families follow.
+  const std::vector<std::string> builtins{
+      "DS-1", "DS-2", "DS-3", "DS-4", "DS-5",
+      "cut-in", "staggered-crossing", "dense-follow"};
+  for (std::size_t i = 0; i < builtins.size(); ++i) {
+    EXPECT_EQ(keys[i], builtins[i]) << "index " << i;
+    EXPECT_EQ(reg.index_of(builtins[i]), i);
+  }
+  // Repeated calls return the identical ordering.
+  EXPECT_EQ(reg.keys(), keys);
+  // Appending never reorders existing keys.
+  ScenarioRegistry local;
+  const auto gen = [](const ScenarioParams&, stats::Rng&) {
+    return Scenario{};
+  };
+  local.register_scenario({"first", "", {}, gen});
+  local.register_scenario({"second", "", {}, gen});
+  EXPECT_EQ(local.keys(), (std::vector<std::string>{"first", "second"}));
+  local.register_scenario({"third", "", {}, gen});
+  EXPECT_EQ(local.index_of("first"), 0u);
+  EXPECT_EQ(local.index_of("third"), 2u);
+}
+
+// ------------------------------------------- golden pins (pre-redesign)
+
+// The registry-built paper scenarios must be bit-identical to the scripted
+// worlds of the ScenarioId-enum era. These constants are the hand-rolled
+// factory values from before the redesign — do not derive them from
+// ScenarioParams defaults, that would make the pin circular.
+
+TEST(ScenarioRegistryGolden, Ds1MatchesPreRedesignFactory) {
+  stats::Rng rng(3);
+  const Scenario s = ScenarioRegistry::global().make("DS-1", rng);
+  EXPECT_EQ(s.key, "DS-1");
+  EXPECT_DOUBLE_EQ(s.duration, 40.0);
+  EXPECT_DOUBLE_EQ(s.ego_cruise_speed, 45.0 / 3.6);
+  EXPECT_EQ(s.target_id, 1);
+  ASSERT_EQ(s.actors.size(), 1u);
+  EXPECT_EQ(s.actors[0].type(), sim::ActorType::kVehicle);
+  EXPECT_DOUBLE_EQ(s.actors[0].state().position.x, 60.0);
+  EXPECT_DOUBLE_EQ(s.actors[0].state().position.y, 0.0);
+}
+
+TEST(ScenarioRegistryGolden, Ds2ThroughDs4MatchPreRedesignFactories) {
+  stats::Rng rng(3);
+  const auto& reg = ScenarioRegistry::global();
+
+  const Scenario ds2 = reg.make("DS-2", rng);
+  EXPECT_DOUBLE_EQ(ds2.duration, 35.0);
+  ASSERT_EQ(ds2.actors.size(), 1u);
+  EXPECT_EQ(ds2.actors[0].type(), sim::ActorType::kPedestrian);
+  EXPECT_DOUBLE_EQ(ds2.actors[0].state().position.x, 70.0);
+  EXPECT_DOUBLE_EQ(ds2.actors[0].state().position.y, -6.5);
+
+  const Scenario ds3 = reg.make("DS-3", rng);
+  EXPECT_DOUBLE_EQ(ds3.duration, 25.0);
+  ASSERT_EQ(ds3.actors.size(), 1u);
+  EXPECT_DOUBLE_EQ(ds3.actors[0].state().position.x, 120.0);
+  EXPECT_DOUBLE_EQ(ds3.actors[0].state().position.y,
+                   sim::Road::kParkingLaneCenter);
+
+  const Scenario ds4 = reg.make("DS-4", rng);
+  EXPECT_DOUBLE_EQ(ds4.duration, 25.0);
+  ASSERT_EQ(ds4.actors.size(), 1u);
+  EXPECT_EQ(ds4.actors[0].type(), sim::ActorType::kPedestrian);
+  EXPECT_DOUBLE_EQ(ds4.actors[0].state().position.x, 110.0);
+  EXPECT_DOUBLE_EQ(ds4.actors[0].state().position.y,
+                   sim::Road::kParkingLaneCenter);
+}
+
+TEST(ScenarioRegistryGolden, Ds5ConsumesRngIdenticallyAcrossBuilds) {
+  // DS-5 draws its NPC layout from the Rng; the same seed must give the
+  // same world (actor-for-actor), different seeds a different one.
+  stats::Rng r1(11);
+  stats::Rng r2(11);
+  stats::Rng r3(12);
+  const Scenario a = ScenarioRegistry::global().make("DS-5", r1);
+  const Scenario b = ScenarioRegistry::global().make("DS-5", r2);
+  const Scenario c = ScenarioRegistry::global().make("DS-5", r3);
+  ASSERT_EQ(a.actors.size(), b.actors.size());
+  for (std::size_t i = 0; i < a.actors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.actors[i].state().position.x,
+                     b.actors[i].state().position.x);
+    EXPECT_DOUBLE_EQ(a.actors[i].state().position.y,
+                     b.actors[i].state().position.y);
+  }
+  bool differs = a.actors.size() != c.actors.size();
+  for (std::size_t i = 0; !differs && i < a.actors.size(); ++i) {
+    differs =
+        a.actors[i].state().position.x != c.actors[i].state().position.x;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --------------------------------------------- parameter overrides
+
+TEST(ScenarioRegistry, ParameterOverridesReachTheWorld) {
+  const auto& reg = ScenarioRegistry::global();
+  stats::Rng rng(3);
+  ScenarioParams p = reg.defaults("DS-1");
+  p.target_gap = 85.0;
+  p.target_speed_kph = 30.0;
+  p.duration = 55.0;
+  const Scenario s = reg.make("DS-1", p, rng);
+  EXPECT_DOUBLE_EQ(s.duration, 55.0);
+  ASSERT_EQ(s.actors.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.actors[0].state().position.x, 85.0);
+}
+
+TEST(ScenarioRegistry, NamedParamAccess) {
+  ScenarioParams p;
+  sim::set_scenario_param(p, "target_gap", 77.0);
+  EXPECT_DOUBLE_EQ(p.target_gap, 77.0);
+  sim::set_scenario_param(p, "npc_vehicles", 6.0);
+  EXPECT_EQ(p.npc_vehicles, 6);
+  EXPECT_DOUBLE_EQ(sim::get_scenario_param(p, "npc_vehicles"), 6.0);
+  EXPECT_THROW(sim::set_scenario_param(p, "not_a_param", 1.0),
+               std::invalid_argument);
+  const auto names = sim::scenario_param_names();
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "duration");
+}
+
+TEST(ScenarioRegistry, ParameterOverrideCampaignsAreDeterministic) {
+  // Same key + params + seed -> identical RunResult, run after run.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  CampaignSpec spec{"dense-nosh", "dense-follow",
+                    core::AttackVector::kMoveOut, AttackMode::kNoSh, 3,
+                    1357};
+  spec.params = sim::ScenarioRegistry::global().defaults("dense-follow");
+  spec.params->npc_vehicles = 7;
+  spec.params->target_speed_kph = 22.0;
+  const auto a = runner.run(spec);
+  const auto b = runner.run(spec);
+  ASSERT_EQ(a.n(), b.n());
+  for (int i = 0; i < a.n(); ++i) {
+    const auto& ra = a.runs[static_cast<std::size_t>(i)];
+    const auto& rb = b.runs[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ra.eb, rb.eb) << i;
+    EXPECT_EQ(ra.crash, rb.crash) << i;
+    EXPECT_DOUBLE_EQ(ra.min_delta, rb.min_delta) << i;
+    EXPECT_DOUBLE_EQ(ra.end_time, rb.end_time) << i;
+  }
+  // And the override demonstrably changes the world vs family defaults.
+  CampaignSpec defaults_spec = spec;
+  defaults_spec.params.reset();
+  stats::Rng rng_a(5);
+  stats::Rng rng_b(5);
+  const auto& reg = sim::ScenarioRegistry::global();
+  EXPECT_NE(reg.make(spec.scenario, *spec.params, rng_a).actors.size(),
+            reg.make(defaults_spec.scenario, rng_b).actors.size());
+}
+
+// ------------------------------------------------- campaign grid builder
+
+TEST(CampaignGridBuilder, Table2GridMatchesHistoricalHandRolledList) {
+  // table2_campaigns is now grid-built; its specs must equal the old
+  // hand-rolled table cell for cell (names, scenario keys, modes, seeds).
+  const auto specs = experiments::table2_campaigns(10, 500);
+  ASSERT_EQ(specs.size(), 7u);
+  const struct {
+    const char* name;
+    const char* scenario;
+    AttackMode mode;
+  } expected[] = {
+      {"DS-1-Disappear-R", "DS-1", AttackMode::kRobotack},
+      {"DS-2-Disappear-R", "DS-2", AttackMode::kRobotack},
+      {"DS-1-Move_Out-R", "DS-1", AttackMode::kRobotack},
+      {"DS-2-Move_Out-R", "DS-2", AttackMode::kRobotack},
+      {"DS-3-Move_In-R", "DS-3", AttackMode::kRobotack},
+      {"DS-4-Move_In-R", "DS-4", AttackMode::kRobotack},
+      {"DS-5-Baseline-Random", "DS-5", AttackMode::kRandomBaseline},
+  };
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, expected[i].name) << i;
+    EXPECT_EQ(specs[i].scenario, expected[i].scenario) << i;
+    EXPECT_EQ(specs[i].mode, expected[i].mode) << i;
+    EXPECT_EQ(specs[i].runs, 10) << i;
+    EXPECT_EQ(specs[i].seed, 500 + i * 1000) << i;
+    EXPECT_FALSE(specs[i].params.has_value()) << i;
+  }
+  const auto nosh = experiments::no_sh_campaigns(10, 500);
+  ASSERT_EQ(nosh.size(), 6u);
+  EXPECT_EQ(nosh.front().name, "DS-1-Disappear-RwoSH");
+  EXPECT_EQ(nosh.back().name, "DS-4-Move_In-RwoSH");
+  EXPECT_EQ(nosh.back().seed, 500 + 5 * 1000);
+}
+
+TEST(CampaignGridBuilder, SweepBuildsParamCrossProduct) {
+  const auto specs = CampaignGridBuilder()
+                         .runs(4)
+                         .seed(9)
+                         .modes({AttackMode::kGolden})
+                         .scenarios({"DS-1"})
+                         .sweep("target_speed_kph", {20.0, 30.0})
+                         .sweep("target_gap", {50.0, 70.0, 90.0})
+                         .build();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "DS-1-Golden-target_speed_kph=20-target_gap=50");
+  EXPECT_EQ(specs[5].name, "DS-1-Golden-target_speed_kph=30-target_gap=90");
+  ASSERT_TRUE(specs[4].params.has_value());
+  EXPECT_DOUBLE_EQ(specs[4].params->target_speed_kph, 30.0);
+  EXPECT_DOUBLE_EQ(specs[4].params->target_gap, 70.0);
+  // Non-swept fields keep the family defaults.
+  EXPECT_DOUBLE_EQ(specs[4].params->duration, 40.0);
+  // Seeds keep counting across the grid.
+  EXPECT_EQ(specs[5].seed, 9u + 5u * 1000u);
+}
+
+TEST(CampaignGridBuilder, GoldenAndBaselineCollapseVectorAxis) {
+  // Golden runs carry no attacker and Baseline-Random randomizes its own
+  // vector, so multi-vector grids must not duplicate those campaigns.
+  const auto specs = CampaignGridBuilder()
+                         .runs(2)
+                         .seed(1)
+                         .modes({AttackMode::kGolden, AttackMode::kNoSh})
+                         .vectors({core::AttackVector::kDisappear,
+                                   core::AttackVector::kMoveOut})
+                         .scenarios({"DS-1"})
+                         .build();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "DS-1-Golden");
+  EXPECT_EQ(specs[1].name, "DS-1-Disappear-RwoSH");
+  EXPECT_EQ(specs[2].name, "DS-1-Move_Out-RwoSH");
+}
+
+TEST(CampaignGridBuilder, RejectsBadInput) {
+  EXPECT_THROW(CampaignGridBuilder().build(), std::invalid_argument);
+  EXPECT_THROW(CampaignGridBuilder().scenarios({"DS-99"}).build(),
+               std::out_of_range);
+  EXPECT_THROW(CampaignGridBuilder().scenarios({"DS-1"}).sweep("bogus", {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CampaignGridBuilder().scenarios({"DS-1"}).sweep("target_gap", {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt

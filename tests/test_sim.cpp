@@ -3,7 +3,7 @@
 #include "sim/actor.hpp"
 #include "sim/ego_vehicle.hpp"
 #include "sim/road.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 #include "sim/world.hpp"
 
 namespace rt::sim {
@@ -143,11 +143,12 @@ TEST(World, NearestInPath) {
   EXPECT_EQ(nearest->id, 2);  // in-lane and closest ahead
 }
 
-class ScenarioBuildTest : public ::testing::TestWithParam<ScenarioId> {};
+class ScenarioBuildTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ScenarioBuildTest, ConstructsConsistentWorld) {
   stats::Rng rng(3);
   const Scenario s = make_scenario(GetParam(), rng);
+  EXPECT_EQ(s.key, GetParam());
   EXPECT_FALSE(s.actors.empty());
   EXPECT_GT(s.duration, 5.0);
   EXPECT_GT(s.ego_cruise_speed, 0.0);
@@ -161,15 +162,16 @@ TEST_P(ScenarioBuildTest, ConstructsConsistentWorld) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioBuildTest,
-                         ::testing::Values(ScenarioId::kDs1, ScenarioId::kDs2,
-                                           ScenarioId::kDs3, ScenarioId::kDs4,
-                                           ScenarioId::kDs5));
+                         ::testing::Values("DS-1", "DS-2", "DS-3", "DS-4",
+                                           "DS-5", "cut-in",
+                                           "staggered-crossing",
+                                           "dense-follow"));
 
 TEST(Scenario, Ds5Randomized) {
   stats::Rng r1(1);
   stats::Rng r2(2);
-  const Scenario a = make_ds5(r1);
-  const Scenario b = make_ds5(r2);
+  const Scenario a = make_scenario("DS-5", r1);
+  const Scenario b = make_scenario("DS-5", r2);
   // Different seeds produce different NPC layouts.
   bool differs = a.actors.size() != b.actors.size();
   for (std::size_t i = 0; !differs && i < a.actors.size() && i < b.actors.size();
