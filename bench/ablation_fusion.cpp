@@ -9,11 +9,12 @@
 
 using namespace rt;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/111);
   bench::header("Ablation — sensor fusion (DS-1 Move_Out, vehicle victim)");
   experiments::LoopConfig base;
   const auto oracles = bench::oracles(base);
-  const int n = bench::runs_per_campaign();
+  const int n = opts.runs;
 
   struct Case {
     const char* label;
@@ -34,22 +35,26 @@ int main() {
     loop.lidar.vehicle_range = c.vehicle_range;
     loop.fusion.lidar_weight_vehicle = c.lidar_weight;
     experiments::CampaignRunner runner(loop, oracles);
+    experiments::CampaignScheduler scheduler(runner, opts.threads);
 
     experiments::CampaignSpec golden{"golden", "DS-1",
                                      core::AttackVector::kMoveOut,
                                      experiments::AttackMode::kGolden,
-                                     std::max(8, n / 2), 111};
+                                     std::max(8, n / 2), opts.seed,
+                                     std::nullopt};
     experiments::CampaignSpec attack{"attack", "DS-1",
                                      core::AttackVector::kMoveOut,
                                      experiments::AttackMode::kRobotack, n,
-                                     222};
-    const auto g = runner.run(golden);
-    const auto a = runner.run(attack);
+                                     opts.seed + 111, std::nullopt};
+    const auto results = scheduler.run_all({golden, attack});
+    const auto& g = results[0];
+    const auto& a = results[1];
     rows.push_back({c.label, experiments::fmt_pct(g.eb_rate()),
                     experiments::fmt_pct(a.eb_rate()),
                     experiments::fmt_pct(a.crash_rate())});
   }
   std::printf("%s", experiments::format_table(head, rows).c_str());
+  bench::maybe_write_csv(opts, head, rows);
   std::printf(
       "\nexpected: without LiDAR corroboration the camera-channel attack\n"
       "gets easier (and the golden runs less stable) — fusion is the\n"

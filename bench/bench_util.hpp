@@ -8,7 +8,10 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "experiments/campaign.hpp"
+#include "experiments/reporting.hpp"
 #include "experiments/sh_training.hpp"
 
 namespace rt::bench {
@@ -113,6 +116,16 @@ inline BenchOptions parse_options(int argc, char** argv,
     }
   }
   return opts;
+}
+
+/// Shared CSV epilogue of the grid drivers: writes the table when --csv
+/// was given and confirms the path on stdout.
+inline void maybe_write_csv(const BenchOptions& opts,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  if (opts.csv_path.empty()) return;
+  experiments::write_csv(opts.csv_path, header, rows);
+  std::printf("wrote %s\n", opts.csv_path.c_str());
 }
 
 }  // namespace rt::bench

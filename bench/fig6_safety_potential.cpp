@@ -119,9 +119,6 @@ int main(int argc, char** argv) {
                         experiments::fmt_pct(rn.crash_rate()),
                         experiments::fmt_pct(rs.crash_rate())});
   }
-  if (!opts.csv_path.empty()) {
-    experiments::write_csv(opts.csv_path, csv_head, csv_rows);
-    std::printf("wrote %s\n", opts.csv_path.c_str());
-  }
+  bench::maybe_write_csv(opts, csv_head, csv_rows);
   return 0;
 }

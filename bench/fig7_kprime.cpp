@@ -10,12 +10,14 @@
 
 using namespace rt;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/2468);
   bench::header("Fig. 7 — K' shift time per vector and victim class");
   experiments::LoopConfig loop;
   const auto oracles = bench::oracles(loop);
   experiments::CampaignRunner runner(loop, oracles);
-  const int n = bench::runs_per_campaign();
+  experiments::CampaignScheduler scheduler(runner, opts.threads);
+  const int n = opts.runs;
 
   struct Cell {
     const char* label;
@@ -37,19 +39,37 @@ int main() {
        3.0},
   };
 
+  std::vector<experiments::CampaignSpec> specs;
   for (const Cell& c : cells) {
-    experiments::CampaignSpec spec{c.label, c.scenario, c.vector,
-                                   experiments::AttackMode::kRobotack, n,
-                                   2468};
-    const auto result = runner.run(spec);
-    const auto ks = result.k_primes();
+    specs.push_back({c.label, c.scenario, c.vector,
+                     experiments::AttackMode::kRobotack, n, opts.seed,
+                     std::nullopt});
+  }
+  const auto results = scheduler.run_all(specs);
+
+  std::vector<std::string> csv_head{"cell",   "n_kprime", "min", "q1",
+                                    "median", "q3",       "max"};
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Cell& c = cells[i];
+    const auto ks = results[i].k_primes();
     std::printf("\n%s (paper median K' = %.0f)\n", c.label, c.paper_median);
     if (ks.empty()) {
-      std::printf("  no triggered Move_* attacks in %d runs\n", result.n());
+      std::printf("  no triggered Move_* attacks in %d runs\n",
+                  results[i].n());
+      csv_rows.push_back({c.label, "0", "-", "-", "-", "-", "-"});
     } else {
-      std::printf("  K': %s\n", stats::boxplot(ks).to_string().c_str());
+      const auto box = stats::boxplot(ks);
+      std::printf("  K': %s\n", box.to_string().c_str());
+      csv_rows.push_back({c.label, std::to_string(box.n),
+                          experiments::fmt(box.min),
+                          experiments::fmt(box.q1),
+                          experiments::fmt(box.median),
+                          experiments::fmt(box.q3),
+                          experiments::fmt(box.max)});
     }
   }
+  bench::maybe_write_csv(opts, csv_head, csv_rows);
 
   std::printf(
       "\nNote: in this reproduction the IoU association gate binds harder\n"

@@ -15,7 +15,8 @@
 
 using namespace rt;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/97531);
   bench::header("Fig. 8 — safety hijacker NN accuracy");
   experiments::LoopConfig loop;
 
@@ -70,14 +71,17 @@ int main() {
   // (a) success probability vs binned prediction error, Move_Out campaigns.
   bench::header("(a) success probability vs NN prediction error (binned)");
   experiments::CampaignRunner runner(loop, oracles);
-  const int n = bench::runs_per_campaign();
-  std::vector<std::pair<double, bool>> samples;  // (|error|, success)
+  experiments::CampaignScheduler scheduler(runner, opts.threads);
+  const int n = opts.runs;
+  std::vector<experiments::CampaignSpec> specs;
   for (const char* name : {"DS-1", "DS-2"}) {
-    experiments::CampaignSpec spec{std::string(name) + "-Move_Out-R", name,
-                                   core::AttackVector::kMoveOut,
-                                   experiments::AttackMode::kRobotack, n,
-                                   97531};
-    const auto result = runner.run(spec);
+    specs.push_back({std::string(name) + "-Move_Out-R", name,
+                     core::AttackVector::kMoveOut,
+                     experiments::AttackMode::kRobotack, n, opts.seed,
+                     std::nullopt});
+  }
+  std::vector<std::pair<double, bool>> samples;  // (|error|, success)
+  for (const auto& result : scheduler.run_all(specs)) {
     for (const auto& r : result.runs) {
       if (!r.attack.triggered) continue;
       const double err =
@@ -87,6 +91,8 @@ int main() {
   }
   // Bin by error and report success fraction (paper: decreasing).
   const double bins[] = {0.0, 2.0, 4.0, 6.0, 9.0, 13.0, 1e9};
+  std::vector<std::string> csv_head{"err_lo", "err_hi", "n", "success_prob"};
+  std::vector<std::vector<std::string>> csv_rows;
   std::printf("  |pred err| bin      n    success prob\n");
   for (std::size_t b = 0; b + 1 < std::size(bins); ++b) {
     int count = 0;
@@ -101,7 +107,13 @@ int main() {
     std::printf("  [%5.1f, %5.1f)  %5d    %.2f\n", bins[b],
                 bins[b + 1] > 100 ? 99.9 : bins[b + 1], count,
                 static_cast<double>(success) / count);
+    csv_rows.push_back(
+        {experiments::fmt(bins[b]),
+         bins[b + 1] > 100 ? "inf" : experiments::fmt(bins[b + 1]),
+         std::to_string(count),
+         experiments::fmt(static_cast<double>(success) / count, 3)});
   }
+  bench::maybe_write_csv(opts, csv_head, csv_rows);
   std::printf(
       "\npaper: success probability decreases as prediction error grows;\n"
       "NN within ~5 m (vehicles) / ~1.5 m (pedestrians) on validation.\n");

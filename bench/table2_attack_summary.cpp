@@ -111,10 +111,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", experiments::format_table(head, rows).c_str());
-  if (!opts.csv_path.empty()) {
-    experiments::write_csv(opts.csv_path, head, rows);
-    std::printf("wrote %s\n", opts.csv_path.c_str());
-  }
+  bench::maybe_write_csv(opts, head, rows);
 
   bench::header("headline aggregates (paper -> measured)");
   const double r_eb = total_runs ? 100.0 * total_eb / total_runs : 0.0;

@@ -17,6 +17,13 @@ echo "==> example smoke runs"
 ./build-release/examples/quickstart
 ./build-release/examples/scenario_showcase 3
 
+# Smoke-run the transfer-matrix driver so the curriculum-training +
+# transfer path is exercised on every build (2 campaign runs per cell
+# keeps the full 8x8 matrix to a few seconds).
+echo "==> fig_transfer smoke run"
+./build-release/bench/fig_transfer --runs 2 \
+  --csv build-release/fig_transfer_smoke.csv
+
 echo "==> Debug + ASan/UBSan"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DROBOTACK_SANITIZE=ON
 cmake --build build-asan -j "$jobs"

@@ -1,10 +1,12 @@
 // Domain example: the attacker's offline phase (§III-D phase 1 / §IV-B).
-// Generates the (delta_inject, k) training sweeps for each attack vector,
-// trains the 100/100/50 feed-forward oracle with Adam on a 60/40 split, and
-// caches the weights under data/ for the benchmark harness.
+// Generates the (delta_inject, k) training sweeps for each attack vector —
+// the launch grid fans over every core — trains the 100/100/50 feed-forward
+// oracle with Adam on a 60/40 split, and caches the weights under data/
+// (curriculum-keyed filename) for the benchmark harness.
 
 #include <cstdio>
 
+#include "experiments/reporting.hpp"
 #include "experiments/sh_training.hpp"
 #include "nn/loss.hpp"
 
@@ -13,31 +15,39 @@ using namespace rt;
 int main() {
   experiments::LoopConfig loop;
   experiments::ShTrainingConfig cfg;
+  // The default curriculum is the paper mapping (DS-1/DS-2 for
+  // Move_Out/Disappear, DS-3/DS-4 for Move_In). To train on other
+  // registered families instead, set e.g.
+  //   cfg.curricula[core::AttackVector::kMoveOut] = {"DS-1", "cut-in"};
 
   for (const auto v : {core::AttackVector::kMoveOut,
                        core::AttackVector::kDisappear,
                        core::AttackVector::kMoveIn}) {
     std::printf("=== oracle for %s ===\n", core::to_string(v));
-    std::printf("scenarios: ");
-    for (const auto& key : experiments::scenarios_for(v)) {
-      std::printf("%s ", key.c_str());
-    }
+    const std::string curriculum =
+        experiments::join(experiments::scenarios_for(v, cfg), ",");
+    std::printf("curriculum: %s", curriculum.c_str());
     std::printf("\ngenerating (delta_inject, k) sweep: %zu x %zu x %d runs...\n",
                 cfg.delta_triggers.size(), cfg.ks.size(), cfg.repeats);
     const nn::Dataset data = experiments::generate_sh_dataset(v, loop, cfg);
-    std::printf("dataset: %zu labeled launches\n", data.size());
+    std::printf("dataset: %zu labeled launches (hash %016llx)\n", data.size(),
+                static_cast<unsigned long long>(data.content_hash()));
 
-    auto oracle = std::make_shared<core::SafetyOracle>();
+    auto oracle = std::make_shared<core::SafetyOracle>(cfg.seed ^ 0xabcd);
     const nn::TrainResult result = oracle->train(data, cfg.train);
     std::printf("trained %zu epochs; val MSE %.2f; val MAE %.2f m\n",
                 result.history.size(), result.final_val_loss,
                 result.final_val_mae);
+    oracle->set_provenance({core::to_string(v), curriculum,
+                            experiments::sh_dataset_fingerprint(v, cfg)});
 
-    const std::string path = experiments::default_cache_dir() +
-                             std::string("/sh_oracle_") + core::to_string(v) +
-                             ".txt";
+    const std::string path = experiments::oracle_cache_path(
+        experiments::default_cache_dir(), v, cfg);
     oracle->save(path);
-    std::printf("saved -> %s\n\n", path.c_str());
+    std::printf("saved -> %s  (curriculum %s, fingerprint %016llx)\n\n",
+                path.c_str(), oracle->provenance().curriculum.c_str(),
+                static_cast<unsigned long long>(
+                    oracle->provenance().fingerprint));
   }
   std::printf(
       "paper reference: prediction within ~5 m (vehicles) / ~1.5 m\n"

@@ -1,5 +1,9 @@
 #include "core/safety_oracle.hpp"
 
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
 #include "nn/serialize.hpp"
 
 namespace rt::core {
@@ -32,11 +36,44 @@ nn::TrainResult SafetyOracle::train(const nn::Dataset& data,
 }
 
 void SafetyOracle::save(const std::string& path) {
-  nn::save_model_file(path, net_, scaler_);
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("SafetyOracle::save: cannot open " + path);
+  }
+  nn::save_model(os, net_, scaler_);
+  // Provenance trailer (token-based; "-" marks an empty field, embedded
+  // whitespace is mapped to '_' so exotic scenario keys cannot derail the
+  // token parser). Legacy readers never consumed past the last layer, so
+  // the trailer is backward-compatible.
+  const auto tokenize = [](std::string s) {
+    if (s.empty()) return std::string("-");
+    for (char& c : s) {
+      if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+    }
+    return s;
+  };
+  os << "oracle-meta " << tokenize(provenance_.vector) << ' '
+     << provenance_.fingerprint << ' ' << tokenize(provenance_.curriculum)
+     << '\n';
 }
 
 bool SafetyOracle::load(const std::string& path) {
-  if (!nn::load_model_file(path, net_, scaler_)) return false;
+  std::ifstream is(path);
+  if (!is) return false;
+  nn::load_model(is, net_, scaler_);
+  provenance_ = Provenance{};
+  std::string tag;
+  if (is >> tag && tag == "oracle-meta") {
+    std::string vector;
+    std::string curriculum;
+    std::uint64_t fingerprint = 0;
+    if (is >> vector >> fingerprint >> curriculum) {
+      provenance_.vector = vector == "-" ? std::string{} : vector;
+      provenance_.curriculum =
+          curriculum == "-" ? std::string{} : curriculum;
+      provenance_.fingerprint = fingerprint;
+    }
+  }
   trained_ = true;
   return true;
 }

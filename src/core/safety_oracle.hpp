@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "math/vec2.hpp"
@@ -25,6 +27,18 @@ namespace rt::core {
 class SafetyOracle {
  public:
   static constexpr std::size_t kInputDim = 6;
+
+  /// Training provenance, serialized alongside the weights so a cached
+  /// model states which curriculum produced it. Legacy cache files carry
+  /// none — `load` then leaves every field empty/zero. The cache format is
+  /// token-based, so any whitespace in the string fields is mapped to '_'
+  /// on save; the curriculum is a comma-joined list of ScenarioRegistry
+  /// keys.
+  struct Provenance {
+    std::string vector;            ///< e.g. "Move_Out"
+    std::string curriculum;        ///< e.g. "DS-1,DS-2" or "cut-in"
+    std::uint64_t fingerprint{0};  ///< sh_dataset_fingerprint at train time
+  };
 
   /// Fresh (untrained) oracle with the paper's architecture.
   explicit SafetyOracle(std::uint64_t seed = 11);
@@ -51,9 +65,13 @@ class SafetyOracle {
   [[nodiscard]] bool trained() const { return trained_; }
   [[nodiscard]] nn::Mlp& net() { return net_; }
 
+  [[nodiscard]] const Provenance& provenance() const { return provenance_; }
+  void set_provenance(Provenance p) { provenance_ = std::move(p); }
+
  private:
   nn::Mlp net_;
   nn::StandardScaler scaler_;
+  Provenance provenance_{};
   bool trained_{false};
 };
 

@@ -46,6 +46,16 @@ std::string format_table(const std::vector<std::string>& header,
   return out;
 }
 
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (const auto& part : parts) {
+    if (!out.empty()) out += sep;
+    out += part;
+  }
+  return out;
+}
+
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
   std::string out = "\"";

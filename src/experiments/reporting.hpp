@@ -17,6 +17,10 @@ namespace rt::experiments {
 /// Percentage formatting: fmt_pct(0.526) == "52.6%".
 [[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
 
+/// Joins parts with a separator ("DS-1,DS-2" for the curriculum labels).
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
 /// RFC-4180 cell quoting: cells containing commas, double quotes, CR or LF
 /// are wrapped in double quotes with embedded quotes doubled; clean cells
 /// pass through unchanged.

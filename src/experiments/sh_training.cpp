@@ -1,10 +1,27 @@
 #include "experiments/sh_training.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
+#include "experiments/reporting.hpp"
+#include "experiments/thread_pool.hpp"
+#include "stats/hash.hpp"
+
 namespace rt::experiments {
+
+namespace {
+
+std::string legacy_cache_path(const std::string& cache_dir,
+                              core::AttackVector v) {
+  namespace fs = std::filesystem;
+  return (fs::path(cache_dir) /
+          (std::string("sh_oracle_") + core::to_string(v) + ".txt"))
+      .string();
+}
+
+}  // namespace
 
 std::vector<std::string> scenarios_for(core::AttackVector v) {
   switch (v) {
@@ -17,14 +34,58 @@ std::vector<std::string> scenarios_for(core::AttackVector v) {
   return {};
 }
 
+std::vector<std::string> scenarios_for(core::AttackVector v,
+                                       const ShTrainingConfig& cfg) {
+  const auto it = cfg.curricula.find(v);
+  if (it != cfg.curricula.end() && !it->second.empty()) return it->second;
+  return scenarios_for(v);
+}
+
+std::uint64_t sh_dataset_fingerprint(core::AttackVector v,
+                                     const ShTrainingConfig& cfg) {
+  std::uint64_t h = stats::kFnv1aOffset;
+  h = stats::fnv1a_str(h, core::to_string(v));
+  for (const auto& key : scenarios_for(v, cfg)) h = stats::fnv1a_str(h, key);
+  for (const double d : cfg.delta_triggers) h = stats::fnv1a_double(h, d);
+  for (const int k : cfg.ks) {
+    h = stats::fnv1a_u64(h, static_cast<std::uint64_t>(k));
+  }
+  h = stats::fnv1a_u64(h, static_cast<std::uint64_t>(cfg.repeats));
+  h = stats::fnv1a_u64(h, cfg.seed);
+  return h;
+}
+
+std::string oracle_cache_path(const std::string& cache_dir,
+                              core::AttackVector v,
+                              const ShTrainingConfig& cfg) {
+  namespace fs = std::filesystem;
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(sh_dataset_fingerprint(v, cfg)));
+  return (fs::path(cache_dir) / (std::string("sh_oracle_") +
+                                 core::to_string(v) + "-" + hex + ".txt"))
+      .string();
+}
+
 nn::Dataset generate_sh_dataset(core::AttackVector v, const LoopConfig& base,
                                 const ShTrainingConfig& cfg) {
-  std::vector<std::vector<double>> features;
-  std::vector<double> targets;
-  stats::Rng root(cfg.seed);
-
   const auto& registry = sim::ScenarioRegistry::global();
-  for (const std::string& key : scenarios_for(v)) {
+
+  // Enumerate the launch grid in the canonical (scenario, delta, k, repeat)
+  // order — the dataset's sample order regardless of how many threads run
+  // the launches.
+  struct Cell {
+    std::uint64_t scenario_index;
+    const std::string* key;
+    double delta_trigger;
+    int k;
+    int rep;
+  };
+  const std::vector<std::string> curriculum = scenarios_for(v, cfg);
+  std::vector<Cell> cells;
+  cells.reserve(curriculum.size() * cfg.delta_triggers.size() *
+                cfg.ks.size() * static_cast<std::size_t>(cfg.repeats));
+  for (const std::string& key : curriculum) {
     // The registration-stable index keeps the derived streams identical to
     // the ScenarioId-enum era (DS-1..DS-5 are indices 0..4), so cached
     // oracles and pinned aggregates survive the registry redesign.
@@ -33,50 +94,82 @@ nn::Dataset generate_sh_dataset(core::AttackVector v, const LoopConfig& base,
     for (const double delta_trigger : cfg.delta_triggers) {
       for (const int k : cfg.ks) {
         for (int rep = 0; rep < cfg.repeats; ++rep) {
-          stats::Rng run_rng = root.derive(
-              (scenario_index << 40) ^
-              (static_cast<std::uint64_t>(
-                   std::llround(delta_trigger * 16.0))
-               << 24) ^
-              (static_cast<std::uint64_t>(k) << 8) ^
-              static_cast<std::uint64_t>(rep));
-          const auto scenario_seed = run_rng.engine()();
-          const auto loop_seed = run_rng.engine()();
-          const auto attacker_seed = run_rng.engine()();
-
-          stats::Rng scenario_rng(scenario_seed);
-          sim::Scenario scenario = registry.make(key, scenario_rng);
-
-          LoopConfig loop_cfg = base;
-          loop_cfg.keep_timeline = true;
-
-          core::RobotackConfig acfg = make_attacker_config(
-              loop_cfg, v, core::TimingPolicy::kAtDeltaThreshold);
-          acfg.delta_trigger = delta_trigger;
-          acfg.fixed_k = k;
-
-          ClosedLoop loop(scenario, loop_cfg, loop_seed);
-          loop.set_attacker(std::make_unique<core::Robotack>(
-              acfg, loop_cfg.camera, loop_cfg.noise, loop_cfg.mot,
-              attacker_seed));
-          const RunResult r = loop.run();
-          if (!r.attack.triggered || r.timeline.empty()) continue;
-
-          // Label: ground-truth delta exactly k frames after the launch
-          // (clamped to the last sample if the run halted earlier — the
-          // halt itself is the safety outcome).
-          const auto launch_idx = static_cast<std::size_t>(
-              std::llround(r.attack.start_time / loop_cfg.camera_dt()));
-          const std::size_t label_idx =
-              std::min(r.timeline.size() - 1,
-                       launch_idx + static_cast<std::size_t>(k));
-          features.push_back(core::SafetyOracle::features(
-              r.attack.delta_at_launch, r.attack.v_rel_at_launch,
-              r.attack.a_rel_at_launch, static_cast<double>(k)));
-          targets.push_back(r.timeline[label_idx].target_delta);
+          cells.push_back({scenario_index, &key, delta_trigger, k, rep});
         }
       }
     }
+  }
+
+  // One slot per cell; launches that never trigger leave theirs empty and
+  // the compaction below preserves grid order — exactly the samples (and
+  // order) the historical serial loop produced.
+  struct Sample {
+    std::vector<double> features;
+    double target{0.0};
+    bool valid{false};
+  };
+  std::vector<Sample> slots(cells.size());
+
+  // `derive` never advances the parent engine, so each launch's stream is a
+  // pure function of (cfg.seed, grid coordinates) and the grid parallelizes
+  // with bit-identical results at any thread count.
+  const stats::Rng root(cfg.seed);
+  ThreadPool pool(cfg.threads);
+  pool.parallel_for(static_cast<int>(cells.size()), [&](int c) {
+    const Cell& cell = cells[static_cast<std::size_t>(c)];
+    stats::Rng run_rng = root.derive(
+        (cell.scenario_index << 40) ^
+        (static_cast<std::uint64_t>(
+             std::llround(cell.delta_trigger * 16.0))
+         << 24) ^
+        (static_cast<std::uint64_t>(cell.k) << 8) ^
+        static_cast<std::uint64_t>(cell.rep));
+    const auto scenario_seed = run_rng.engine()();
+    const auto loop_seed = run_rng.engine()();
+    const auto attacker_seed = run_rng.engine()();
+
+    stats::Rng scenario_rng(scenario_seed);
+    sim::Scenario scenario = registry.make(*cell.key, scenario_rng);
+
+    LoopConfig loop_cfg = base;
+    loop_cfg.keep_timeline = true;
+
+    core::RobotackConfig acfg = make_attacker_config(
+        loop_cfg, v, core::TimingPolicy::kAtDeltaThreshold);
+    acfg.delta_trigger = cell.delta_trigger;
+    acfg.fixed_k = cell.k;
+
+    ClosedLoop loop(scenario, loop_cfg, loop_seed);
+    loop.set_attacker(std::make_unique<core::Robotack>(
+        acfg, loop_cfg.camera, loop_cfg.noise, loop_cfg.mot,
+        attacker_seed));
+    const RunResult r = loop.run();
+    if (!r.attack.triggered || r.timeline.empty()) return;
+
+    // Label: ground-truth delta exactly k frames after the launch
+    // (clamped to the last sample if the run halted earlier — the
+    // halt itself is the safety outcome).
+    const auto launch_idx = static_cast<std::size_t>(
+        std::llround(r.attack.start_time / loop_cfg.camera_dt()));
+    const std::size_t label_idx =
+        std::min(r.timeline.size() - 1,
+                 launch_idx + static_cast<std::size_t>(cell.k));
+    Sample& slot = slots[static_cast<std::size_t>(c)];
+    slot.features = core::SafetyOracle::features(
+        r.attack.delta_at_launch, r.attack.v_rel_at_launch,
+        r.attack.a_rel_at_launch, static_cast<double>(cell.k));
+    slot.target = r.timeline[label_idx].target_delta;
+    slot.valid = true;
+  });
+
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(slots.size());
+  targets.reserve(slots.size());
+  for (Sample& s : slots) {
+    if (!s.valid) continue;
+    features.push_back(std::move(s.features));
+    targets.push_back(s.target);
   }
   return nn::Dataset::from_samples(features, targets);
 }
@@ -87,6 +180,9 @@ std::shared_ptr<core::SafetyOracle> train_oracle(
   auto oracle = std::make_shared<core::SafetyOracle>(cfg.seed ^ 0xabcd);
   const nn::Dataset data = generate_sh_dataset(v, base, cfg);
   const nn::TrainResult result = oracle->train(data, cfg.train);
+  oracle->set_provenance({core::to_string(v),
+                          join(scenarios_for(v, cfg), ","),
+                          sh_dataset_fingerprint(v, cfg)});
   if (out_result != nullptr) *out_result = result;
   return oracle;
 }
@@ -109,12 +205,16 @@ std::shared_ptr<core::SafetyOracle> load_or_train_oracle(
     const LoopConfig& base, const ShTrainingConfig& cfg) {
   namespace fs = std::filesystem;
   fs::create_directories(cache_dir);
-  const std::string path =
-      (fs::path(cache_dir) /
-       (std::string("sh_oracle_") + core::to_string(v) + ".txt"))
-          .string();
+  const std::string path = oracle_cache_path(cache_dir, v, cfg);
   auto oracle = std::make_shared<core::SafetyOracle>();
   if (oracle->load(path)) return oracle;
+  // Pre-curriculum cache files carry no fingerprint in the name and were
+  // only ever written by the default configuration — honor them for that
+  // configuration alone, so a changed curriculum or grid always retrains.
+  if (sh_dataset_fingerprint(v, cfg) ==
+      sh_dataset_fingerprint(v, ShTrainingConfig{})) {
+    if (oracle->load(legacy_cache_path(cache_dir, v))) return oracle;
+  }
   oracle = train_oracle(v, base, cfg);
   oracle->save(path);
   return oracle;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,27 +20,70 @@ struct ShTrainingConfig {
   int repeats{3};
   std::uint64_t seed{424242};
   nn::TrainConfig train{};
+
+  /// Per-vector scenario curricula (ScenarioRegistry keys). A vector with
+  /// no entry — or an empty list — trains on the paper mapping
+  /// (`scenarios_for(v)`), so a default-constructed config reproduces the
+  /// pre-curriculum pipeline bit for bit and existing cached oracles keep
+  /// loading. Unknown keys are rejected when the dataset is generated.
+  std::map<core::AttackVector, std::vector<std::string>> curricula{};
+
+  /// Threads for the launch grid of `generate_sh_dataset` (0 = one per
+  /// hardware core). Results are bit-identical at any thread count: every
+  /// launch's randomness is a pure function of (seed, grid coordinates).
+  unsigned threads{0};
 };
 
 /// Which driving scenarios exercise a given attack vector (the paper's
 /// campaign mapping: Move_Out/Disappear on DS-1/DS-2; Move_In on DS-3/DS-4).
-/// Returned as ScenarioRegistry keys.
+/// Returned as ScenarioRegistry keys. This is the documented default
+/// curriculum for every vector.
 [[nodiscard]] std::vector<std::string> scenarios_for(core::AttackVector v);
 
+/// Curriculum-aware overload: the curriculum registered for `v` in
+/// `cfg.curricula`, falling back to the paper mapping above when the vector
+/// has no (or an empty) entry.
+[[nodiscard]] std::vector<std::string> scenarios_for(
+    core::AttackVector v, const ShTrainingConfig& cfg);
+
+/// Content hash of the effective curriculum + launch grid for a vector
+/// (scenario keys, delta_inject sweep, k sweep, repeats, dataset seed) —
+/// everything that determines which launches `generate_sh_dataset` runs.
+/// Keys the on-disk oracle cache: equal fingerprints mean the cached model
+/// was trained on the same launches. The nn hyper-parameters (`cfg.train`)
+/// are deliberately NOT part of the key — see `load_or_train_oracle`.
+[[nodiscard]] std::uint64_t sh_dataset_fingerprint(core::AttackVector v,
+                                                   const ShTrainingConfig& cfg);
+
+/// Curriculum-keyed cache filename:
+/// `<cache_dir>/sh_oracle_<vector>-<fingerprint hex>.txt`.
+[[nodiscard]] std::string oracle_cache_path(const std::string& cache_dir,
+                                            core::AttackVector v,
+                                            const ShTrainingConfig& cfg);
+
 /// Generates the oracle's dataset for one vector by running scripted
-/// attacks over the (delta_inject, k) grid and labeling each launch with
-/// the *ground-truth* safety potential k frames later.
+/// attacks over the (scenario × delta_inject × k × repeat) grid — fanned
+/// over `cfg.threads` — and labeling each launch with the *ground-truth*
+/// safety potential k frames later. Sample order and content are
+/// independent of the thread count.
 [[nodiscard]] nn::Dataset generate_sh_dataset(core::AttackVector v,
                                               const LoopConfig& base,
                                               const ShTrainingConfig& cfg);
 
 /// Trains a fresh oracle for the vector (dataset generation + training).
+/// The oracle's provenance records the curriculum and fingerprint.
 [[nodiscard]] std::shared_ptr<core::SafetyOracle> train_oracle(
     core::AttackVector v, const LoopConfig& base,
     const ShTrainingConfig& cfg, nn::TrainResult* out_result = nullptr);
 
-/// Loads the oracle from `cache_dir` if a cached model exists, otherwise
-/// trains and caches it. This keeps repeated benchmark invocations fast.
+/// Loads the oracle from `cache_dir` if a model cached under this
+/// curriculum's fingerprint exists, otherwise trains and caches it. For
+/// the default (paper) curriculum + grid, pre-curriculum cache files
+/// (`sh_oracle_<vector>.txt`, no fingerprint in the name) still load.
+/// Caveat: the cache key covers curriculum + grid only, so changing just
+/// `cfg.train` (epochs, lr, ...) reuses a cached model trained with the
+/// old hyper-parameters — delete the cache file (or use `train_oracle`)
+/// when sweeping nn hyper-parameters.
 [[nodiscard]] std::shared_ptr<core::SafetyOracle> load_or_train_oracle(
     core::AttackVector v, const std::string& cache_dir,
     const LoopConfig& base, const ShTrainingConfig& cfg);

@@ -1,0 +1,181 @@
+#include "experiments/transfer_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "experiments/reporting.hpp"
+
+namespace rt::experiments {
+
+const TransferCell& TransferMatrix::at(const std::string& train_set,
+                                       const std::string& eval_family) const {
+  for (const auto& cell : cells) {
+    if (cell.train_set == train_set && cell.eval_family == eval_family) {
+      return cell;
+    }
+  }
+  throw std::out_of_range("TransferMatrix::at: no cell (" + train_set +
+                          ", " + eval_family + ")");
+}
+
+std::vector<std::string> TransferMatrix::csv_header() {
+  return {"train_set", "eval_family", "n_eval",       "accuracy",
+          "mae_m",     "ttc_err_s",   "campaign_runs", "triggered",
+          "eb_rate",   "crash_rate"};
+}
+
+std::vector<std::vector<std::string>> TransferMatrix::csv_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(cells.size());
+  for (const auto& c : cells) {
+    rows.push_back({c.train_set, c.eval_family, std::to_string(c.n_eval),
+                    fmt(c.accuracy, 3), fmt(c.mae_m, 2), fmt(c.ttc_err_s, 2),
+                    std::to_string(c.campaign_n), fmt(c.triggered_rate, 3),
+                    fmt(c.eb_rate, 3), fmt(c.crash_rate, 3)});
+  }
+  return rows;
+}
+
+core::AttackVector transfer_vector_for(const std::string& family) {
+  if (family == "DS-3" || family == "DS-4") {
+    return core::AttackVector::kMoveIn;
+  }
+  return core::AttackVector::kMoveOut;
+}
+
+TransferMatrix run_transfer_matrix(const TransferConfig& cfg,
+                                   const LoopConfig& loop) {
+  const auto& registry = sim::ScenarioRegistry::global();
+
+  TransferMatrix out;
+  out.eval_families =
+      cfg.eval_families.empty() ? registry.keys() : cfg.eval_families;
+  std::vector<TransferTrainSet> train_sets = cfg.train_sets;
+  if (train_sets.empty()) {
+    for (const auto& family : out.eval_families) {
+      train_sets.push_back({family, {family}});
+    }
+  }
+  for (const auto& t : train_sets) out.train_sets.push_back(t.name);
+
+  // 1. One launch dataset per involved family, generated with the family's
+  //    natural vector and split into train/holdout parts. The split seed is
+  //    decorrelated per family via the dataset fingerprint, and the
+  //    generation itself fans over cfg.threads with thread-count-invariant
+  //    results.
+  std::set<std::string> families(out.eval_families.begin(),
+                                 out.eval_families.end());
+  for (const auto& t : train_sets) {
+    families.insert(t.families.begin(), t.families.end());
+  }
+  std::map<std::string, std::pair<nn::Dataset, nn::Dataset>> splits;
+  for (const auto& family : families) {
+    const core::AttackVector v = transfer_vector_for(family);
+    ShTrainingConfig fam_cfg = cfg.sh;
+    fam_cfg.threads = cfg.threads;
+    fam_cfg.curricula[v] = {family};
+    nn::Dataset all = generate_sh_dataset(v, loop, fam_cfg);
+    splits[family] = all.split_seeded(
+        1.0 - cfg.holdout_fraction,
+        cfg.sh.seed ^ sh_dataset_fingerprint(v, fam_cfg));
+  }
+
+  // 2. One oracle per train set, on the concatenated train splits of its
+  //    member families. Every oracle starts from the same seeded weights so
+  //    rows differ only by curriculum.
+  std::vector<std::shared_ptr<core::SafetyOracle>> oracles;
+  for (const auto& t : train_sets) {
+    std::vector<nn::Dataset> parts;
+    parts.reserve(t.families.size());
+    for (const auto& family : t.families) {
+      parts.push_back(splits.at(family).first);
+    }
+    const nn::Dataset train_data = nn::Dataset::concat(parts);
+    auto oracle = std::make_shared<core::SafetyOracle>(cfg.sh.seed ^ 0xabcd);
+    if (train_data.size() > 0) {
+      oracle->train(train_data, cfg.sh.train);
+      oracle->set_provenance({"transfer", join(t.families, ","), 0});
+    }
+    oracles.push_back(std::move(oracle));
+  }
+
+  // 3. Predictive transfer: score each oracle on every family's held-out
+  //    launches.
+  for (std::size_t ti = 0; ti < train_sets.size(); ++ti) {
+    for (const auto& family : out.eval_families) {
+      TransferCell cell;
+      cell.train_set = train_sets[ti].name;
+      cell.eval_family = family;
+      const nn::Dataset& eval = splits.at(family).second;
+      if (oracles[ti]->trained() && eval.size() > 0) {
+        int within = 0;
+        double abs_err_sum = 0.0;
+        double ttc_err_sum = 0.0;
+        for (std::size_t j = 0; j < eval.size(); ++j) {
+          const double pred = oracles[ti]->predict(
+              eval.x(0, j), {eval.x(1, j), eval.x(2, j)},
+              {eval.x(3, j), eval.x(4, j)}, eval.x(5, j));
+          const double err = std::abs(pred - eval.y(0, j));
+          within += err <= cfg.tolerance_m ? 1 : 0;
+          abs_err_sum += err;
+          // Meters-to-seconds via the launch's longitudinal closing speed
+          // (floored at 1 m/s so stationary victims stay finite).
+          ttc_err_sum += err / std::max(1.0, std::abs(eval.x(1, j)));
+        }
+        cell.n_eval = static_cast<int>(eval.size());
+        cell.accuracy = static_cast<double>(within) /
+                        static_cast<double>(eval.size());
+        cell.mae_m = abs_err_sum / static_cast<double>(eval.size());
+        cell.ttc_err_s = ttc_err_sum / static_cast<double>(eval.size());
+      }
+      out.cells.push_back(std::move(cell));
+    }
+  }
+
+  // 4. Behavioral transfer: deploy each train set's oracle (for every
+  //    vector) in R-mode campaigns over the eval families, one scheduler
+  //    batch per row. Campaign seeds follow the grid convention
+  //    (base + column * 1000) so every row replays the same eval runs.
+  if (cfg.campaign_runs > 0) {
+    for (std::size_t ti = 0; ti < train_sets.size(); ++ti) {
+      if (!oracles[ti]->trained()) continue;
+      OracleSet set;
+      for (const auto v :
+           {core::AttackVector::kMoveOut, core::AttackVector::kMoveIn,
+            core::AttackVector::kDisappear}) {
+        set[v] = oracles[ti];
+      }
+      CampaignRunner runner(loop, set);
+      CampaignScheduler scheduler(runner, cfg.threads);
+      std::vector<CampaignSpec> specs;
+      specs.reserve(out.eval_families.size());
+      for (std::size_t ei = 0; ei < out.eval_families.size(); ++ei) {
+        const auto& family = out.eval_families[ei];
+        specs.push_back({train_sets[ti].name + "->" + family, family,
+                         transfer_vector_for(family), AttackMode::kRobotack,
+                         cfg.campaign_runs, cfg.sh.seed + ei * 1000,
+                         std::nullopt});
+      }
+      const auto results = scheduler.run_all(specs);
+      for (std::size_t ei = 0; ei < results.size(); ++ei) {
+        TransferCell& cell =
+            out.cells[ti * out.eval_families.size() + ei];
+        const auto& r = results[ei];
+        cell.campaign_n = r.n();
+        cell.triggered_rate =
+            r.n() > 0 ? static_cast<double>(r.triggered_count()) /
+                            static_cast<double>(r.n())
+                      : 0.0;
+        cell.eb_rate = r.eb_rate();
+        cell.crash_rate = r.crash_rate();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rt::experiments

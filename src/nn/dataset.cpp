@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "stats/hash.hpp"
+
 namespace rt::nn {
 
 void Dataset::add(const std::vector<double>& features, double target) {
@@ -70,6 +72,69 @@ std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
   std::vector<std::size_t> train_idx(idx.begin(), idx.begin() + n_train);
   std::vector<std::size_t> val_idx(idx.begin() + n_train, idx.end());
   return {subset(train_idx), subset(val_idx)};
+}
+
+std::pair<Dataset, Dataset> Dataset::split_seeded(double train_fraction,
+                                                  std::uint64_t seed) const {
+  const double f = std::clamp(train_fraction, 0.0, 1.0);
+  // The shuffle source is opened counter-style from (seed, size), so the
+  // split depends on nothing but the arguments and the sample count.
+  stats::Rng rng = stats::Rng::from_stream(seed, size());
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  const auto n_train = std::min(
+      size(), static_cast<std::size_t>(
+                  std::llround(f * static_cast<double>(size()))));
+  std::vector<std::size_t> train_idx(
+      idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_train));
+  std::vector<std::size_t> val_idx(
+      idx.begin() + static_cast<std::ptrdiff_t>(n_train), idx.end());
+  return {subset(train_idx), subset(val_idx)};
+}
+
+Dataset Dataset::concat(const std::vector<Dataset>& parts) {
+  Dataset out;
+  std::size_t cols = 0;
+  std::size_t x_rows = 0;
+  std::size_t y_rows = 0;
+  bool seen = false;
+  for (const auto& p : parts) {
+    if (p.size() == 0) continue;
+    if (!seen) {
+      seen = true;
+      x_rows = p.x.rows();
+      y_rows = p.y.rows();
+    } else if (p.x.rows() != x_rows || p.y.rows() != y_rows) {
+      throw std::invalid_argument("Dataset::concat: dimension mismatch");
+    }
+    cols += p.x.cols();
+  }
+  if (!seen) return out;
+  out.x = math::Matrix(x_rows, cols);
+  out.y = math::Matrix(y_rows, cols);
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    for (std::size_t j = 0; j < p.x.cols(); ++j, ++off) {
+      for (std::size_t i = 0; i < x_rows; ++i) out.x(i, off) = p.x(i, j);
+      for (std::size_t i = 0; i < y_rows; ++i) out.y(i, off) = p.y(i, j);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Dataset::content_hash() const {
+  std::uint64_t h = stats::kFnv1aOffset;
+  const auto fold_matrix = [&h](const math::Matrix& m) {
+    h = stats::fnv1a_u64(h, m.rows());
+    h = stats::fnv1a_u64(h, m.cols());
+    for (const double value : m.data()) {
+      h = stats::fnv1a_double(h, value);
+    }
+  };
+  fold_matrix(x);
+  fold_matrix(y);
+  return h;
 }
 
 void StandardScaler::fit(const math::Matrix& x) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "math/matrix.hpp"
@@ -32,6 +33,23 @@ struct Dataset {
   /// uses a 60/40 split.
   [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
                                                   stats::Rng& rng) const;
+
+  /// Seeded train/holdout split: same shuffle-based contract as `split`,
+  /// but a pure function of (train_fraction, seed, size) — no caller-held
+  /// Rng state is consumed, so repeated and concurrent callers always agree
+  /// on which samples are held out. `train_fraction` is clamped to [0, 1].
+  [[nodiscard]] std::pair<Dataset, Dataset> split_seeded(
+      double train_fraction, std::uint64_t seed) const;
+
+  /// Column-wise (sample-wise) concatenation in `parts` order. Empty parts
+  /// are skipped; non-empty parts must agree on feature/target dimensions.
+  [[nodiscard]] static Dataset concat(const std::vector<Dataset>& parts);
+
+  /// Order-sensitive bit-exact digest (FNV-1a over the dimensions and every
+  /// double's bit pattern). Golden tests pin dataset-generation pipelines
+  /// on this: any change to sample order, count or a single bit of content
+  /// changes the hash.
+  [[nodiscard]] std::uint64_t content_hash() const;
 };
 
 /// Per-feature standardization (fit on train, apply everywhere). The

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace rt::stats {
+
+/// FNV-1a folding helpers shared by every content hash in the repository
+/// (dataset digests, oracle cache fingerprints). All folds are
+/// order-sensitive; u64/double values fold byte-wise in little-endian
+/// order, strings fold their bytes plus a terminator so {"a","b"} and
+/// {"ab"} stay distinct.
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a_u64(std::uint64_t h,
+                                             std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffULL;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a_double(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return fnv1a_u64(h, bits);
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a_str(std::uint64_t h,
+                                             std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  h ^= 0xffULL;
+  h *= kFnv1aPrime;
+  return h;
+}
+
+}  // namespace rt::stats

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "nn/adam.hpp"
@@ -151,6 +152,110 @@ TEST(Dataset, FromSamples) {
   EXPECT_DOUBLE_EQ(d.y(0, 0), 5.0);
   EXPECT_THROW(Dataset::from_samples({{1.0}}, {1.0, 2.0}),
                std::invalid_argument);
+}
+
+Dataset counting_dataset(int n) {
+  Dataset d;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back({static_cast<double>(i), 1.0});
+    ys.push_back(static_cast<double>(i));
+  }
+  return Dataset::from_samples(xs, ys);
+}
+
+TEST(Dataset, SplitSeededDeterministicAndDisjoint) {
+  const Dataset d = counting_dataset(20);
+  const auto [a1, b1] = d.split_seeded(0.6, 42);
+  const auto [a2, b2] = d.split_seeded(0.6, 42);
+  EXPECT_EQ(a1.size(), 12u);
+  EXPECT_EQ(b1.size(), 8u);
+  // Pure function of (fraction, seed, size): identical on every call.
+  EXPECT_EQ(a1.content_hash(), a2.content_hash());
+  EXPECT_EQ(b1.content_hash(), b2.content_hash());
+
+  // Disjoint and exhaustive: each target 0..19 appears exactly once across
+  // the two halves.
+  std::set<int> seen;
+  for (std::size_t j = 0; j < a1.size(); ++j) {
+    seen.insert(static_cast<int>(a1.y(0, j)));
+  }
+  for (std::size_t j = 0; j < b1.size(); ++j) {
+    seen.insert(static_cast<int>(b1.y(0, j)));
+  }
+  EXPECT_EQ(seen.size(), 20u);
+
+  // A different seed reshuffles (sizes stay fixed).
+  const auto [a3, b3] = d.split_seeded(0.6, 43);
+  EXPECT_EQ(a3.size(), 12u);
+  EXPECT_NE(a1.content_hash(), a3.content_hash());
+}
+
+TEST(Dataset, SplitSeededRatioEdgeCases) {
+  const Dataset d = counting_dataset(5);
+  {
+    const auto [train, val] = d.split_seeded(0.0, 7);
+    EXPECT_EQ(train.size(), 0u);
+    EXPECT_EQ(val.size(), 5u);
+  }
+  {
+    const auto [train, val] = d.split_seeded(1.0, 7);
+    EXPECT_EQ(train.size(), 5u);
+    EXPECT_EQ(val.size(), 0u);
+  }
+  {
+    // Out-of-range fractions clamp instead of slicing past the ends.
+    const auto [train, val] = d.split_seeded(-0.5, 7);
+    EXPECT_EQ(train.size(), 0u);
+    EXPECT_EQ(val.size(), 5u);
+  }
+  {
+    const auto [train, val] = d.split_seeded(1.5, 7);
+    EXPECT_EQ(train.size(), 5u);
+    EXPECT_EQ(val.size(), 0u);
+  }
+  {
+    const Dataset empty;
+    const auto [train, val] = empty.split_seeded(0.6, 7);
+    EXPECT_EQ(train.size(), 0u);
+    EXPECT_EQ(val.size(), 0u);
+  }
+}
+
+TEST(Dataset, ConcatPreservesOrderSkipsEmptyValidates) {
+  const Dataset a = Dataset::from_samples({{1.0, 2.0}}, {10.0});
+  const Dataset b = Dataset::from_samples({{3.0, 4.0}, {5.0, 6.0}},
+                                          {20.0, 30.0});
+  const Dataset joined = Dataset::concat({a, Dataset{}, b});
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_DOUBLE_EQ(joined.y(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(joined.y(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(joined.y(0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(joined.x(1, 2), 6.0);
+
+  EXPECT_EQ(Dataset::concat({}).size(), 0u);
+  EXPECT_EQ(Dataset::concat({Dataset{}, Dataset{}}).size(), 0u);
+
+  const Dataset wide = Dataset::from_samples({{1.0, 2.0, 3.0}}, {1.0});
+  EXPECT_THROW(Dataset::concat({a, wide}), std::invalid_argument);
+}
+
+TEST(Dataset, ContentHashDistinguishesContentAndShape) {
+  const Dataset a = Dataset::from_samples({{1.0, 2.0}, {3.0, 4.0}},
+                                          {5.0, 6.0});
+  Dataset b = Dataset::from_samples({{1.0, 2.0}, {3.0, 4.0}}, {5.0, 6.0});
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.y(0, 1) = 6.0000001;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  // Same values, different sample order.
+  const Dataset swapped = Dataset::from_samples({{3.0, 4.0}, {1.0, 2.0}},
+                                                {6.0, 5.0});
+  EXPECT_NE(a.content_hash(), swapped.content_hash());
+  // Same flattened payload, different shape.
+  const Dataset tall = Dataset::from_samples({{1.0, 3.0, 2.0, 4.0}}, {5.0});
+  EXPECT_NE(a.content_hash(), tall.content_hash());
+  EXPECT_EQ(Dataset{}.content_hash(), Dataset{}.content_hash());
 }
 
 TEST(StandardScaler, NormalizesPerFeature) {
