@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
+
 #include "core/safety_hijacker.hpp"
 #include "nn/loss.hpp"
 #include "nn/trainer.hpp"
@@ -75,4 +77,6 @@ BENCHMARK(BM_TrainingEpoch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rt::bench::bench_json_main(argc, argv);
+}

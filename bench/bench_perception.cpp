@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
+
 #include "experiments/campaign.hpp"
 #include "perception/detector_model.hpp"
 #include "perception/hungarian.hpp"
@@ -116,4 +118,6 @@ BENCHMARK(BM_CampaignSchedulerThroughput)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rt::bench::bench_json_main(argc, argv);
+}

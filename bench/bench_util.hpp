@@ -55,11 +55,12 @@ struct BenchOptions {
   int runs{0};
   unsigned threads{0};  ///< 0 = one thread per hardware core
   std::uint64_t seed{0};
-  std::string csv_path;  ///< empty = no CSV output
+  std::string csv_path;   ///< empty = no CSV output
+  std::string json_path;  ///< empty = no JSON perf records
 };
 
-/// Parses --runs N, --seed S, --threads T, --csv PATH (and --help).
-/// Unknown flags or missing values print usage and exit non-zero.
+/// Parses --runs N, --seed S, --threads T, --csv PATH, --json PATH (and
+/// --help). Unknown flags or missing values print usage and exit non-zero.
 inline BenchOptions parse_options(int argc, char** argv,
                                   std::uint64_t default_seed) {
   BenchOptions opts;
@@ -68,12 +69,14 @@ inline BenchOptions parse_options(int argc, char** argv,
   opts.seed = default_seed;
   const auto usage = [&](std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--runs N] [--seed S] [--threads T] [--csv PATH]\n"
+                 "usage: %s [--runs N] [--seed S] [--threads T] [--csv PATH] "
+                 "[--json PATH]\n"
                  "  --runs N     runs per campaign (default %d; env ROBOTACK_RUNS)\n"
                  "  --seed S     base campaign seed (default %llu)\n"
                  "  --threads T  campaign-engine threads, 0 = per core "
                  "(env ROBOTACK_THREADS)\n"
-                 "  --csv PATH   also write the result table as CSV\n",
+                 "  --csv PATH   also write the result table as CSV\n"
+                 "  --json PATH  also write machine-readable perf records\n",
                  argv[0], opts.runs,
                  static_cast<unsigned long long>(default_seed));
   };
@@ -105,6 +108,8 @@ inline BenchOptions parse_options(int argc, char** argv,
       opts.threads = static_cast<unsigned>(numeric(value()));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opts.csv_path = value();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json_path = value();
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(stdout);
@@ -126,6 +131,17 @@ inline void maybe_write_csv(const BenchOptions& opts,
   if (opts.csv_path.empty()) return;
   experiments::write_csv(opts.csv_path, header, rows);
   std::printf("wrote %s\n", opts.csv_path.c_str());
+}
+
+/// Shared JSON epilogue: writes the perf records when --json was given and
+/// confirms the path on stdout. CI uses this to track the perf trajectory
+/// across PRs (BENCH_campaign.json).
+inline void maybe_write_bench_json(
+    const BenchOptions& opts,
+    const std::vector<experiments::BenchJsonRecord>& records) {
+  if (opts.json_path.empty()) return;
+  experiments::write_bench_json(opts.json_path, records);
+  std::printf("wrote %s\n", opts.json_path.c_str());
 }
 
 }  // namespace rt::bench

@@ -5,6 +5,7 @@
 // analogue of the paper's per-vector training (§IV-B), extended to the
 // full scenario registry.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -36,12 +37,25 @@ int main(int argc, char** argv) {
                   static_cast<std::size_t>(cfg.sh.repeats),
               cfg.campaign_runs);
 
+  const auto t0 = std::chrono::steady_clock::now();
   const auto matrix = experiments::run_transfer_matrix(cfg, loop);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   const auto head = experiments::TransferMatrix::csv_header();
   const auto rows = matrix.csv_rows();
   std::printf("%s", experiments::format_table(head, rows).c_str());
   bench::maybe_write_csv(opts, head, rows);
+  int campaign_runs = 0;
+  for (const auto& c : matrix.cells) campaign_runs += c.campaign_n;
+  std::printf("matrix: %zu cells (%d campaign runs) in %.2f s\n",
+              matrix.cells.size(), campaign_runs, elapsed);
+  bench::maybe_write_bench_json(
+      opts,
+      {{"fig_transfer_matrix",
+        elapsed > 0.0 ? campaign_runs / elapsed : 0.0, elapsed * 1000.0,
+        opts.threads == 0 ? 0 : opts.threads, opts.seed}});
 
   // Transfer gap: on-diagonal (train == eval family) vs off-diagonal
   // predictive accuracy and behavioral trigger rate. The two metrics come

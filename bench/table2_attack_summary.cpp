@@ -74,6 +74,9 @@ int main(int argc, char** argv) {
   for (const auto& r : results) grid_runs += r.n();
   std::printf("grid: %d runs in %.2f s  (%.1f runs/sec at %u threads)\n",
               grid_runs, elapsed, grid_runs / elapsed, scheduler.threads());
+  bench::maybe_write_bench_json(
+      opts, {{"table2_campaign_grid", grid_runs / elapsed, elapsed * 1000.0,
+              scheduler.threads(), opts.seed}});
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& result = results[i];

@@ -10,6 +10,17 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$jobs"
 ctest --test-dir build-release --output-on-failure -j "$jobs"
 
+# The golden-regression binaries are the contract that perf refactors never
+# change results; a build misconfiguration that silently drops them from the
+# suite must fail CI, not pass vacuously.
+for required in test_golden_regression test_sh_training test_transfer_matrix; do
+  count="$(ctest --test-dir build-release -N -R "$required" | grep -c "Test *#" || true)"
+  if [ "$count" -lt 1 ]; then
+    echo "ERROR: required golden test binary '$required' missing from the suite" >&2
+    exit 1
+  fi
+done
+
 # Smoke-run the guided examples so they cannot silently rot: quickstart
 # (trains or loads the cached oracles) and the scenario-registry showcase
 # (registers a custom family + grid campaign; hermetic, few runs).
@@ -22,7 +33,30 @@ echo "==> example smoke runs"
 # keeps the full 8x8 matrix to a few seconds).
 echo "==> fig_transfer smoke run"
 ./build-release/bench/fig_transfer --runs 2 \
-  --csv build-release/fig_transfer_smoke.csv
+  --csv build-release/fig_transfer_smoke.csv \
+  --json build-release/fig_transfer_smoke.json
+
+# Release bench smoke with machine-readable records: BENCH_campaign.json is
+# the repository's perf trajectory — campaign-grid throughput from the
+# table2 driver, plus the scheduler/NN microbenchmarks when google-benchmark
+# is available. Single-threaded so runs/sec is comparable across PRs on the
+# 1-core CI container.
+echo "==> bench smoke (BENCH_campaign.json)"
+./build-release/bench/table2_attack_summary --runs 8 --threads 1 \
+  --json BENCH_campaign.json
+cat BENCH_campaign.json
+if [ -x build-release/bench/bench_perception ]; then
+  ./build-release/bench/bench_perception \
+    --benchmark_filter='BM_CampaignSchedulerThroughput/1|BM_KalmanPredictUpdate' \
+    --json BENCH_perception.json >/dev/null
+  cat BENCH_perception.json
+fi
+if [ -x build-release/bench/bench_nn ]; then
+  ./build-release/bench/bench_nn \
+    --benchmark_filter='BM_OracleInference|BM_SafetyHijackerDecision' \
+    --json BENCH_nn.json >/dev/null
+  cat BENCH_nn.json
+fi
 
 echo "==> Debug + ASan/UBSan"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DROBOTACK_SANITIZE=ON

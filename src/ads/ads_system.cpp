@@ -31,7 +31,13 @@ void AdsSystem::ingest_lidar(
 AdsOutput AdsSystem::step(const perception::CameraFrame& frame,
                           double ego_speed, double ego_accel) {
   AdsOutput out;
-  out.perception = perception_.step(frame);
+  step_into(frame, ego_speed, ego_accel, out);
+  return out;
+}
+
+void AdsSystem::step_into(const perception::CameraFrame& frame,
+                          double ego_speed, double ego_accel, AdsOutput& out) {
+  perception_.step_into(frame, out.perception);
   out.world.time = frame.time;
   out.world.ego_speed = ego_speed;
   out.world.objects = out.perception.world;
@@ -48,7 +54,6 @@ AdsOutput AdsSystem::step(const perception::CameraFrame& frame,
         pid_.step(out.plan.accel_command - ego_accel, camera_dt_);
     out.accel_command = out.plan.accel_command + u;
   }
-  return out;
 }
 
 }  // namespace rt::ads

@@ -41,6 +41,10 @@ class AdsSystem {
   /// acceleration the PID closes its loop on.
   AdsOutput step(const perception::CameraFrame& frame, double ego_speed,
                  double ego_accel = 0.0);
+  /// Same, into a caller-owned output whose vectors are reused across
+  /// control cycles (the closed loop's per-frame hot path).
+  void step_into(const perception::CameraFrame& frame, double ego_speed,
+                 double ego_accel, AdsOutput& out);
 
   [[nodiscard]] const LongitudinalPlanner& planner() const {
     return planner_;

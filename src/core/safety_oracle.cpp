@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "stats/hash.hpp"
 
 namespace rt::core {
 
@@ -20,11 +21,26 @@ std::vector<double> SafetyOracle::features(double delta, math::Vec2 v_rel,
 
 double SafetyOracle::predict(double delta, math::Vec2 v_rel,
                              math::Vec2 a_rel, double k) {
-  const std::vector<double> f =
-      scaler_.transform(features(delta, v_rel, a_rel, k));
-  math::Matrix x(kInputDim, 1);
-  for (std::size_t i = 0; i < kInputDim; ++i) x(i, 0) = f[i];
+  // Thread-local scratch column: the whole inference path (feature fill,
+  // standardization, network forward) allocates nothing at steady state,
+  // and stays safe on a shared oracle (each thread owns its scratch).
+  thread_local math::Matrix x;
+  x.resize(kInputDim, 1);
+  x(0, 0) = delta;
+  x(1, 0) = v_rel.x;
+  x(2, 0) = v_rel.y;
+  x(3, 0) = a_rel.x;
+  x(4, 0) = a_rel.y;
+  x(5, 0) = k;
+  scaler_.transform_in_place(x);
   return net_.predict(x)(0, 0);
+}
+
+std::uint64_t SafetyOracle::content_hash() {
+  std::uint64_t h = net_.content_hash();
+  for (const double v : scaler_.means()) h = stats::fnv1a_double(h, v);
+  for (const double v : scaler_.stddevs()) h = stats::fnv1a_double(h, v);
+  return h;
 }
 
 nn::TrainResult SafetyOracle::train(const nn::Dataset& data,

@@ -65,6 +65,11 @@ class SafetyOracle {
   [[nodiscard]] bool trained() const { return trained_; }
   [[nodiscard]] nn::Mlp& net() { return net_; }
 
+  /// Bit-exact digest of the trained model: network weights
+  /// (Mlp::content_hash) folded with the fitted scaler's means and stddevs.
+  /// Golden tests pin training pipelines on this.
+  [[nodiscard]] std::uint64_t content_hash();
+
   [[nodiscard]] const Provenance& provenance() const { return provenance_; }
   void set_provenance(Provenance p) { provenance_ = std::move(p); }
 

@@ -52,22 +52,30 @@ RunResult ClosedLoop::run() {
   double next_lidar = 0.0;
   const int steps =
       static_cast<int>(std::ceil(scenario_.duration / dt));
+  // Per-frame buffers hoisted out of the loop: ground truth, LiDAR scan,
+  // camera frame, and the full ADS output reuse their capacity across the
+  // ~600 frames of a run instead of reallocating every cycle.
+  std::vector<sim::GroundTruthObject> gt;
+  std::vector<perception::LidarMeasurement> scan;
+  perception::CameraFrame frame;
+  ads::AdsOutput out;
   for (int i = 0; i < steps; ++i) {
     const double t = world.time();
-    const auto gt = world.ground_truth();
+    world.ground_truth_into(gt);
 
     if (t + 1e-9 >= next_lidar) {
-      ads.ingest_lidar(lidar.scan(gt));
+      lidar.scan_into(gt, scan);
+      ads.ingest_lidar(scan);
       next_lidar += config_.lidar_dt();
     }
 
-    perception::CameraFrame frame = detector.detect(gt, t);
+    detector.detect_into(gt, t, frame);
     if (attacker_) {
       frame = attacker_->process(frame, world.ego().speed());
     }
 
-    const ads::AdsOutput out =
-        ads.step(frame, world.ego().speed(), world.ego().acceleration());
+    ads.step_into(frame, world.ego().speed(), world.ego().acceleration(),
+                  out);
 
     if (config_.enable_ids) {
       ids.observe(frame, out.perception.camera_tracks,

@@ -1,5 +1,7 @@
 #include "experiments/sh_training.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -223,12 +225,29 @@ std::shared_ptr<core::SafetyOracle> load_or_train_oracle(
 OracleSet load_or_train_oracles(const std::string& cache_dir,
                                 const LoopConfig& base,
                                 const ShTrainingConfig& cfg) {
+  // The three per-vector pipelines (dataset generation + training) are
+  // independent, so they fan out across the pool; each one's randomness is
+  // a pure function of cfg.seed (datasets are grid-derived, the trainer
+  // seeds its own Rng), so the trained weights are identical at any thread
+  // count. When the outer fan-out is parallel, each pipeline's inner
+  // dataset grid gets a proportional slice of the threads instead of
+  // oversubscribing the machine three-fold.
+  constexpr core::AttackVector kVectors[] = {core::AttackVector::kMoveOut,
+                                             core::AttackVector::kMoveIn,
+                                             core::AttackVector::kDisappear};
+  const unsigned total_threads =
+      cfg.threads == 0 ? ThreadPool::default_threads() : cfg.threads;
+  const unsigned outer = std::min<unsigned>(3, total_threads);
+  ThreadPool pool(outer);
+  std::array<std::shared_ptr<core::SafetyOracle>, 3> slots;
+  pool.parallel_for(3, [&](int i) {
+    ShTrainingConfig inner = cfg;
+    inner.threads = std::max(1u, total_threads / outer);
+    slots[static_cast<std::size_t>(i)] =
+        load_or_train_oracle(kVectors[i], cache_dir, base, inner);
+  });
   OracleSet set;
-  for (const auto v :
-       {core::AttackVector::kMoveOut, core::AttackVector::kMoveIn,
-        core::AttackVector::kDisappear}) {
-    set[v] = load_or_train_oracle(v, cache_dir, base, cfg);
-  }
+  for (int i = 0; i < 3; ++i) set[kVectors[i]] = slots[static_cast<std::size_t>(i)];
   return set;
 }
 

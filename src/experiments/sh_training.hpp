@@ -28,9 +28,11 @@ struct ShTrainingConfig {
   /// loading. Unknown keys are rejected when the dataset is generated.
   std::map<core::AttackVector, std::vector<std::string>> curricula{};
 
-  /// Threads for the launch grid of `generate_sh_dataset` (0 = one per
+  /// Threads for the launch grid of `generate_sh_dataset` and for the
+  /// pooled per-vector pipelines of `load_or_train_oracles` (0 = one per
   /// hardware core). Results are bit-identical at any thread count: every
-  /// launch's randomness is a pure function of (seed, grid coordinates).
+  /// launch's randomness is a pure function of (seed, grid coordinates),
+  /// and every training self-seeds from the config.
   unsigned threads{0};
 };
 
@@ -88,7 +90,9 @@ struct ShTrainingConfig {
     core::AttackVector v, const std::string& cache_dir,
     const LoopConfig& base, const ShTrainingConfig& cfg);
 
-/// All three oracles, cached under `cache_dir`.
+/// All three oracles, cached under `cache_dir`. The per-vector pipelines
+/// (generation + training) fan out across `cfg.threads`; trained weights
+/// are bit-identical at any thread count.
 [[nodiscard]] OracleSet load_or_train_oracles(const std::string& cache_dir,
                                               const LoopConfig& base,
                                               const ShTrainingConfig& cfg);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "experiments/reporting.hpp"
+#include "experiments/thread_pool.hpp"
 
 namespace rt::experiments {
 
@@ -41,10 +42,15 @@ std::vector<std::vector<std::string>> TransferMatrix::csv_rows() const {
 }
 
 core::AttackVector transfer_vector_for(const std::string& family) {
-  if (family == "DS-3" || family == "DS-4") {
-    return core::AttackVector::kMoveIn;
-  }
-  return core::AttackVector::kMoveOut;
+  // Registry metadata, not key string-matching: user-registered families
+  // with out-of-corridor geometry get Move_In rows automatically (the
+  // registry resolves `VictimGeometry::kAuto` from the canonical world at
+  // registration — DS-3/DS-4 resolve out-of-corridor, every other builtin
+  // in-corridor).
+  const sim::ScenarioSpec& spec = sim::ScenarioRegistry::global().get(family);
+  return spec.victim_geometry == sim::VictimGeometry::kOutOfCorridor
+             ? core::AttackVector::kMoveIn
+             : core::AttackVector::kMoveOut;
 }
 
 TransferMatrix run_transfer_matrix(const TransferConfig& cfg,
@@ -64,43 +70,72 @@ TransferMatrix run_transfer_matrix(const TransferConfig& cfg,
 
   // 1. One launch dataset per involved family, generated with the family's
   //    natural vector and split into train/holdout parts. The split seed is
-  //    decorrelated per family via the dataset fingerprint, and the
-  //    generation itself fans over cfg.threads with thread-count-invariant
-  //    results.
-  std::set<std::string> families(out.eval_families.begin(),
-                                 out.eval_families.end());
+  //    decorrelated per family via the dataset fingerprint. The per-family
+  //    pipelines are independent — each one's randomness is a pure function
+  //    of (cfg.sh.seed, family grid) — so they fan out across the pool with
+  //    results identical at any thread count; with a parallel outer fan-out
+  //    each family's inner launch grid runs serially instead of
+  //    oversubscribing the machine.
+  std::set<std::string> family_set(out.eval_families.begin(),
+                                   out.eval_families.end());
   for (const auto& t : train_sets) {
-    families.insert(t.families.begin(), t.families.end());
+    family_set.insert(t.families.begin(), t.families.end());
   }
-  std::map<std::string, std::pair<nn::Dataset, nn::Dataset>> splits;
-  for (const auto& family : families) {
-    const core::AttackVector v = transfer_vector_for(family);
-    ShTrainingConfig fam_cfg = cfg.sh;
-    fam_cfg.threads = cfg.threads;
-    fam_cfg.curricula[v] = {family};
-    nn::Dataset all = generate_sh_dataset(v, loop, fam_cfg);
-    splits[family] = all.split_seeded(
-        1.0 - cfg.holdout_fraction,
-        cfg.sh.seed ^ sh_dataset_fingerprint(v, fam_cfg));
+  const std::vector<std::string> families(family_set.begin(),
+                                          family_set.end());
+  const unsigned total_threads =
+      cfg.threads == 0 ? ThreadPool::default_threads() : cfg.threads;
+  std::vector<std::pair<nn::Dataset, nn::Dataset>> family_splits(
+      families.size());
+  {
+    const unsigned outer = std::min<unsigned>(
+        static_cast<unsigned>(std::max<std::size_t>(1, families.size())),
+        total_threads);
+    ThreadPool pool(outer);
+    pool.parallel_for(static_cast<int>(families.size()), [&](int i) {
+      const std::string& family = families[static_cast<std::size_t>(i)];
+      const core::AttackVector v = transfer_vector_for(family);
+      ShTrainingConfig fam_cfg = cfg.sh;
+      fam_cfg.threads = std::max(1u, total_threads / outer);
+      fam_cfg.curricula[v] = {family};
+      nn::Dataset all = generate_sh_dataset(v, loop, fam_cfg);
+      family_splits[static_cast<std::size_t>(i)] = all.split_seeded(
+          1.0 - cfg.holdout_fraction,
+          cfg.sh.seed ^ sh_dataset_fingerprint(v, fam_cfg));
+    });
+  }
+  std::map<std::string, const std::pair<nn::Dataset, nn::Dataset>*> splits;
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    splits[families[i]] = &family_splits[i];
   }
 
   // 2. One oracle per train set, on the concatenated train splits of its
   //    member families. Every oracle starts from the same seeded weights so
-  //    rows differ only by curriculum.
-  std::vector<std::shared_ptr<core::SafetyOracle>> oracles;
-  for (const auto& t : train_sets) {
-    std::vector<nn::Dataset> parts;
-    parts.reserve(t.families.size());
-    for (const auto& family : t.families) {
-      parts.push_back(splits.at(family).first);
-    }
-    const nn::Dataset train_data = nn::Dataset::concat(parts);
-    auto oracle = std::make_shared<core::SafetyOracle>(cfg.sh.seed ^ 0xabcd);
-    if (train_data.size() > 0) {
-      oracle->train(train_data, cfg.sh.train);
-      oracle->set_provenance({"transfer", join(t.families, ","), 0});
-    }
-    oracles.push_back(std::move(oracle));
+  //    rows differ only by curriculum; each training is self-seeded
+  //    (Trainer derives its Rng from the config), so the per-train-set
+  //    trainings fan out across the pool with thread-count-invariant
+  //    weights.
+  std::vector<std::shared_ptr<core::SafetyOracle>> oracles(train_sets.size());
+  {
+    const unsigned outer = std::min<unsigned>(
+        static_cast<unsigned>(std::max<std::size_t>(1, train_sets.size())),
+        total_threads);
+    ThreadPool pool(outer);
+    pool.parallel_for(static_cast<int>(train_sets.size()), [&](int ti) {
+      const TransferTrainSet& t = train_sets[static_cast<std::size_t>(ti)];
+      std::vector<nn::Dataset> parts;
+      parts.reserve(t.families.size());
+      for (const auto& family : t.families) {
+        parts.push_back(splits.at(family)->first);
+      }
+      const nn::Dataset train_data = nn::Dataset::concat(parts);
+      auto oracle = std::make_shared<core::SafetyOracle>(cfg.sh.seed ^ 0xabcd);
+      if (train_data.size() > 0) {
+        oracle->train(train_data, cfg.sh.train);
+        oracle->set_provenance({"transfer", join(t.families, ","), 0});
+      }
+      oracles[static_cast<std::size_t>(ti)] = std::move(oracle);
+    });
   }
 
   // 3. Predictive transfer: score each oracle on every family's held-out
@@ -110,7 +145,7 @@ TransferMatrix run_transfer_matrix(const TransferConfig& cfg,
       TransferCell cell;
       cell.train_set = train_sets[ti].name;
       cell.eval_family = family;
-      const nn::Dataset& eval = splits.at(family).second;
+      const nn::Dataset& eval = splits.at(family)->second;
       if (oracles[ti]->trained() && eval.size() > 0) {
         int within = 0;
         double abs_err_sum = 0.0;

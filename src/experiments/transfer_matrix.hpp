@@ -69,9 +69,11 @@ struct TransferMatrix {
 };
 
 /// The attack vector a family's launches are scripted (and its campaigns
-/// attacked) with. Table I only admits Move_In against the out-of-lane
-/// "keep" geometries of DS-3/DS-4; every other built-in family's victim
-/// occupies or enters the ego corridor, where Move_Out launches.
+/// attacked) with, read from the family's `sim::ScenarioSpec` victim-
+/// geometry metadata: out-of-corridor victims (DS-3/DS-4's parking-lane
+/// "keep" geometries, per Table I) take Move_In, in-corridor victims take
+/// Move_Out. User-registered families resolve automatically at
+/// registration — no key string-matching.
 [[nodiscard]] core::AttackVector transfer_vector_for(
     const std::string& family);
 

@@ -38,6 +38,12 @@ Matrix Matrix::column(std::span<const double> entries) {
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::require_same_shape(const Matrix& o) const {
   if (rows_ != o.rows_ || cols_ != o.cols_) {
     throw std::invalid_argument("Matrix: shape mismatch");
@@ -56,6 +62,126 @@ Matrix Matrix::operator-(const Matrix& o) const {
   return r;
 }
 
+namespace detail {
+
+void throw_kernel_alias() {
+  throw std::invalid_argument("Matrix kernel: out aliases an input");
+}
+
+void throw_inner_mismatch() {
+  throw std::invalid_argument("Matrix: inner dimension mismatch");
+}
+
+}  // namespace detail
+
+namespace {
+
+void require_no_alias(const Matrix& a, const Matrix& b, const Matrix& out) {
+  if (&out == &a || &out == &b) detail::throw_kernel_alias();
+}
+
+}  // namespace
+
+void transposed_multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require_no_alias(a, b, out);
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("Matrix: inner dimension mismatch");
+  }
+  out.resize(a.cols(), b.cols());
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+  // a^T(i, k) = a(k, i); the loop order matches `a.transposed() * b`.
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const double v = a(k, i);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += v * b(k, j);
+      }
+    }
+  }
+}
+
+void add_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require_no_alias(a, b, out);
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+  out.resize(a.rows(), a.cols());
+  const auto ad = a.data();
+  const auto bd = b.data();
+  const auto od = out.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) od[i] = ad[i] + bd[i];
+}
+
+void subtract_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require_no_alias(a, b, out);
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+  out.resize(a.rows(), a.cols());
+  const auto ad = a.data();
+  const auto bd = b.data();
+  const auto od = out.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) od[i] = ad[i] - bd[i];
+}
+
+void affine_into(const Matrix& w, const Matrix& x, const Matrix& bias,
+                 Matrix& out) {
+  if (bias.rows() != w.rows() || bias.cols() != 1) {
+    throw std::invalid_argument("affine_into: bias must be rows(w) x 1");
+  }
+  multiply_into(w, x, out);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    const double bi = bias(i, 0);
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += bi;
+  }
+}
+
+void invert_into(const Matrix& a, Matrix& scratch, Matrix& out) {
+  require_no_alias(a, scratch, out);
+  if (&scratch == &a || &scratch == &out) {
+    throw std::invalid_argument("Matrix kernel: scratch aliases another");
+  }
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Matrix::inverse: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  scratch = a;
+  out.resize(n, n);
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: find the largest-magnitude entry in this column.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(scratch(r, col)) > std::abs(scratch(pivot, col))) pivot = r;
+    }
+    if (std::abs(scratch(pivot, col)) < 1e-12) {
+      throw std::domain_error("Matrix::inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(scratch(col, j), scratch(pivot, j));
+        std::swap(out(col, j), out(pivot, j));
+      }
+    }
+    const double d = scratch(col, col);
+    for (std::size_t j = 0; j < n; ++j) {
+      scratch(col, j) /= d;
+      out(col, j) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = scratch(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        scratch(r, j) -= f * scratch(col, j);
+        out(r, j) -= f * out(col, j);
+      }
+    }
+  }
+}
+
 Matrix& Matrix::operator+=(const Matrix& o) {
   require_same_shape(o);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
@@ -69,19 +195,8 @@ Matrix& Matrix::operator-=(const Matrix& o) {
 }
 
 Matrix Matrix::operator*(const Matrix& o) const {
-  if (cols_ != o.rows_) {
-    throw std::invalid_argument("Matrix: inner dimension mismatch");
-  }
-  Matrix r(rows_, o.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < o.cols_; ++j) {
-        r(i, j) += a * o(k, j);
-      }
-    }
-  }
+  Matrix r;
+  multiply_into(*this, o, r);
   return r;
 }
 
@@ -107,42 +222,9 @@ Matrix Matrix::transposed() const {
 }
 
 Matrix Matrix::inverse() const {
-  if (rows_ != cols_) {
-    throw std::invalid_argument("Matrix::inverse: matrix not square");
-  }
-  const std::size_t n = rows_;
-  Matrix a = *this;
-  Matrix inv = identity(n);
-  for (std::size_t col = 0; col < n; ++col) {
-    // Partial pivoting: find the largest-magnitude entry in this column.
-    std::size_t pivot = col;
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
-    }
-    if (std::abs(a(pivot, col)) < 1e-12) {
-      throw std::domain_error("Matrix::inverse: singular matrix");
-    }
-    if (pivot != col) {
-      for (std::size_t j = 0; j < n; ++j) {
-        std::swap(a(col, j), a(pivot, j));
-        std::swap(inv(col, j), inv(pivot, j));
-      }
-    }
-    const double d = a(col, col);
-    for (std::size_t j = 0; j < n; ++j) {
-      a(col, j) /= d;
-      inv(col, j) /= d;
-    }
-    for (std::size_t r = 0; r < n; ++r) {
-      if (r == col) continue;
-      const double f = a(r, col);
-      if (f == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        a(r, j) -= f * a(col, j);
-        inv(r, j) -= f * inv(col, j);
-      }
-    }
-  }
+  Matrix scratch;
+  Matrix inv;
+  invert_into(*this, scratch, inv);
   return inv;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -47,6 +48,13 @@ class Matrix {
   [[nodiscard]] std::span<const double> data() const { return data_; }
   [[nodiscard]] std::span<double> data() { return data_; }
 
+  /// Reshapes in place to `rows x cols`, preserving the underlying vector's
+  /// capacity (no deallocation on shrink; at most one growth allocation,
+  /// after which same-or-smaller resizes are allocation-free). Element
+  /// values are unspecified afterwards — this exists for the `*_into`
+  /// kernels and workspaces, which overwrite every entry.
+  void resize(std::size_t rows, std::size_t cols);
+
   Matrix operator+(const Matrix& o) const;
   Matrix operator-(const Matrix& o) const;
   Matrix operator*(const Matrix& o) const;
@@ -80,5 +88,153 @@ class Matrix {
   std::size_t cols_{0};
   std::vector<double> data_;
 };
+
+/// Destination-passing kernels.
+///
+/// Each writes its result into a caller-owned `out`, reusing `out`'s storage
+/// (allocation-free once `out` has seen the shape's footprint) — the hot
+/// loops (Kalman steps, NN forwards) call these with per-object or workspace
+/// scratch instead of chaining the allocating operators above.
+///
+/// Contract: every kernel reproduces the corresponding allocating-operator
+/// expression *bit for bit* — same i-k-j accumulation order, same
+/// skip-zero-lhs shortcut, transposes folded into the index order rather
+/// than materialized — so the pinned golden aggregates and dataset hashes
+/// are invariant under the rewrite. `out` must not alias an input
+/// (`std::invalid_argument` otherwise); shape mismatches throw like the
+/// operators they mirror.
+
+/// out = a * b. Mirrors `a * b`. Defined inline below: the Kalman hot loop
+/// issues millions of these on 4x4..8x8 operands, where the call itself is
+/// measurable.
+inline void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a * b^T. Mirrors `a * b.transposed()` without materializing b^T.
+inline void multiply_transposed_into(const Matrix& a, const Matrix& b,
+                                     Matrix& out);
+/// out = a^T * b. Mirrors `a.transposed() * b` without materializing a^T.
+void transposed_multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a + b. Mirrors `a + b`.
+void add_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a - b. Mirrors `a - b`.
+void subtract_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// Fused dense-layer affine map: out = w * x + bias, with `bias` a column
+/// (rows(w) x 1) added to every column of the product. Mirrors the NN dense
+/// forward (`w * x` then a per-row bias add).
+void affine_into(const Matrix& w, const Matrix& x, const Matrix& bias,
+                 Matrix& out);
+/// out = a^-1 via the same Gauss-Jordan elimination as `a.inverse()`;
+/// `scratch` holds the working copy of `a`. Throws `std::domain_error` on a
+/// singular matrix, like `inverse()`.
+void invert_into(const Matrix& a, Matrix& scratch, Matrix& out);
+
+namespace detail {
+[[noreturn]] void throw_kernel_alias();
+[[noreturn]] void throw_inner_mismatch();
+}  // namespace detail
+
+inline void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (&out == &a || &out == &b) detail::throw_kernel_alias();
+  if (a.cols() != b.rows()) detail::throw_inner_mismatch();
+  const std::size_t rows = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.cols();
+  out.resize(rows, cols);
+  if (cols == 1) {
+    // Column fast path (Kalman column updates, batch-1 NN inference): each
+    // output element is an ordered dot product, so accumulate in registers
+    // — four independent row chains at a time to hide FP-add latency.
+    // Every element still sums its terms in ascending k with the same
+    // skip-exact-zero shortcut, hence bit-identical to the general loop,
+    // which would drag a serial load-add-store chain through memory here.
+    const auto bd = b.data();
+    const auto od = out.data();
+    std::size_t i = 0;
+    for (; i + 4 <= rows; i += 4) {
+      double s0 = 0.0;
+      double s1 = 0.0;
+      double s2 = 0.0;
+      double s3 = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double x = bd[k];
+        const double a0 = a(i, k);
+        const double a1 = a(i + 1, k);
+        const double a2 = a(i + 2, k);
+        const double a3 = a(i + 3, k);
+        if (a0 != 0.0) s0 += a0 * x;
+        if (a1 != 0.0) s1 += a1 * x;
+        if (a2 != 0.0) s2 += a2 * x;
+        if (a3 != 0.0) s3 += a3 * x;
+      }
+      od[i] = s0;
+      od[i + 1] = s1;
+      od[i + 2] = s2;
+      od[i + 3] = s3;
+    }
+    for (; i < rows; ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double v = a(i, k);
+        if (v != 0.0) s += v * bd[k];
+      }
+      od[i] = s;
+    }
+    return;
+  }
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double v = a(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        out(i, j) += v * b(k, j);
+      }
+    }
+  }
+}
+
+inline void multiply_transposed_into(const Matrix& a, const Matrix& b,
+                                     Matrix& out) {
+  if (&out == &a || &out == &b) detail::throw_kernel_alias();
+  if (a.cols() != b.cols()) detail::throw_inner_mismatch();
+  const std::size_t rows = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.rows();
+  out.resize(rows, cols);
+  // out(i, j) = sum_k a(i, k) * b(j, k): rows of both operands stream
+  // sequentially, and register accumulation (four independent j chains)
+  // replaces the historical `a * b.transposed()` materialization. Per
+  // element the terms still sum in ascending k, skipping exact-zero a —
+  // bit-identical to the allocating expression.
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      double s0 = 0.0;
+      double s1 = 0.0;
+      double s2 = 0.0;
+      double s3 = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double v = a(i, k);
+        if (v == 0.0) continue;
+        s0 += v * b(j, k);
+        s1 += v * b(j + 1, k);
+        s2 += v * b(j + 2, k);
+        s3 += v * b(j + 3, k);
+      }
+      out(i, j) = s0;
+      out(i, j + 1) = s1;
+      out(i, j + 2) = s2;
+      out(i, j + 3) = s3;
+    }
+    for (; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double v = a(i, k);
+        if (v == 0.0) continue;
+        s += v * b(j, k);
+      }
+      out(i, j) = s;
+    }
+  }
+}
 
 }  // namespace rt::math

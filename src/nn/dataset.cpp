@@ -167,6 +167,17 @@ math::Matrix StandardScaler::transform(const math::Matrix& x) const {
   return out;
 }
 
+void StandardScaler::transform_in_place(math::Matrix& x) const {
+  if (mean_.size() != x.rows()) {
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x(i, j) = (x(i, j) - mean_[i]) / std_[i];
+    }
+  }
+}
+
 std::vector<double> StandardScaler::transform(
     const std::vector<double>& features) const {
   if (mean_.size() != features.size()) {

@@ -61,6 +61,10 @@ class StandardScaler {
   [[nodiscard]] math::Matrix transform(const math::Matrix& x) const;
   [[nodiscard]] std::vector<double> transform(
       const std::vector<double>& features) const;
+  /// In-place standardization of a (features x batch) matrix — the batch-1
+  /// inference hot path uses this on a reused scratch column. Same
+  /// arithmetic as `transform`.
+  void transform_in_place(math::Matrix& x) const;
 
   [[nodiscard]] const std::vector<double>& means() const { return mean_; }
   [[nodiscard]] const std::vector<double>& stddevs() const { return std_; }

@@ -13,83 +13,93 @@ Dense::Dense(std::size_t in, std::size_t out, stats::Rng& rng)
 Dense::Dense(std::size_t in, std::size_t out)
     : w_(out, in), b_(out, 1), gw_(out, in), gb_(out, 1) {}
 
-math::Matrix Dense::forward(const math::Matrix& x, bool training) {
-  if (training) x_cache_ = x;
-  math::Matrix y = w_ * x;
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    const double bi = b_(i, 0);
-    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bi;
-  }
-  return y;
+void Dense::forward_into(const math::Matrix& x, math::Matrix& y,
+                         bool /*training*/) {
+  math::affine_into(w_, x, b_, y);
 }
 
-math::Matrix Dense::backward(const math::Matrix& grad_out) {
-  gw_ = grad_out * x_cache_.transposed();
-  gb_ = math::Matrix(b_.rows(), 1);
+void Dense::backward_into(const math::Matrix& x_in,
+                          const math::Matrix& grad_out,
+                          math::Matrix& grad_in) {
+  math::multiply_transposed_into(grad_out, x_in, gw_);
+  gb_.resize(b_.rows(), 1);
   for (std::size_t i = 0; i < grad_out.rows(); ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < grad_out.cols(); ++j) s += grad_out(i, j);
     gb_(i, 0) = s;
   }
-  return w_.transposed() * grad_out;
+  math::transposed_multiply_into(w_, grad_out, grad_in);
 }
 
-math::Matrix Relu::forward(const math::Matrix& x, bool training) {
-  math::Matrix y = x;
-  auto yd = y.data();
+void Relu::forward_into(const math::Matrix& x, math::Matrix& y,
+                        bool training) {
+  y.resize(x.rows(), x.cols());
+  const auto xd = x.data();
+  const auto yd = y.data();
   if (!training) {
-    for (std::size_t i = 0; i < yd.size(); ++i) {
-      if (yd[i] < 0.0) yd[i] = 0.0;
+    // Inference clamps only strict negatives (preserves -0.0 bit patterns,
+    // exactly like the historical copy-then-clamp loop).
+    for (std::size_t i = 0; i < xd.size(); ++i) {
+      yd[i] = xd[i] < 0.0 ? 0.0 : xd[i];
     }
-    return y;
+    return;
   }
-  mask_ = math::Matrix(x.rows(), x.cols());
-  auto md = mask_.data();
-  for (std::size_t i = 0; i < yd.size(); ++i) {
-    if (yd[i] > 0.0) {
-      md[i] = 1.0;
-    } else {
-      yd[i] = 0.0;
-    }
+  // Training keeps strict positives (a -0.0 input becomes +0.0, matching
+  // the historical mask-building loop bit for bit).
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    yd[i] = xd[i] > 0.0 ? xd[i] : 0.0;
   }
-  return y;
 }
 
-math::Matrix Relu::backward(const math::Matrix& grad_out) {
-  math::Matrix g = grad_out;
-  auto gd = g.data();
-  auto md = mask_.data();
-  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= md[i];
-  return g;
+void Relu::backward_into(const math::Matrix& x_in,
+                         const math::Matrix& grad_out,
+                         math::Matrix& grad_in) {
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  const auto xd = x_in.data();
+  const auto gd = grad_out.data();
+  const auto od = grad_in.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    od[i] = gd[i] * (xd[i] > 0.0 ? 1.0 : 0.0);
+  }
 }
 
-math::Matrix Dropout::forward(const math::Matrix& x, bool training) {
-  if (!training) return x;
+void Dropout::forward_into(const math::Matrix& x, math::Matrix& y,
+                           bool training) {
+  if (!training) {
+    y = x;
+    return;
+  }
   if (rate_ <= 0.0) {
     mask_ = math::Matrix();
-    return x;
+    y = x;
+    return;
   }
-  mask_ = math::Matrix(x.rows(), x.cols());
-  math::Matrix y = x;
+  mask_.resize(x.rows(), x.cols());
+  y.resize(x.rows(), x.cols());
   const double keep = 1.0 - rate_;
-  auto yd = y.data();
-  auto md = mask_.data();
-  for (std::size_t i = 0; i < yd.size(); ++i) {
+  const auto xd = x.data();
+  const auto yd = y.data();
+  const auto md = mask_.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) {
     // Inverted dropout: kept units are scaled by 1/keep so inference needs
     // no rescaling.
     md[i] = rng_.bernoulli(keep) ? 1.0 / keep : 0.0;
-    yd[i] *= md[i];
+    yd[i] = xd[i] * md[i];
   }
-  return y;
 }
 
-math::Matrix Dropout::backward(const math::Matrix& grad_out) {
-  if (mask_.empty()) return grad_out;
-  math::Matrix g = grad_out;
-  auto gd = g.data();
-  auto md = mask_.data();
-  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= md[i];
-  return g;
+void Dropout::backward_into(const math::Matrix& /*x_in*/,
+                            const math::Matrix& grad_out,
+                            math::Matrix& grad_in) {
+  if (mask_.empty()) {
+    grad_in = grad_out;
+    return;
+  }
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  const auto gd = grad_out.data();
+  const auto md = mask_.data();
+  const auto od = grad_in.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) od[i] = gd[i] * md[i];
 }
 
 }  // namespace rt::nn

@@ -12,27 +12,62 @@ namespace rt::nn {
 /// Base class of all network layers.
 ///
 /// Data layout: activations are (features x batch) matrices; a batch of B
-/// input vectors of dimension D is a D x B matrix. Layers cache whatever
-/// they need in `forward` for the subsequent `backward`.
+/// input vectors of dimension D is a D x B matrix.
+///
+/// The primitives are destination-passing (`forward_into` / `backward_into`)
+/// so the hot paths — batch-1 oracle inference inside campaign runs, and the
+/// trainer's minibatch loop — run over caller-owned workspace buffers with
+/// zero per-call heap allocations (see Mlp::Workspace). The allocating
+/// `forward` / `backward` wrappers keep the historical API: `forward` caches
+/// the input when training so a later `backward` can run without an
+/// externally managed workspace.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Forward pass. `training` enables stochastic behaviour (dropout) and
-  /// caching for `backward`. Contract: with `training == false` a layer
-  /// must not mutate any member state — inference over a shared network
-  /// (e.g. one oracle queried by many parallel campaign runs) relies on
-  /// read-only forwards being concurrency-safe.
-  virtual math::Matrix forward(const math::Matrix& x, bool training) = 0;
-  /// Backward pass: receives dL/d(output), returns dL/d(input), and
-  /// accumulates parameter gradients internally.
-  virtual math::Matrix backward(const math::Matrix& grad_out) = 0;
+  /// Forward pass into `y` (resized in place). `training` enables
+  /// stochastic behaviour (dropout) and cache writes for `backward`.
+  /// Contract: with `training == false` a layer must not mutate any member
+  /// state — inference over a shared network (e.g. one oracle queried by
+  /// many parallel campaign runs) relies on read-only forwards being
+  /// concurrency-safe. `y` must not alias `x`.
+  virtual void forward_into(const math::Matrix& x, math::Matrix& y,
+                            bool training) = 0;
+
+  /// Backward pass into `grad_in` (resized in place): receives this layer's
+  /// forward input `x_in` and dL/d(output), writes dL/d(input), and
+  /// accumulates parameter gradients internally. `grad_in` must alias
+  /// neither input.
+  virtual void backward_into(const math::Matrix& x_in,
+                             const math::Matrix& grad_out,
+                             math::Matrix& grad_in) = 0;
+
+  /// Allocating wrapper over `forward_into`; caches `x` when training so
+  /// `backward` can be called afterwards.
+  math::Matrix forward(const math::Matrix& x, bool training) {
+    if (training) x_cache_ = x;
+    math::Matrix y;
+    forward_into(x, y, training);
+    return y;
+  }
+
+  /// Allocating wrapper over `backward_into` using the input cached by the
+  /// last training-mode `forward`.
+  math::Matrix backward(const math::Matrix& grad_out) {
+    math::Matrix g;
+    backward_into(x_cache_, grad_out, g);
+    return g;
+  }
 
   /// Trainable parameters and their gradients (parallel vectors).
   virtual std::vector<math::Matrix*> parameters() { return {}; }
   virtual std::vector<math::Matrix*> gradients() { return {}; }
 
   [[nodiscard]] virtual std::string kind() const = 0;
+
+ protected:
+  /// Input cached by the allocating `forward(x, training=true)` wrapper.
+  math::Matrix x_cache_;
 };
 
 /// Fully-connected layer: y = W x + b.
@@ -43,8 +78,10 @@ class Dense : public Layer {
   /// Uninitialized (weights loaded afterwards, e.g. by the deserializer).
   Dense(std::size_t in, std::size_t out);
 
-  math::Matrix forward(const math::Matrix& x, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_out) override;
+  void forward_into(const math::Matrix& x, math::Matrix& y,
+                    bool training) override;
+  void backward_into(const math::Matrix& x_in, const math::Matrix& grad_out,
+                     math::Matrix& grad_in) override;
   std::vector<math::Matrix*> parameters() override { return {&w_, &b_}; }
   std::vector<math::Matrix*> gradients() override { return {&gw_, &gb_}; }
   [[nodiscard]] std::string kind() const override { return "dense"; }
@@ -55,18 +92,17 @@ class Dense : public Layer {
   [[nodiscard]] math::Matrix& bias() { return b_; }
 
  private:
-  math::Matrix w_, b_, gw_, gb_, x_cache_;
+  math::Matrix w_, b_, gw_, gb_;
 };
 
 /// Rectified linear unit.
 class Relu : public Layer {
  public:
-  math::Matrix forward(const math::Matrix& x, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_out) override;
+  void forward_into(const math::Matrix& x, math::Matrix& y,
+                    bool training) override;
+  void backward_into(const math::Matrix& x_in, const math::Matrix& grad_out,
+                     math::Matrix& grad_in) override;
   [[nodiscard]] std::string kind() const override { return "relu"; }
-
- private:
-  math::Matrix mask_;
 };
 
 /// Inverted dropout (active only during training). The paper uses a 0.1
@@ -75,8 +111,10 @@ class Dropout : public Layer {
  public:
   Dropout(double rate, stats::Rng rng) : rate_(rate), rng_(rng) {}
 
-  math::Matrix forward(const math::Matrix& x, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_out) override;
+  void forward_into(const math::Matrix& x, math::Matrix& y,
+                    bool training) override;
+  void backward_into(const math::Matrix& x_in, const math::Matrix& grad_out,
+                     math::Matrix& grad_in) override;
   [[nodiscard]] std::string kind() const override { return "dropout"; }
   [[nodiscard]] double rate() const { return rate_; }
 

@@ -23,11 +23,23 @@ struct MseLoss {
   /// dL/dpred for the batch.
   [[nodiscard]] static math::Matrix gradient(const math::Matrix& pred,
                                              const math::Matrix& target) {
-    math::Matrix g = pred - target;
+    math::Matrix g;
+    gradient_into(pred, target, g);
+    return g;
+  }
+
+  /// dL/dpred into a caller-owned buffer (allocation-free at steady state).
+  static void gradient_into(const math::Matrix& pred,
+                            const math::Matrix& target, math::Matrix& g) {
     const double scale =
         pred.cols() > 0 ? 2.0 / static_cast<double>(pred.cols()) : 0.0;
-    g *= scale;
-    return g;
+    g.resize(pred.rows(), pred.cols());
+    const auto pd = pred.data();
+    const auto td = target.data();
+    const auto gd = g.data();
+    for (std::size_t i = 0; i < pd.size(); ++i) {
+      gd[i] = (pd[i] - td[i]) * scale;
+    }
   }
 
   /// Mean absolute error — the "prediction within X meters" metric of

@@ -1,5 +1,7 @@
 #include "nn/mlp.hpp"
 
+#include "stats/hash.hpp"
+
 namespace rt::nn {
 
 math::Matrix Mlp::forward(const math::Matrix& x, bool training) {
@@ -8,11 +10,39 @@ math::Matrix Mlp::forward(const math::Matrix& x, bool training) {
   return h;
 }
 
+const math::Matrix& Mlp::forward_into(const math::Matrix& x, Workspace& ws,
+                                      bool training) {
+  ws.acts.resize(layers_.size() + 1);
+  ws.acts[0] = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward_into(ws.acts[i], ws.acts[i + 1], training);
+  }
+  return ws.acts.back();
+}
+
 void Mlp::backward(const math::Matrix& grad_out) {
   math::Matrix g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(g);
   }
+}
+
+void Mlp::backward_into(const math::Matrix& grad_out, Workspace& ws) {
+  const math::Matrix* g = &grad_out;
+  math::Matrix* dst = &ws.grad_a;
+  math::Matrix* other = &ws.grad_b;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->backward_into(ws.acts[i], *g, *dst);
+    g = dst;
+    std::swap(dst, other);
+  }
+}
+
+const math::Matrix& Mlp::predict(const math::Matrix& x) {
+  // Thread-local: predict stays safe to call concurrently on one shared
+  // trained network (each thread forwards over its own buffers).
+  thread_local Workspace ws;
+  return forward_into(x, ws, false);
 }
 
 std::vector<math::Matrix*> Mlp::parameters() {
@@ -35,6 +65,16 @@ std::size_t Mlp::parameter_count() {
   std::size_t n = 0;
   for (auto* p : parameters()) n += p->rows() * p->cols();
   return n;
+}
+
+std::uint64_t Mlp::content_hash() {
+  std::uint64_t h = stats::kFnv1aOffset;
+  for (auto* p : parameters()) {
+    h = stats::fnv1a_u64(h, p->rows());
+    h = stats::fnv1a_u64(h, p->cols());
+    for (const double v : p->data()) h = stats::fnv1a_double(h, v);
+  }
+  return h;
 }
 
 Mlp make_safety_hijacker_net(stats::Rng& rng, std::size_t input_dim,

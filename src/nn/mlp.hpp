@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -15,22 +16,55 @@ namespace rt::nn {
 /// (see `make_safety_hijacker_net`).
 class Mlp {
  public:
+  /// Caller-owned forward/backward buffers: one activation matrix per layer
+  /// boundary plus two ping-pong gradient buffers. After a warm-up pass at
+  /// a given batch shape, forwards and backwards through a workspace
+  /// allocate nothing. A workspace belongs to one caller at a time (the
+  /// trainer keeps one; `predict` uses a thread-local one).
+  struct Workspace {
+    std::vector<math::Matrix> acts;
+    math::Matrix grad_a;
+    math::Matrix grad_b;
+  };
+
   Mlp() = default;
 
   void add(std::unique_ptr<Layer> layer) {
     layers_.push_back(std::move(layer));
   }
 
-  /// Forward pass over the whole stack.
+  /// Forward pass over the whole stack (allocating wrapper; layers cache
+  /// their inputs when `training` so `backward` works afterwards).
   math::Matrix forward(const math::Matrix& x, bool training);
-  /// Inference-mode forward (no dropout, no caching). Mutation-free per
-  /// the Layer contract, hence safe to call concurrently from multiple
-  /// threads on one shared network.
-  [[nodiscard]] math::Matrix predict(const math::Matrix& x) {
-    return forward(x, false);
-  }
+
+  /// Workspace forward: activations land in `ws.acts` (acts[i] is layer i's
+  /// input, acts.back() the network output, which is also returned). The
+  /// returned reference is valid until the next use of `ws`.
+  const math::Matrix& forward_into(const math::Matrix& x, Workspace& ws,
+                                   bool training);
+
   /// Backpropagates dL/d(output); parameter gradients accumulate in layers.
   void backward(const math::Matrix& grad_out);
+
+  /// Workspace backward over the activations of the last `forward_into`
+  /// on `ws`.
+  void backward_into(const math::Matrix& grad_out, Workspace& ws);
+
+  /// Inference-mode forward (no dropout, no caching). Mutation-free per
+  /// the Layer contract, hence safe to call concurrently from multiple
+  /// threads on one shared network. Runs over a thread-local workspace
+  /// that is shared by every Mlp on the calling thread — zero allocations
+  /// at steady state, but the returned reference is invalidated by the
+  /// next `predict` on *any* network on this thread: copy the result (or
+  /// use `predict_into` with your own workspace) before invoking another
+  /// network.
+  [[nodiscard]] const math::Matrix& predict(const math::Matrix& x);
+
+  /// Inference-mode forward over an explicit workspace.
+  [[nodiscard]] const math::Matrix& predict_into(const math::Matrix& x,
+                                                 Workspace& ws) {
+    return forward_into(x, ws, false);
+  }
 
   [[nodiscard]] std::vector<math::Matrix*> parameters();
   [[nodiscard]] std::vector<math::Matrix*> gradients();
@@ -38,6 +72,12 @@ class Mlp {
     return layers_;
   }
   [[nodiscard]] std::size_t parameter_count();
+
+  /// Order-sensitive bit-exact digest of every parameter matrix (shape +
+  /// each double's bit pattern), FNV-1a like Dataset::content_hash. Golden
+  /// tests pin trained networks on this: any change to a single weight bit
+  /// changes the hash.
+  [[nodiscard]] std::uint64_t content_hash();
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -25,14 +25,25 @@ TrainResult Trainer::train(Mlp& net, const Dataset& data,
   double best_val = std::numeric_limits<double>::infinity();
   int since_best = 0;
 
+  // Minibatch gather buffers, loss gradient, and the network workspace are
+  // hoisted out of the epoch loop: after the first epoch warms their
+  // capacity up, an epoch performs no per-batch heap allocations. The
+  // parameter/gradient pointer lists are likewise stable across steps.
+  math::Matrix xb;
+  math::Matrix yb;
+  math::Matrix grad;
+  Mlp::Workspace ws;
+  const std::vector<math::Matrix*> params = net.parameters();
+  const std::vector<math::Matrix*> grads = net.gradients();
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     double train_loss_sum = 0.0;
     std::size_t batches = 0;
     for (std::size_t start = 0; start < n; start += config_.batch_size) {
       const std::size_t end = std::min(n, start + config_.batch_size);
-      math::Matrix xb(x_train.rows(), end - start);
-      math::Matrix yb(train_set.y.rows(), end - start);
+      xb.resize(x_train.rows(), end - start);
+      yb.resize(train_set.y.rows(), end - start);
       for (std::size_t j = start; j < end; ++j) {
         for (std::size_t i = 0; i < xb.rows(); ++i) {
           xb(i, j - start) = x_train(i, order[j]);
@@ -41,11 +52,12 @@ TrainResult Trainer::train(Mlp& net, const Dataset& data,
           yb(i, j - start) = train_set.y(i, order[j]);
         }
       }
-      const math::Matrix pred = net.forward(xb, /*training=*/true);
+      const math::Matrix& pred = net.forward_into(xb, ws, /*training=*/true);
       train_loss_sum += MseLoss::value(pred, yb);
       ++batches;
-      net.backward(MseLoss::gradient(pred, yb));
-      optimizer.step(net.parameters(), net.gradients());
+      MseLoss::gradient_into(pred, yb, grad);
+      net.backward_into(grad, ws);
+      optimizer.step(params, grads);
     }
 
     EpochStats stats;
@@ -53,7 +65,7 @@ TrainResult Trainer::train(Mlp& net, const Dataset& data,
     stats.train_loss =
         batches > 0 ? train_loss_sum / static_cast<double>(batches) : 0.0;
     if (x_val.cols() > 0) {
-      const math::Matrix val_pred = net.predict(x_val);
+      const math::Matrix& val_pred = net.predict_into(x_val, ws);
       stats.val_loss = MseLoss::value(val_pred, val_set.y);
       stats.val_mae = MseLoss::mae(val_pred, val_set.y);
     }

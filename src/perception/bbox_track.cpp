@@ -20,18 +20,24 @@ constexpr double kVelProcessSigma = 14.0;  // px/s / frame
 
 }  // namespace
 
-math::Matrix BboxTrack::measurement_noise(const math::Bbox& b) const {
+void BboxTrack::measurement_noise_into(const math::Bbox& b,
+                                       math::Matrix& out) const {
   const double su = std::max(kMeasSigmaFloorPx, meas_sigma_x_ * b.w);
   const double sv = std::max(kMeasSigmaFloorPx, meas_sigma_y_ * b.h);
   const double sw = std::max(kMeasSigmaFloorPx, 0.08 * b.w);
   const double sh = std::max(kMeasSigmaFloorPx, 0.08 * b.h);
   const double entries[] = {su * su, sv * sv, sw * sw, sh * sh};
-  return math::Matrix::diagonal(entries);
+  out.resize(4, 4);
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+  for (std::size_t i = 0; i < 4; ++i) out(i, i) = entries[i];
 }
 
-math::Matrix BboxTrack::to_measurement(const math::Bbox& b) {
-  const double entries[] = {b.cx, b.cy, b.w, b.h};
-  return math::Matrix::column(entries);
+void BboxTrack::to_measurement_into(const math::Bbox& b, math::Matrix& out) {
+  out.resize(4, 1);
+  out(0, 0) = b.cx;
+  out(1, 0) = b.cy;
+  out(2, 0) = b.w;
+  out(3, 0) = b.h;
 }
 
 BboxTrack::BboxTrack(int id, const Detection& first, double dt,
@@ -64,7 +70,8 @@ BboxTrack::BboxTrack(int id, const Detection& first, double dt,
   const double p0_entries[] = {25.0, 25.0, 25.0, 25.0, 2500.0, 2500.0};
   math::Matrix p0 = math::Matrix::diagonal(p0_entries);
 
-  kf_ = KalmanFilter(f, q, h, measurement_noise(first.bbox), x0, p0);
+  measurement_noise_into(first.bbox, r_scratch_);
+  kf_ = KalmanFilter(f, q, h, r_scratch_, x0, p0);
   predicted_ = first.bbox;
 }
 
@@ -81,8 +88,10 @@ void BboxTrack::predict() {
 
 void BboxTrack::update(const Detection& det) {
   // Refresh the size-proportional measurement noise before the update.
-  kf_.set_measurement_noise(measurement_noise(det.bbox));
-  kf_.update(to_measurement(det.bbox));
+  measurement_noise_into(det.bbox, r_scratch_);
+  kf_.set_measurement_noise(r_scratch_);
+  to_measurement_into(det.bbox, z_scratch_);
+  kf_.update(z_scratch_);
   ++hits_;
   consecutive_misses_ = 0;
   last_truth_id_ = det.truth_id;
@@ -93,7 +102,8 @@ void BboxTrack::mark_missed() {
 }
 
 double BboxTrack::mahalanobis2(const math::Bbox& z) const {
-  return kf_.mahalanobis2(to_measurement(z));
+  to_measurement_into(z, z_scratch_);
+  return kf_.mahalanobis2(z_scratch_);
 }
 
 }  // namespace rt::perception

@@ -52,15 +52,21 @@ class BboxTrack {
   [[nodiscard]] double mahalanobis2(const math::Bbox& z) const;
 
  private:
-  [[nodiscard]] static math::Matrix to_measurement(const math::Bbox& b);
+  /// Fills `out` (4 x 1) with the measurement vector for `b`.
+  static void to_measurement_into(const math::Bbox& b, math::Matrix& out);
 
-  [[nodiscard]] math::Matrix measurement_noise(const math::Bbox& b) const;
+  /// Fills `out` (4 x 4) with the size-proportional measurement covariance.
+  void measurement_noise_into(const math::Bbox& b, math::Matrix& out) const;
 
   int id_;
   sim::ActorType cls_;
   double meas_sigma_x_;  ///< robust measurement sigma, fraction of bbox w
   double meas_sigma_y_;  ///< robust measurement sigma, fraction of bbox h
   KalmanFilter kf_;
+  /// Scratch for the per-update measurement vector/covariance, reused so a
+  /// track step allocates nothing; mutable because `mahalanobis2` is const.
+  mutable math::Matrix z_scratch_;
+  mutable math::Matrix r_scratch_;
   math::Bbox predicted_;
   int hits_{1};
   int consecutive_misses_{0};

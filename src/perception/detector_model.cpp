@@ -17,7 +17,15 @@ bool DetectorModel::in_streak(sim::ActorId id) const {
 CameraFrame DetectorModel::detect(
     const std::vector<sim::GroundTruthObject>& objects, double sim_time) {
   CameraFrame frame;
+  detect_into(objects, sim_time, frame);
+  return frame;
+}
+
+void DetectorModel::detect_into(
+    const std::vector<sim::GroundTruthObject>& objects, double sim_time,
+    CameraFrame& frame) {
   frame.time = sim_time;
+  frame.detections.clear();
   for (const auto& obj : objects) {
     const auto truth_box = camera_.project(obj);
     if (!truth_box) {
@@ -92,7 +100,6 @@ CameraFrame DetectorModel::detect(
     det.truth_id = obj.id;
     frame.detections.push_back(det);
   }
-  return frame;
 }
 
 }  // namespace rt::perception

@@ -33,6 +33,9 @@ class DetectorModel {
   /// `sim_time` stamps the output frame.
   [[nodiscard]] CameraFrame detect(
       const std::vector<sim::GroundTruthObject>& objects, double sim_time);
+  /// Same, into a caller-owned frame (detections cleared first).
+  void detect_into(const std::vector<sim::GroundTruthObject>& objects,
+                   double sim_time, CameraFrame& frame);
 
   [[nodiscard]] const CameraModel& camera() const { return camera_; }
   [[nodiscard]] const DetectorNoiseModel& noise() const { return noise_; }

@@ -9,9 +9,19 @@ namespace rt::perception {
 std::vector<FusedObject> Fusion::fuse(const std::vector<WorldTrack>& camera,
                                       const std::vector<LidarTrack>& lidar) {
   std::vector<FusedObject> out;
-  std::unordered_set<int> live_ids;
+  fuse_into(camera, lidar, out);
+  return out;
+}
 
-  std::vector<char> lidar_used(lidar.size(), 0);
+void Fusion::fuse_into(const std::vector<WorldTrack>& camera,
+                       const std::vector<LidarTrack>& lidar,
+                       std::vector<FusedObject>& out) {
+  out.clear();
+  std::unordered_set<int>& live_ids = live_ids_scratch_;
+  live_ids.clear();
+
+  lidar_used_scratch_.assign(lidar.size(), 0);
+  std::vector<char>& lidar_used = lidar_used_scratch_;
   for (const WorldTrack& cam : camera) {
     live_ids.insert(cam.track_id);
 
@@ -92,7 +102,6 @@ std::vector<FusedObject> Fusion::fuse(const std::vector<WorldTrack>& camera,
       it = records_.erase(it);
     }
   }
-  return out;
 }
 
 }  // namespace rt::perception

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "perception/lidar_tracker.hpp"
@@ -85,6 +86,10 @@ class Fusion {
   /// Fuses this frame's camera world-tracks with the latest LiDAR tracks.
   std::vector<FusedObject> fuse(const std::vector<WorldTrack>& camera,
                                 const std::vector<LidarTrack>& lidar);
+  /// Same, into a caller-owned buffer (cleared first).
+  void fuse_into(const std::vector<WorldTrack>& camera,
+                 const std::vector<LidarTrack>& lidar,
+                 std::vector<FusedObject>& out);
 
   [[nodiscard]] const FusionConfig& config() const { return config_; }
 
@@ -99,6 +104,10 @@ class Fusion {
   LidarConfig lidar_config_;
   double dt_;
   std::unordered_map<int, Record> records_;
+  /// Per-frame association scratch, reused so a fusion step allocates
+  /// nothing at steady state.
+  std::unordered_set<int> live_ids_scratch_;
+  std::vector<char> lidar_used_scratch_;
 };
 
 }  // namespace rt::perception

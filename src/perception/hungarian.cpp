@@ -10,6 +10,12 @@ constexpr double kPadCost = 1e6;
 }
 
 AssignmentResult solve_assignment(const math::Matrix& cost) {
+  thread_local AssignmentScratch scratch;
+  return solve_assignment(cost, scratch);
+}
+
+AssignmentResult solve_assignment(const math::Matrix& cost,
+                                  AssignmentScratch& scratch) {
   const std::size_t rows = cost.rows();
   const std::size_t cols = cost.cols();
   AssignmentResult result;
@@ -25,15 +31,22 @@ AssignmentResult solve_assignment(const math::Matrix& cost) {
   };
 
   // Potentials-based Hungarian algorithm (e-maxx formulation), 1-indexed.
-  std::vector<double> u(n + 1, 0.0);
-  std::vector<double> v(n + 1, 0.0);
-  std::vector<std::size_t> p(n + 1, 0);     // p[col] = row matched to col
-  std::vector<std::size_t> way(n + 1, 0);
+  // `assign` reuses the scratch vectors' capacity across calls.
+  auto& u = scratch.u;
+  auto& v = scratch.v;
+  auto& p = scratch.p;
+  auto& way = scratch.way;
+  auto& minv = scratch.minv;
+  auto& used = scratch.used;
+  u.assign(n + 1, 0.0);
+  v.assign(n + 1, 0.0);
+  p.assign(n + 1, 0);  // p[col] = row matched to col
+  way.assign(n + 1, 0);
   for (std::size_t i = 1; i <= n; ++i) {
     p[0] = i;
     std::size_t j0 = 0;
-    std::vector<double> minv(n + 1, std::numeric_limits<double>::infinity());
-    std::vector<char> used(n + 1, false);
+    minv.assign(n + 1, std::numeric_limits<double>::infinity());
+    used.assign(n + 1, false);
     do {
       used[j0] = true;
       const std::size_t i0 = p[j0];

@@ -21,8 +21,21 @@ struct AssignmentResult {
 /// perturbed detection associated with the victim's tracker (Eq. 4's
 /// "M <= lambda" constraint).
 ///
+/// Reusable working vectors of `solve_assignment` (potentials, matching,
+/// augmenting-path bookkeeping). Callers on a hot path keep one per tracker
+/// so repeated solves allocate nothing beyond the returned assignment.
+struct AssignmentScratch {
+  std::vector<double> u, v, minv;
+  std::vector<std::size_t> p, way;
+  std::vector<char> used;
+};
+
 /// Rectangular matrices are handled by padding with a large cost; padded
-/// matches are reported as unassigned. O(n^3).
+/// matches are reported as unassigned. O(n^3). The scratch-free overload
+/// uses a thread-local scratch, so repeated calls are allocation-free too;
+/// results are identical either way.
 [[nodiscard]] AssignmentResult solve_assignment(const math::Matrix& cost);
+[[nodiscard]] AssignmentResult solve_assignment(const math::Matrix& cost,
+                                                AssignmentScratch& scratch);
 
 }  // namespace rt::perception

@@ -23,17 +23,40 @@ KalmanFilter::KalmanFilter(math::Matrix f, math::Matrix q, math::Matrix h,
 }
 
 void KalmanFilter::predict() {
-  x_ = f_ * x_;
-  p_ = f_ * p_ * f_.transposed() + q_;
+  // x <- F x;  P <- F P F^T + Q — via the fixed scratch, no allocations.
+  math::multiply_into(f_, x_, t_x_);
+  std::swap(x_, t_x_);
+  math::multiply_into(f_, p_, t_nn1_);
+  math::multiply_transposed_into(t_nn1_, f_, t_nn2_);
+  t_nn2_ += q_;
+  std::swap(p_, t_nn2_);
 }
 
 void KalmanFilter::update(const math::Matrix& z) {
-  const math::Matrix y = z - h_ * x_;
-  const math::Matrix s = h_ * p_ * h_.transposed() + r_;
-  const math::Matrix k = p_ * h_.transposed() * s.inverse();
-  x_ = x_ + k * y;
-  const math::Matrix i = math::Matrix::identity(p_.rows());
-  p_ = (i - k * h_) * p_;
+  // y = z - H x
+  math::multiply_into(h_, x_, t_hx_);
+  math::subtract_into(z, t_hx_, t_y_);
+  // S = H P H^T + R
+  math::multiply_into(h_, p_, t_mn_);
+  math::multiply_transposed_into(t_mn_, h_, t_mm1_);
+  t_mm1_ += r_;
+  math::invert_into(t_mm1_, t_mm2_, t_s_inv_);
+  // K = P H^T S^-1
+  math::multiply_transposed_into(p_, h_, t_nm_);
+  math::multiply_into(t_nm_, t_s_inv_, t_k_);
+  // x <- x + K y
+  math::multiply_into(t_k_, t_y_, t_x_);
+  x_ += t_x_;
+  // P <- (I - K H) P
+  math::multiply_into(t_k_, h_, t_nn1_);
+  t_nn2_.resize(p_.rows(), p_.cols());
+  for (std::size_t i = 0; i < t_nn2_.rows(); ++i) {
+    for (std::size_t j = 0; j < t_nn2_.cols(); ++j) {
+      t_nn2_(i, j) = (i == j ? 1.0 : 0.0) - t_nn1_(i, j);
+    }
+  }
+  math::multiply_into(t_nn2_, p_, t_nn1_);
+  std::swap(p_, t_nn1_);
 }
 
 math::Matrix KalmanFilter::innovation(const math::Matrix& z) const {
@@ -41,10 +64,16 @@ math::Matrix KalmanFilter::innovation(const math::Matrix& z) const {
 }
 
 double KalmanFilter::mahalanobis2(const math::Matrix& z) const {
-  const math::Matrix y = innovation(z);
-  const math::Matrix s = h_ * p_ * h_.transposed() + r_;
-  const math::Matrix d = y.transposed() * s.inverse() * y;
-  return d(0, 0);
+  // y = z - H x;  d = y^T S^-1 y — same scratch, zero allocations.
+  math::multiply_into(h_, x_, t_hx_);
+  math::subtract_into(z, t_hx_, t_y_);
+  math::multiply_into(h_, p_, t_mn_);
+  math::multiply_transposed_into(t_mn_, h_, t_mm1_);
+  t_mm1_ += r_;
+  math::invert_into(t_mm1_, t_mm2_, t_s_inv_);
+  math::transposed_multiply_into(t_y_, t_s_inv_, t_mn_);
+  math::multiply_into(t_mn_, t_y_, t_hx_);
+  return t_hx_(0, 0);
 }
 
 }  // namespace rt::perception

@@ -51,6 +51,24 @@ class KalmanFilter {
 
  private:
   math::Matrix f_, q_, h_, r_, x_, p_;
+
+  // Fixed scratch reused by every predict/update/mahalanobis2 so a filter
+  // step performs zero heap allocations at steady state (the campaign hot
+  // loop runs millions of them). Sized lazily by the `*_into` kernels;
+  // mutable because `mahalanobis2` is logically const. Results are bit-
+  // identical to the historical allocating expressions (see the kernel
+  // contract in math/matrix.hpp).
+  mutable math::Matrix t_x_;       // n x 1: F x, K y
+  mutable math::Matrix t_y_;       // m x 1: innovation
+  mutable math::Matrix t_hx_;      // m x 1: H x
+  mutable math::Matrix t_nn1_;     // n x n
+  mutable math::Matrix t_nn2_;     // n x n
+  mutable math::Matrix t_mn_;      // m x n: H P
+  mutable math::Matrix t_nm_;      // n x m: P H^T
+  mutable math::Matrix t_k_;       // n x m: Kalman gain
+  mutable math::Matrix t_mm1_;     // m x m: S
+  mutable math::Matrix t_mm2_;     // m x m: Gauss-Jordan scratch
+  mutable math::Matrix t_s_inv_;   // m x m: S^-1
 };
 
 }  // namespace rt::perception

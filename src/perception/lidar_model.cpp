@@ -8,6 +8,13 @@ namespace rt::perception {
 std::vector<LidarMeasurement> LidarModel::scan(
     const std::vector<sim::GroundTruthObject>& objects) {
   std::vector<LidarMeasurement> out;
+  scan_into(objects, out);
+  return out;
+}
+
+void LidarModel::scan_into(const std::vector<sim::GroundTruthObject>& objects,
+                           std::vector<LidarMeasurement>& out) {
+  out.clear();
   for (const auto& obj : objects) {
     const double range = obj.rel_position.norm();
     if (obj.rel_position.x < 1.0) continue;  // behind / alongside the sensor
@@ -27,7 +34,6 @@ std::vector<LidarMeasurement> LidarModel::scan(
     m.truth_id = obj.id;
     out.push_back(m);
   }
-  return out;
 }
 
 }  // namespace rt::perception

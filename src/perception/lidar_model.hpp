@@ -53,6 +53,9 @@ class LidarModel {
   LidarModel(LidarConfig config, stats::Rng rng)
       : config_(config), rng_(rng) {}
 
+  /// Scan into a caller-owned buffer (cleared first).
+  void scan_into(const std::vector<sim::GroundTruthObject>& objects,
+                 std::vector<LidarMeasurement>& out);
   [[nodiscard]] std::vector<LidarMeasurement> scan(
       const std::vector<sim::GroundTruthObject>& objects);
 

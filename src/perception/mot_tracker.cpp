@@ -25,17 +25,28 @@ TrackView MotTracker::view_of(const BboxTrack& t, bool matched) {
 }
 
 std::vector<TrackView> MotTracker::update(const CameraFrame& frame) {
+  std::vector<TrackView> out;
+  update_into(frame, out);
+  return out;
+}
+
+void MotTracker::update_into(const CameraFrame& frame,
+                             std::vector<TrackView>& out) {
   // 1. Time update for every live track.
   for (BboxTrack& t : tracks_) t.predict();
 
   const auto& dets = frame.detections;
-  std::vector<int> det_to_track(dets.size(), -1);
-  std::vector<char> track_matched(tracks_.size(), 0);
+  auto& det_to_track = det_to_track_;
+  auto& track_matched = track_matched_;
+  det_to_track.assign(dets.size(), -1);
+  track_matched.assign(tracks_.size(), 0);
 
   // 2. Hungarian association on IoU cost between detections and predicted
-  //    track boxes, with class consistency and the gate from config.
+  //    track boxes, with class consistency and the gate from config. The
+  //    cost matrix and solver scratch are members reused every frame.
   if (!dets.empty() && !tracks_.empty()) {
-    math::Matrix cost(dets.size(), tracks_.size());
+    math::Matrix& cost = cost_scratch_;
+    cost.resize(dets.size(), tracks_.size());
     for (std::size_t i = 0; i < dets.size(); ++i) {
       for (std::size_t j = 0; j < tracks_.size(); ++j) {
         const double overlap =
@@ -44,7 +55,7 @@ std::vector<TrackView> MotTracker::update(const CameraFrame& frame) {
         cost(i, j) = class_ok ? 1.0 - overlap : 1e3;
       }
     }
-    const AssignmentResult res = solve_assignment(cost);
+    const AssignmentResult res = solve_assignment(cost, assign_scratch_);
     for (std::size_t i = 0; i < dets.size(); ++i) {
       const int j = res.assignment[i];
       if (j < 0) continue;
@@ -89,28 +100,29 @@ std::vector<TrackView> MotTracker::update(const CameraFrame& frame) {
     if (!track_matched[j]) tracks_[j].mark_missed();
   }
 
-  // 4. Retire stale tracks.
-  std::vector<BboxTrack> survivors;
-  std::vector<char> survivor_matched;
-  survivors.reserve(tracks_.size());
+  // 4. Retire stale tracks — compacting in place (moves, not copies: a
+  //    BboxTrack carries KF scratch matrices that are expensive to clone).
+  std::size_t kept = 0;
+  matched_flags_.resize(tracks_.size());
   for (std::size_t j = 0; j < tracks_.size(); ++j) {
     if (tracks_[j].consecutive_misses() <= config_.max_misses) {
-      survivors.push_back(tracks_[j]);
-      survivor_matched.push_back(track_matched[j]);
+      if (kept != j) tracks_[kept] = std::move(tracks_[j]);
+      matched_flags_[kept] = track_matched[j];
+      ++kept;
     }
   }
-  tracks_ = std::move(survivors);
-  matched_flags_ = std::move(survivor_matched);
+  tracks_.erase(tracks_.begin() + static_cast<std::ptrdiff_t>(kept),
+                tracks_.end());
+  matched_flags_.resize(kept);
 
   // 5. Report confirmed tracks.
-  std::vector<TrackView> out;
+  out.clear();
   out.reserve(tracks_.size());
   for (std::size_t j = 0; j < tracks_.size(); ++j) {
     if (tracks_[j].hits() >= config_.min_hits) {
       out.push_back(view_of(tracks_[j], matched_flags_[j] != 0));
     }
   }
-  return out;
 }
 
 std::vector<TrackView> MotTracker::live_tracks() const {

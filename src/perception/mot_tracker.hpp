@@ -5,6 +5,7 @@
 
 #include "perception/bbox_track.hpp"
 #include "perception/detection.hpp"
+#include "perception/hungarian.hpp"
 
 namespace rt::perception {
 
@@ -55,6 +56,8 @@ class MotTracker {
 
   /// Processes one camera frame; returns snapshots of confirmed tracks.
   std::vector<TrackView> update(const CameraFrame& frame);
+  /// Same, into a caller-owned buffer (cleared first).
+  void update_into(const CameraFrame& frame, std::vector<TrackView>& out);
 
   /// Snapshot of a live track by id (confirmed or not); nullopt if unknown.
   [[nodiscard]] std::optional<TrackView> track(int track_id) const;
@@ -80,6 +83,13 @@ class MotTracker {
   std::vector<BboxTrack> tracks_;
   std::vector<char> matched_flags_;
   int next_id_{1};
+
+  // Per-frame association scratch, reused across updates so the steady-state
+  // tracker step performs no cost-matrix or solver allocations.
+  math::Matrix cost_scratch_;
+  AssignmentScratch assign_scratch_;
+  std::vector<int> det_to_track_;
+  std::vector<char> track_matched_;
 };
 
 }  // namespace rt::perception

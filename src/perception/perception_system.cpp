@@ -19,12 +19,17 @@ void PerceptionSystem::ingest_lidar(
 
 PerceptionOutput PerceptionSystem::step(const CameraFrame& frame) {
   PerceptionOutput out;
-  out.time = frame.time;
-  out.camera_tracks = mot_.update(frame);
-  out.camera_world = projector_.project(out.camera_tracks);
-  out.lidar_tracks = lidar_tracker_.tracks();
-  out.world = fusion_.fuse(out.camera_world, out.lidar_tracks);
+  step_into(frame, out);
   return out;
+}
+
+void PerceptionSystem::step_into(const CameraFrame& frame,
+                                 PerceptionOutput& out) {
+  out.time = frame.time;
+  mot_.update_into(frame, out.camera_tracks);
+  projector_.project_into(out.camera_tracks, out.camera_world);
+  out.lidar_tracks = lidar_tracker_.tracks();
+  fusion_.fuse_into(out.camera_world, out.lidar_tracks, out.world);
 }
 
 }  // namespace rt::perception

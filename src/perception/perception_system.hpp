@@ -43,6 +43,9 @@ class PerceptionSystem {
 
   /// Processes one camera frame and produces the fused world model.
   PerceptionOutput step(const CameraFrame& frame);
+  /// Same, into a caller-owned output whose vectors are reused across
+  /// frames (the closed loop's per-frame hot path).
+  void step_into(const CameraFrame& frame, PerceptionOutput& out);
 
   [[nodiscard]] const MotTracker& tracker() const { return mot_; }
 

@@ -9,8 +9,16 @@ namespace rt::perception {
 std::vector<WorldTrack> TrackProjector::project(
     const std::vector<TrackView>& tracks) {
   std::vector<WorldTrack> out;
+  project_into(tracks, out);
+  return out;
+}
+
+void TrackProjector::project_into(const std::vector<TrackView>& tracks,
+                                  std::vector<WorldTrack>& out) {
+  out.clear();
   out.reserve(tracks.size());
-  std::unordered_set<int> seen;
+  std::unordered_set<int>& seen = seen_scratch_;
+  seen.clear();
   for (const TrackView& t : tracks) {
     const auto pos = camera_.back_project(t.bbox);
     if (!pos) continue;
@@ -46,7 +54,6 @@ std::vector<WorldTrack> TrackProjector::project(
   for (auto it = history_.begin(); it != history_.end();) {
     it = seen.contains(it->first) ? std::next(it) : history_.erase(it);
   }
-  return out;
 }
 
 }  // namespace rt::perception

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "math/vec2.hpp"
@@ -38,6 +39,9 @@ class TrackProjector {
   /// grounded (bottom edge above the horizon). Forgets state of vanished
   /// tracks.
   std::vector<WorldTrack> project(const std::vector<TrackView>& tracks);
+  /// Same, into a caller-owned buffer (cleared first).
+  void project_into(const std::vector<TrackView>& tracks,
+                    std::vector<WorldTrack>& out);
 
  private:
   struct History {
@@ -50,6 +54,9 @@ class TrackProjector {
   double dt_;
   double alpha_;
   std::unordered_map<int, History> history_;
+  /// Per-frame live-id scratch, reused so a projection step allocates
+  /// nothing at steady state.
+  std::unordered_set<int> seen_scratch_;
 };
 
 }  // namespace rt::perception

@@ -4,7 +4,40 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/road.hpp"
+
 namespace rt::sim {
+
+namespace {
+
+/// Resolves `VictimGeometry::kAuto` by replaying the family's canonical
+/// world (defaults, fixed resolution seed, ego cruising without reacting)
+/// and checking whether the designated victim ever overlaps the ego
+/// corridor. A family without a resolvable victim defaults to in-corridor,
+/// preserving Move_Out as the natural vector for unknown geometries.
+VictimGeometry resolve_victim_geometry(const ScenarioSpec& spec) {
+  stats::Rng rng(0x9e0);  // local seed: resolution is registration-order-free
+  const Scenario sc = spec.generate(spec.defaults, rng);
+  World world = sc.make_world();
+  const double dt = 1.0 / 15.0;
+  const int steps = static_cast<int>(std::ceil(sc.duration / dt));
+  bool victim_seen = false;
+  for (int i = 0; i <= steps; ++i) {
+    const auto g = world.ground_truth_for(sc.target_id);
+    if (g) {
+      victim_seen = true;
+      if (Road::overlaps_ego_corridor(g->rel_position.y, g->dims.width,
+                                      world.ego().dims().width)) {
+        return VictimGeometry::kInCorridor;
+      }
+    }
+    world.step(dt, 0.0);
+  }
+  return victim_seen ? VictimGeometry::kOutOfCorridor
+                     : VictimGeometry::kInCorridor;
+}
+
+}  // namespace
 
 void ScenarioRegistry::register_scenario(ScenarioSpec spec) {
   if (spec.key.empty()) {
@@ -17,6 +50,9 @@ void ScenarioRegistry::register_scenario(ScenarioSpec spec) {
   if (index_.count(spec.key) != 0) {
     throw std::invalid_argument("ScenarioRegistry: duplicate scenario key '" +
                                 spec.key + "'");
+  }
+  if (spec.victim_geometry == VictimGeometry::kAuto) {
+    spec.victim_geometry = resolve_victim_geometry(spec);
   }
   index_.emplace(spec.key, specs_.size());
   specs_.push_back(std::move(spec));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -8,6 +9,35 @@
 #include "sim/scenario.hpp"
 
 namespace rt::sim {
+
+/// Where a family's designated victim sits relative to the ego corridor —
+/// which decides the natural attack vector against it (paper Table I: the
+/// Move_In vector only launches against victims that *stay out* of the
+/// corridor, every in-corridor victim is attacked with Move_Out/Disappear).
+enum class VictimGeometry : std::uint8_t {
+  /// Resolve from the family's canonical world at registration time: the
+  /// registry replays the defaults-built scenario (ego cruising) and checks
+  /// whether the victim ever overlaps the ego corridor.
+  kAuto,
+  /// Victim occupies or enters the ego corridor (DS-1/DS-2/DS-5, cut-in,
+  /// crossings) — Move_Out is the natural vector.
+  kInCorridor,
+  /// Victim keeps out of the corridor for the whole scenario (DS-3/DS-4
+  /// parking-lane geometries) — Move_In is the natural vector.
+  kOutOfCorridor,
+};
+
+[[nodiscard]] constexpr const char* to_string(VictimGeometry g) {
+  switch (g) {
+    case VictimGeometry::kAuto:
+      return "auto";
+    case VictimGeometry::kInCorridor:
+      return "in-corridor";
+    case VictimGeometry::kOutOfCorridor:
+      return "out-of-corridor";
+  }
+  return "?";
+}
 
 /// One registered scenario family: a string key, a human description, the
 /// parameter defaults that reproduce the family's canonical world, and the
@@ -21,6 +51,13 @@ struct ScenarioSpec {
   std::string description;
   ScenarioParams defaults{};
   Generator generate;
+  /// Victim-corridor metadata. Leave `kAuto` (the default) to have the
+  /// registry derive it from the canonical world at registration, or set
+  /// explicitly to override. After registration `get(key).victim_geometry`
+  /// is always a resolved (non-auto) value, so downstream consumers (e.g.
+  /// the transfer matrix's natural-vector choice) never string-match on
+  /// family keys.
+  VictimGeometry victim_geometry{VictimGeometry::kAuto};
 };
 
 /// Process-wide registry of scenario families. The paper's DS-1..DS-5 are

@@ -31,9 +31,14 @@ GroundTruthObject World::snapshot(const Actor& a) const {
 
 std::vector<GroundTruthObject> World::ground_truth() const {
   std::vector<GroundTruthObject> out;
+  ground_truth_into(out);
+  return out;
+}
+
+void World::ground_truth_into(std::vector<GroundTruthObject>& out) const {
+  out.clear();
   out.reserve(actors_.size());
   for (const Actor& a : actors_) out.push_back(snapshot(a));
-  return out;
 }
 
 std::optional<GroundTruthObject> World::ground_truth_for(ActorId id) const {

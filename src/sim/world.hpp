@@ -53,6 +53,9 @@ class World {
 
   /// Ground truth for all actors, relative to the ego.
   [[nodiscard]] std::vector<GroundTruthObject> ground_truth() const;
+  /// Snapshot into a caller-owned buffer (cleared first; capacity reused by
+  /// per-frame callers).
+  void ground_truth_into(std::vector<GroundTruthObject>& out) const;
 
   /// Ground truth for one actor by id; nullopt if the id is unknown.
   [[nodiscard]] std::optional<GroundTruthObject> ground_truth_for(

@@ -1,0 +1,129 @@
+// Heap-allocation pins for the destination-passing kernel work: the
+// campaign hot paths (Kalman step, oracle inference) must not allocate at
+// steady state. A counting global operator new is the only reliable
+// observer, so these live in their own binary — the counter covers every
+// allocation in the process, including gtest's own.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/safety_oracle.hpp"
+#include "math/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "perception/bbox_track.hpp"
+#include "perception/detector_model.hpp"
+#include "perception/kalman_filter.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rt {
+namespace {
+
+// Sanitizer builds interpose their own allocator machinery; the counts are
+// not representative there, so the pins only run in plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::uint64_t allocations() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocationPins, KalmanFilterStepIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  perception::Detection d;
+  d.bbox = {100.0, 100.0, 40.0, 40.0};
+  perception::BboxTrack track(
+      1, d, 1.0 / 15.0,
+      perception::DetectorNoiseModel::paper_defaults().vehicle);
+  // Warm-up: first steps size the fixed scratch matrices.
+  for (int i = 0; i < 3; ++i) {
+    track.predict();
+    track.update(d);
+    (void)track.mahalanobis2(d.bbox);
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 200; ++i) {
+    track.predict();
+    d.bbox.cx += 0.25;
+    track.update(d);
+    (void)track.mahalanobis2(d.bbox);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "KalmanFilter predict/update/mahalanobis2 allocated on the steady "
+         "state path";
+}
+
+TEST(AllocationPins, MlpPredictIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  stats::Rng rng(7);
+  nn::Mlp net = nn::make_safety_hijacker_net(rng);
+  math::Matrix x(6, 1, 0.5);
+  // Warm-up sizes the thread-local workspace.
+  (void)net.predict(x);
+  (void)net.predict(x);
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    x(0, 0) = static_cast<double>(i);
+    sink += net.predict(x)(0, 0);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "Mlp::predict allocated on the steady-state path (sink " << sink
+      << ")";
+}
+
+TEST(AllocationPins, SafetyOraclePredictIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  core::SafetyOracle oracle(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  stats::Rng rng(4);
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back({rng.uniform(0.0, 40.0), -5.0, 0.0, 0.0, 0.0,
+                  rng.uniform(3.0, 70.0)});
+    ys.push_back(xs.back()[0] - 0.3 * xs.back()[5]);
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  oracle.train(nn::Dataset::from_samples(xs, ys), cfg);
+  (void)oracle.predict(20.0, {-5.0, 0.0}, {0.0, 0.0}, 30.0);
+  (void)oracle.predict(18.0, {-5.0, 0.0}, {0.0, 0.0}, 24.0);
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    sink += oracle.predict(20.0 + i * 0.1, {-5.0, 0.1}, {0.1, 0.0}, 30.0);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "SafetyOracle::predict allocated on the steady-state path (sink "
+      << sink << ")";
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "math/bbox.hpp"
 #include "math/matrix.hpp"
@@ -167,6 +168,219 @@ TEST(Bbox, PureTranslationIouFormula) {
     const double expected = (w - dx) / (w + dx);
     EXPECT_NEAR(iou(a, a.translated(dx, 0.0)), expected, 1e-12);
   }
+}
+
+
+// ------------------------------------- destination-passing kernel layer
+
+// The `*_into` kernels carry a bit-identity contract against the
+// allocating operators (same i-k-j accumulation order, same
+// skip-exact-zero shortcut); these sweeps enforce it bitwise — including
+// sign-of-zero — across shapes, sparsity, and negative zeros.
+
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto ad = a.data();
+  const auto bd = b.data();
+  return std::memcmp(ad.data(), bd.data(), ad.size() * sizeof(double)) == 0;
+}
+
+/// Reference implementations: the historical allocating loops, kept here
+/// verbatim so the kernel sweep is non-circular (the operators now delegate
+/// to the kernels, so comparing operator vs kernel alone would be vacuous).
+Matrix reference_multiply(const Matrix& a, const Matrix& b) {
+  Matrix r(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double v = a(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        r(i, j) += v * b(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+Matrix reference_inverse(const Matrix& m) {
+  const std::size_t n = m.rows();
+  Matrix a = m;
+  Matrix inv = Matrix::identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw std::domain_error("singular");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(col, j), a(pivot, j));
+        std::swap(inv(col, j), inv(pivot, j));
+      }
+    }
+    const double d = a(col, col);
+    for (std::size_t j = 0; j < n; ++j) {
+      a(col, j) /= d;
+      inv(col, j) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a(r, j) -= f * a(col, j);
+        inv(r, j) -= f * inv(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+/// Random matrix with exact zeros and negatives mixed in (the zero-skip
+/// path and -0.0 handling must match, not just "close" values).
+Matrix random_matrix(std::size_t r, std::size_t c, stats::Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.data()) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.15) {
+      v = 0.0;
+    } else if (roll < 0.2) {
+      v = -0.0;
+    } else {
+      v = rng.uniform(-3.0, 3.0);
+    }
+  }
+  return m;
+}
+
+TEST(MatrixKernels, MultiplyIntoMatchesOperatorBitwise) {
+  stats::Rng rng(101);
+  const std::size_t sizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 13, 16, 33};
+  for (const std::size_t r : sizes) {
+    for (const std::size_t k : sizes) {
+      for (const std::size_t c : sizes) {
+        const Matrix a = random_matrix(r, k, rng);
+        const Matrix b = random_matrix(k, c, rng);
+        Matrix out;
+        multiply_into(a, b, out);
+        const Matrix expected = reference_multiply(a, b);
+        EXPECT_TRUE(bitwise_equal(out, expected))
+            << r << "x" << k << " * " << k << "x" << c;
+        EXPECT_TRUE(bitwise_equal(a * b, expected));
+      }
+    }
+  }
+}
+
+TEST(MatrixKernels, TransposedVariantsMatchOperatorsBitwise) {
+  stats::Rng rng(102);
+  const std::size_t sizes[] = {1, 2, 3, 4, 6, 8, 11, 16};
+  for (const std::size_t r : sizes) {
+    for (const std::size_t k : sizes) {
+      for (const std::size_t c : sizes) {
+        const Matrix a = random_matrix(r, k, rng);
+        const Matrix bt = random_matrix(c, k, rng);  // b^T operand
+        Matrix out;
+        multiply_transposed_into(a, bt, out);
+        EXPECT_TRUE(
+            bitwise_equal(out, reference_multiply(a, bt.transposed())))
+            << "a*b^T " << r << "x" << k << ", " << c << "x" << k;
+
+        const Matrix at = random_matrix(k, r, rng);  // a^T operand
+        const Matrix b = random_matrix(k, c, rng);
+        transposed_multiply_into(at, b, out);
+        EXPECT_TRUE(
+            bitwise_equal(out, reference_multiply(at.transposed(), b)))
+            << "a^T*b " << k << "x" << r << ", " << k << "x" << c;
+      }
+    }
+  }
+}
+
+TEST(MatrixKernels, AddSubtractAffineMatchBitwise) {
+  stats::Rng rng(103);
+  for (const std::size_t r : {1u, 3u, 5u, 8u, 17u}) {
+    for (const std::size_t c : {1u, 2u, 7u, 16u}) {
+      const Matrix a = random_matrix(r, c, rng);
+      const Matrix b = random_matrix(r, c, rng);
+      Matrix out;
+      add_into(a, b, out);
+      EXPECT_TRUE(bitwise_equal(out, a + b));
+      subtract_into(a, b, out);
+      EXPECT_TRUE(bitwise_equal(out, a - b));
+
+      // affine_into mirrors the dense-layer forward: w*x then a per-row
+      // bias add.
+      const Matrix w = random_matrix(r, 5, rng);
+      const Matrix x = random_matrix(5, c, rng);
+      const Matrix bias = random_matrix(r, 1, rng);
+      affine_into(w, x, bias, out);
+      Matrix expected = reference_multiply(w, x);
+      for (std::size_t i = 0; i < expected.rows(); ++i) {
+        for (std::size_t j = 0; j < expected.cols(); ++j) {
+          expected(i, j) += bias(i, 0);
+        }
+      }
+      EXPECT_TRUE(bitwise_equal(out, expected));
+    }
+  }
+}
+
+TEST(MatrixKernels, InvertIntoMatchesInverseBitwise) {
+  stats::Rng rng(104);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 6u, 8u, 12u}) {
+    // Diagonally-dominant => well-conditioned and invertible.
+    Matrix a = random_matrix(n, n, rng);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 10.0;
+    Matrix scratch;
+    Matrix out;
+    invert_into(a, scratch, out);
+    const Matrix expected = reference_inverse(a);
+    EXPECT_TRUE(bitwise_equal(out, expected));
+    EXPECT_TRUE(bitwise_equal(a.inverse(), expected));
+  }
+  Matrix singular(3, 3, 0.0);
+  Matrix scratch;
+  Matrix out;
+  EXPECT_THROW(invert_into(singular, scratch, out), std::domain_error);
+}
+
+TEST(MatrixKernels, ShapeAndAliasViolationsThrow) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(4, 2, 1.0);
+  Matrix out;
+  EXPECT_THROW(multiply_into(a, b, out), std::invalid_argument);
+  EXPECT_THROW(multiply_transposed_into(a, Matrix(2, 2, 1.0), out),
+               std::invalid_argument);
+  EXPECT_THROW(transposed_multiply_into(a, Matrix(3, 2, 1.0), out),
+               std::invalid_argument);
+  EXPECT_THROW(add_into(a, Matrix(3, 2, 1.0), out), std::invalid_argument);
+  EXPECT_THROW(subtract_into(a, Matrix(3, 3, 1.0), out),
+               std::invalid_argument);
+
+  Matrix sq(3, 3, 1.0);
+  EXPECT_THROW(multiply_into(sq, sq, sq), std::invalid_argument);
+  Matrix c(3, 3, 2.0);
+  EXPECT_THROW(multiply_into(sq, c, c), std::invalid_argument);
+  Matrix scratch;
+  EXPECT_THROW(invert_into(sq, scratch, sq), std::invalid_argument);
+  EXPECT_THROW(invert_into(sq, sq, scratch), std::invalid_argument);
+}
+
+TEST(MatrixKernels, ResizeReusesStorageWithoutShrinking) {
+  Matrix m(8, 8, 1.0);
+  const double* before = m.data().data();
+  m.resize(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  // Shrinking then growing back within the original footprint must not
+  // move the storage (the workspace reuse the hot paths depend on).
+  m.resize(8, 8);
+  EXPECT_EQ(m.data().data(), before);
+  m.resize(2, 3);
+  EXPECT_EQ(m.data().data(), before);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "perception/fusion.hpp"
 #include "perception/hungarian.hpp"
 #include "perception/kalman_filter.hpp"
+#include "stats/hash.hpp"
 #include "perception/lidar_model.hpp"
 #include "perception/lidar_tracker.hpp"
 #include "perception/mot_tracker.hpp"
@@ -481,6 +482,79 @@ TEST(PerceptionSystem, EndToEndTracksGroundTruth) {
   EXPECT_NEAR(out.world[0].rel_position.x, 35.0, 2.0);
   EXPECT_NEAR(out.world[0].rel_position.y, 0.0, 0.8);
   EXPECT_TRUE(out.world[0].lidar_corroborated);
+}
+
+
+// --------------------------------- scratch-based hot-path refactor pins
+
+TEST(Hungarian, ScratchOverloadMatchesDefault) {
+  stats::Rng rng(55);
+  AssignmentScratch scratch;
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t rows = 1 + static_cast<std::size_t>(round % 5);
+    const std::size_t cols = 1 + static_cast<std::size_t>((round * 3) % 6);
+    math::Matrix cost(rows, cols);
+    for (double& v : cost.data()) v = rng.uniform(0.0, 1.0);
+    const AssignmentResult a = solve_assignment(cost);
+    const AssignmentResult b = solve_assignment(cost, scratch);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  }
+}
+
+TEST(MotTracker, UpdateIntoMatchesUpdate) {
+  MotTracker a(1.0 / 15.0);
+  MotTracker b(1.0 / 15.0);
+  stats::Rng rng(66);
+  std::vector<TrackView> buf;
+  for (int frame_i = 0; frame_i < 40; ++frame_i) {
+    CameraFrame frame;
+    frame.time = frame_i / 15.0;
+    for (int j = 0; j < 3; ++j) {
+      Detection d;
+      d.bbox = {120.0 + 140.0 * j + rng.normal(0.0, 1.5),
+                300.0 + rng.normal(0.0, 1.0), 50.0, 50.0};
+      frame.detections.push_back(d);
+    }
+    const auto via_update = a.update(frame);
+    b.update_into(frame, buf);
+    ASSERT_EQ(via_update.size(), buf.size());
+    for (std::size_t t = 0; t < buf.size(); ++t) {
+      EXPECT_EQ(via_update[t].track_id, buf[t].track_id);
+      EXPECT_EQ(via_update[t].bbox.cx, buf[t].bbox.cx);
+      EXPECT_EQ(via_update[t].bbox.cy, buf[t].bbox.cy);
+      EXPECT_EQ(via_update[t].hits, buf[t].hits);
+      EXPECT_EQ(via_update[t].matched_this_frame, buf[t].matched_this_frame);
+    }
+  }
+}
+
+// Golden pin computed on the pre-kernel-refactor implementation (chained
+// allocating Matrix operators): a 200-step noisy BboxTrack walk, folding
+// the post-step state estimate and the Mahalanobis gate value. The
+// scratch-based Kalman step must reproduce it bit for bit.
+TEST(KalmanFilter, GoldenTrackTraceIsBitIdenticalToPreRefactor) {
+  Detection d;
+  d.bbox = {100.0, 100.0, 40.0, 40.0};
+  BboxTrack track(1, d, 1.0 / 15.0,
+                  DetectorNoiseModel::paper_defaults().vehicle);
+  stats::Rng rng(77);
+  std::uint64_t h = stats::kFnv1aOffset;
+  for (int i = 0; i < 200; ++i) {
+    track.predict();
+    d.bbox.cx += rng.normal(0.4, 1.2);
+    d.bbox.cy += rng.normal(-0.1, 0.8);
+    d.bbox.w += rng.normal(0.0, 0.5);
+    d.bbox.h += rng.normal(0.0, 0.5);
+    if (i % 7 != 3) track.update(d);
+    const auto b = track.bbox();
+    for (const double v :
+         {b.cx, b.cy, b.w, b.h, track.vu(), track.vv()}) {
+      h = stats::fnv1a_double(h, v);
+    }
+    h = stats::fnv1a_double(h, track.mahalanobis2(d.bbox));
+  }
+  EXPECT_EQ(h, 0x9d97ae90dde06aacULL);
 }
 
 }  // namespace

@@ -302,5 +302,73 @@ TEST(CampaignGridBuilder, RejectsBadInput) {
       std::invalid_argument);
 }
 
+
+// ------------------------------------------- victim-geometry metadata
+
+TEST(VictimGeometry, BuiltinsResolveToThePaperMapping) {
+  // Registration-time auto-resolution must reproduce Table I: only the
+  // parking-lane "keep" geometries of DS-3/DS-4 stay out of the corridor.
+  const auto& reg = sim::ScenarioRegistry::global();
+  for (const char* family : {"DS-3", "DS-4"}) {
+    EXPECT_EQ(reg.get(family).victim_geometry,
+              sim::VictimGeometry::kOutOfCorridor)
+        << family;
+  }
+  for (const char* family : {"DS-1", "DS-2", "DS-5", "cut-in",
+                             "staggered-crossing", "dense-follow"}) {
+    EXPECT_EQ(reg.get(family).victim_geometry,
+              sim::VictimGeometry::kInCorridor)
+        << family;
+  }
+}
+
+TEST(VictimGeometry, AutoResolvesUserFamiliesByCorridorGeometry) {
+  sim::ScenarioRegistry local;
+  // A parked victim well outside the corridor, DS-3 style.
+  const auto parked = [](const sim::ScenarioParams& p, stats::Rng&) {
+    sim::Scenario s;
+    s.key = "parked";
+    s.duration = p.duration;
+    sim::Actor victim(1, sim::ActorType::kVehicle, {p.target_gap, 5.5});
+    s.actors.push_back(victim);
+    s.target_id = 1;
+    return s;
+  };
+  local.register_scenario({"parked-out", "victim holds the parking lane",
+                           {}, parked});
+  EXPECT_EQ(local.get("parked-out").victim_geometry,
+            sim::VictimGeometry::kOutOfCorridor);
+
+  // An in-lane lead vehicle, DS-1 style.
+  const auto lead = [](const sim::ScenarioParams& p, stats::Rng&) {
+    sim::Scenario s;
+    s.key = "lead";
+    s.duration = p.duration;
+    sim::Actor victim(1, sim::ActorType::kVehicle, {p.target_gap, 0.0});
+    s.actors.push_back(victim);
+    s.target_id = 1;
+    return s;
+  };
+  local.register_scenario({"lead-in", "in-lane lead", {}, lead});
+  EXPECT_EQ(local.get("lead-in").victim_geometry,
+            sim::VictimGeometry::kInCorridor);
+}
+
+TEST(VictimGeometry, ExplicitMetadataOverridesAutoResolution) {
+  sim::ScenarioRegistry local;
+  const auto lead = [](const sim::ScenarioParams& p, stats::Rng&) {
+    sim::Scenario s;
+    s.duration = p.duration;
+    sim::Actor victim(1, sim::ActorType::kVehicle, {p.target_gap, 0.0});
+    s.actors.push_back(victim);
+    s.target_id = 1;
+    return s;
+  };
+  local.register_scenario({"forced-out", "explicit override", {}, lead,
+                           sim::VictimGeometry::kOutOfCorridor});
+  EXPECT_EQ(local.get("forced-out").victim_geometry,
+            sim::VictimGeometry::kOutOfCorridor);
+}
+
 }  // namespace
 }  // namespace rt

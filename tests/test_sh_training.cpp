@@ -286,5 +286,85 @@ TEST(OracleProvenance, LegacyFilesLoadWithEmptyProvenance) {
   EXPECT_EQ(fresh.provenance().fingerprint, 0u);
 }
 
+
+// ------------------------------------- trained-weight goldens (perf PR)
+
+// Pins computed on the pre-kernel-refactor implementation (allocating
+// Matrix operators, per-batch trainer allocations, serial pipelines). The
+// workspace/kernel rewrite must leave every trained bit unchanged.
+
+TEST(TrainedOracleGolden, SmallGridMoveOutWeightsAreBitIdentical) {
+  LoopConfig loop;
+  ShTrainingConfig cfg;
+  cfg.delta_triggers = {8.0, 16.0, 26.0};
+  cfg.ks = {8, 24, 48};
+  cfg.repeats = 2;
+  cfg.seed = 123;
+  cfg.threads = 1;
+  nn::TrainResult result;
+  auto oracle = train_oracle(AttackVector::kMoveOut, loop, cfg, &result);
+  EXPECT_EQ(oracle->net().content_hash(), 0x251492c33d2bb186ULL);
+  EXPECT_EQ(oracle->content_hash(), 0x95b4a0960a1ca157ULL);
+  EXPECT_EQ(result.final_val_loss, 69.758052867208917);
+}
+
+TEST(TrainedOracleGolden, DefaultMoveOutOracleIsUnchangedByTheRefactor) {
+  // The full paper-default Move_Out pipeline (DS-1+DS-2 grid, 80-epoch
+  // training): the deployed oracle's exact weights and fitted scaler.
+  LoopConfig loop;
+  ShTrainingConfig cfg;
+  cfg.threads = 1;
+  auto oracle = train_oracle(AttackVector::kMoveOut, loop, cfg);
+  EXPECT_EQ(oracle->net().content_hash(), 0x9674b244dddd74e1ULL);
+  EXPECT_EQ(oracle->content_hash(), 0x4c3c5ac199f83a3eULL);
+}
+
+// ------------------------------------------------ pooled oracle training
+
+TEST(PooledTraining, OracleSetIsBitIdenticalAtOneAndEightThreads) {
+  LoopConfig loop;
+  ShTrainingConfig cfg = small_config();
+  // Multi-vector curricula so every per-vector pipeline does real work.
+  cfg.curricula[AttackVector::kMoveOut] = {"DS-1", "cut-in"};
+  cfg.curricula[AttackVector::kDisappear] = {"DS-2", "dense-follow"};
+
+  TempDir serial_dir;
+  TempDir pooled_dir;
+  ShTrainingConfig serial_cfg = cfg;
+  serial_cfg.threads = 1;
+  const OracleSet serial =
+      load_or_train_oracles(serial_dir.path(), loop, serial_cfg);
+  ShTrainingConfig pooled_cfg = cfg;
+  pooled_cfg.threads = 8;
+  const OracleSet pooled =
+      load_or_train_oracles(pooled_dir.path(), loop, pooled_cfg);
+
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(pooled.size(), 3u);
+  for (const auto& [vector, oracle] : serial) {
+    ASSERT_TRUE(pooled.contains(vector));
+    EXPECT_EQ(oracle->content_hash(), pooled.at(vector)->content_hash())
+        << core::to_string(vector);
+    EXPECT_TRUE(pooled.at(vector)->trained());
+  }
+}
+
+TEST(PooledTraining, CachedFilesRoundTripThroughThePool) {
+  LoopConfig loop;
+  ShTrainingConfig cfg = small_config();
+  cfg.threads = 8;
+  TempDir dir;
+  const OracleSet trained = load_or_train_oracles(dir.path(), loop, cfg);
+  // Second call must load every oracle from the curriculum-keyed cache and
+  // reproduce the same weights.
+  const OracleSet loaded = load_or_train_oracles(dir.path(), loop, cfg);
+  for (const auto& [vector, oracle] : trained) {
+    EXPECT_EQ(oracle->content_hash(), loaded.at(vector)->content_hash())
+        << core::to_string(vector);
+    EXPECT_TRUE(
+        std::filesystem::exists(oracle_cache_path(dir.path(), vector, cfg)));
+  }
+}
+
 }  // namespace
 }  // namespace rt::experiments

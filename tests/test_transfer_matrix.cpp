@@ -207,5 +207,53 @@ TEST(TransferMatrix, CsvSchemaThroughWriteCsv) {
             "cut-in,cut-in,3,0.500,4.25,0.75,2,1.000,0.500,0.000");
 }
 
+
+// NOTE: registers into the global registry, so this test must stay last in
+// this binary (earlier tests enumerate registry.keys() for full-registry
+// coverage).
+TEST(TransferVector, UserRegisteredFamilyResolvesWithoutStringMatching) {
+  auto& reg = sim::ScenarioRegistry::global();
+  if (reg.contains("test-parked-truck")) GTEST_SKIP() << "already registered";
+  // DS-3-like geometry under a key the old string-matching (DS-3/DS-4 ->
+  // Move_In, else Move_Out) would have misclassified as Move_Out.
+  reg.register_scenario(
+      {"test-parked-truck",
+       "victim holds the parking lane (registered by a test)",
+       {},
+       [](const sim::ScenarioParams& p, stats::Rng&) {
+         sim::Scenario s;
+         s.key = "test-parked-truck";
+         s.duration = p.duration;
+         s.actors.emplace_back(1, sim::ActorType::kVehicle,
+                               math::Vec2{p.target_gap, 5.5});
+         s.target_id = 1;
+         return s;
+       }});
+  EXPECT_EQ(reg.get("test-parked-truck").victim_geometry,
+            sim::VictimGeometry::kOutOfCorridor);
+  EXPECT_EQ(transfer_vector_for("test-parked-truck"),
+            AttackVector::kMoveIn);
+}
+
+TEST(BenchJson, SerializesStableRecordSchema) {
+  const std::vector<BenchJsonRecord> records{
+      {"table2_campaign_grid", 453.25, 123.456, 1, 20200613},
+      {"BM_OracleInference", 100000.5, 0.01, 2, 0},
+  };
+  const std::string json = bench_json(records);
+  EXPECT_EQ(json,
+            "[\n"
+            "  {\"bench\": \"table2_campaign_grid\", \"runs_per_sec\": 453.250, "
+            "\"wall_ms\": 123.456, \"threads\": 1, \"seed\": 20200613},\n"
+            "  {\"bench\": \"BM_OracleInference\", \"runs_per_sec\": 100000.500, "
+            "\"wall_ms\": 0.010, \"threads\": 2, \"seed\": 0}\n"
+            "]\n");
+  EXPECT_EQ(bench_json({}), "[\n]\n");
+  // Exotic names cannot break the JSON.
+  const std::string escaped =
+      bench_json({{"we\"ird", 1.0, 1.0, 1, 0}});
+  EXPECT_NE(escaped.find("we\\\"ird"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rt::experiments
