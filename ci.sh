@@ -13,7 +13,8 @@ ctest --test-dir build-release --output-on-failure -j "$jobs"
 # The golden-regression binaries are the contract that perf refactors never
 # change results; a build misconfiguration that silently drops them from the
 # suite must fail CI, not pass vacuously.
-for required in test_golden_regression test_sh_training test_transfer_matrix; do
+for required in test_golden_regression test_sh_training test_transfer_matrix \
+                test_defense; do
   count="$(ctest --test-dir build-release -N -R "$required" | grep -c "Test *#" || true)"
   if [ "$count" -lt 1 ]; then
     echo "ERROR: required golden test binary '$required' missing from the suite" >&2
@@ -27,6 +28,7 @@ done
 echo "==> example smoke runs"
 ./build-release/examples/quickstart
 ./build-release/examples/scenario_showcase 3
+./build-release/examples/defense_demo 4
 
 # Smoke-run the transfer-matrix driver so the curriculum-training +
 # transfer path is exercised on every build (2 campaign runs per cell
@@ -45,6 +47,14 @@ echo "==> bench smoke (BENCH_campaign.json)"
 ./build-release/bench/table2_attack_summary --runs 8 --threads 1 \
   --json BENCH_campaign.json
 cat BENCH_campaign.json
+
+# The attack-vs-defense matrix: smoke the full scenario x mode x monitor
+# grid (2 runs per cell keeps all 8 families to a few seconds) and track
+# its throughput next to the campaign numbers.
+echo "==> table_defense smoke (BENCH_defense.json)"
+./build-release/bench/table_defense --runs 2 --threads 1 \
+  --json BENCH_defense.json >/dev/null
+cat BENCH_defense.json
 if [ -x build-release/bench/bench_perception ]; then
   ./build-release/bench/bench_perception \
     --benchmark_filter='BM_CampaignSchedulerThroughput/1|BM_KalmanPredictUpdate' \

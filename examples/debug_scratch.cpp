@@ -1,7 +1,9 @@
 // Temporary debugging harness (not part of the public examples).
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
+#include "defense/monitor_registry.hpp"
 #include "experiments/campaign.hpp"
 #include "experiments/sh_training.hpp"
 
@@ -54,9 +56,251 @@ static void golden_timeline(const std::string& key) {
   }
 }
 
+static void defense_forensics() {
+  // Per-monitor alarm forensics: golden + NoSh runs per family with every
+  // monitor deployed, printing who fired, when and why.
+  for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-4", "DS-5", "cut-in",
+                          "staggered-crossing", "dense-follow"}) {
+    for (const auto mode : {experiments::AttackMode::kGolden,
+                            experiments::AttackMode::kNoSh}) {
+      experiments::LoopConfig loop;
+      experiments::CampaignRunner runner(loop, {});
+      experiments::CampaignSpec spec{
+          std::string(key) + (mode == experiments::AttackMode::kGolden
+                                  ? "-Golden"
+                                  : "-NoSh"),
+          key,
+          core::AttackVector::kMoveOut,
+          mode,
+          8,
+          4242};
+      spec.monitors = {"innovation-gate", "sensor-consistency", "kinematics"};
+      const auto result = runner.run(spec);
+      for (int i = 0; i < result.n(); ++i) {
+        const auto& r = result.runs[static_cast<std::size_t>(i)];
+        for (const auto& m : r.defense.monitors) {
+          if (!m.fired) continue;
+          std::printf("%-28s run %d trig=%d t_atk=%6.2f  %-18s t=%6.2f n=%3d %s\n",
+                      spec.name.c_str(), i, r.attack.triggered,
+                      r.attack.triggered ? r.attack.start_time : -1.0,
+                      m.monitor.c_str(), m.first_alert_time, m.alarms,
+                      m.reason.c_str());
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Probe of the natural (golden-run) lateral kinematics envelope: the max
+// EMA-smoothed |lateral accel| / |jerk| per class, by range band.
+struct KinProbeStats {
+  double max_acc_vehicle{0.0}, max_jerk_vehicle{0.0};
+  double max_acc_ped{0.0}, max_jerk_ped{0.0};
+};
+KinProbeStats g_kin_stats;
+
+class KinProbe final : public defense::AttackMonitor {
+ public:
+  KinProbe(double dt, double min_r, double max_r)
+      : AttackMonitor("kin-probe"), dt_(dt), min_r_(min_r), max_r_(max_r) {}
+  void observe(const perception::CameraFrame&,
+               const perception::PerceptionOutput& out) override {
+    for (const auto& w : out.camera_world) {
+      auto& s = state_[w.track_id];
+      if (!s.has_prev) {
+        s.prev_v = w.rel_velocity.y;
+        s.has_prev = true;
+        continue;
+      }
+      const double raw = (w.rel_velocity.y - s.prev_v) / dt_;
+      s.prev_v = w.rel_velocity.y;
+      const double prev_a = s.acc;
+      s.acc = s.acc * 0.65 + raw * 0.35;
+      const double jerk = s.seen ? std::abs(s.acc - prev_a) / dt_ : 0.0;
+      s.seen = true;
+      if (w.hits < 6) continue;
+      const double r = w.rel_position.x;
+      if (r < min_r_ || r > max_r_) continue;
+      const bool veh = w.cls == sim::ActorType::kVehicle;
+      double& acc = veh ? g_kin_stats.max_acc_vehicle : g_kin_stats.max_acc_ped;
+      double& jrk = veh ? g_kin_stats.max_jerk_vehicle : g_kin_stats.max_jerk_ped;
+      acc = std::max(acc, std::abs(s.acc));
+      jrk = std::max(jrk, jerk);
+    }
+  }
+
+ private:
+  struct S {
+    double prev_v{0.0}, acc{0.0};
+    bool has_prev{false}, seen{false};
+  };
+  double dt_, min_r_, max_r_;
+  std::map<int, S> state_;
+};
+
+double g_probe_min_r = 0.0;
+double g_probe_max_r = 1e9;
+
+void kin_probe(double min_r, double max_r, bool attacked) {
+  g_kin_stats = {};
+  g_probe_min_r = min_r;
+  g_probe_max_r = max_r;
+  for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-4", "DS-5", "cut-in",
+                          "staggered-crossing", "dense-follow"}) {
+    for (int i = 0; i < 12; ++i) {
+      experiments::LoopConfig loop;
+      loop.monitors = {"kin-probe"};
+      stats::Rng rng = stats::Rng::from_stream(991, i);
+      sim::Scenario sc = sim::make_scenario(key, rng);
+      experiments::ClosedLoop cl(sc, loop, 7700 + i * 31);
+      if (attacked) {
+        auto cfg = experiments::make_attacker_config(
+            loop, core::AttackVector::kMoveOut,
+            core::TimingPolicy::kAtDeltaThreshold);
+        cfg.delta_trigger = 24.0;
+        cfg.fixed_k = 60;
+        cl.set_attacker(std::make_unique<core::Robotack>(
+            cfg, loop.camera, loop.noise, loop.mot, 911 + i));
+      }
+      (void)cl.run();
+    }
+  }
+  std::printf(
+      "kin probe [%4.1f, %4.1f] %s: veh acc=%6.2f jerk=%7.1f  ped acc=%6.2f "
+      "jerk=%7.1f\n",
+      min_r, max_r, attacked ? "ATK" : "GLD", g_kin_stats.max_acc_vehicle,
+      g_kin_stats.max_jerk_vehicle, g_kin_stats.max_acc_ped,
+      g_kin_stats.max_jerk_ped);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int mode = argc > 1 ? std::atoi(argv[1]) : 0;
-  if (mode == 0) {
+  if (mode == 9) {
+    defense_forensics();
+  } else if (mode == 12) {
+    // CUSUM envelope probe: max two-sided CUSUM (slack 0.3) per run, golden
+    // vs Move_Out-attacked, across families.
+    static double g_max_cusum;
+    defense::MonitorRegistry::global().register_monitor(
+        {"cusum-probe", "debug: max CUSUM statistic",
+         [](const defense::MonitorContext& ctx)
+             -> std::unique_ptr<defense::AttackMonitor> {
+           class P final : public defense::AttackMonitor {
+            public:
+             P(perception::CameraModel cam, perception::DetectorNoiseModel n)
+                 : AttackMonitor("cusum-probe"), cam_(cam), noise_(n) {}
+             void observe(const perception::CameraFrame&,
+                          const perception::PerceptionOutput& out) override {
+               for (const auto& t : out.camera_tracks) {
+                 auto& s = st_[t.track_id];
+                 if (!t.matched_this_frame || t.hits < 4) continue;
+                 const auto r = cam_.back_project(t.predicted_bbox);
+                 if (!r || r->x < 20.0) continue;
+                 const auto& fit = noise_.for_class(t.cls).center_x;
+                 const double e = std::clamp(
+                     (t.innovation_x - fit.mu) / std::max(1e-6, fit.sigma),
+                     -2.5, 2.5);
+                 s.p = std::max(0.0, s.p + e - 0.3);
+                 s.n = std::max(0.0, s.n - e - 0.3);
+                 g_max_cusum = std::max({g_max_cusum, s.p, s.n});
+               }
+             }
+            private:
+             struct S { double p{0.0}, n{0.0}; };
+             perception::CameraModel cam_;
+             perception::DetectorNoiseModel noise_;
+             std::map<int, S> st_;
+           };
+           return std::make_unique<P>(ctx.camera, ctx.noise);
+         }});
+    for (const bool attacked : {false, true}) {
+      for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-5", "cut-in",
+                              "dense-follow"}) {
+        double worst = 0.0;
+        for (int i = 0; i < 10; ++i) {
+          g_max_cusum = 0.0;
+          experiments::LoopConfig loop;
+          loop.monitors = {"cusum-probe"};
+          stats::Rng rng = stats::Rng::from_stream(991, i);
+          sim::Scenario sc = sim::make_scenario(key, rng);
+          experiments::ClosedLoop cl(sc, loop, 7700 + i * 31);
+          if (attacked) {
+            auto cfg = experiments::make_attacker_config(
+                loop, core::AttackVector::kMoveOut,
+                core::TimingPolicy::kAtDeltaThreshold);
+            cfg.delta_trigger = 24.0;
+            cfg.fixed_k = 60;
+            cl.set_attacker(std::make_unique<core::Robotack>(
+                cfg, loop.camera, loop.noise, loop.mot, 911 + i));
+          }
+          (void)cl.run();
+          worst = std::max(worst, g_max_cusum);
+        }
+        std::printf("cusum %-14s %s max=%6.2f\n", key,
+                    attacked ? "ATK" : "GLD", worst);
+      }
+    }
+  } else if (mode == 11) {
+    // Innovation spike forensics on one golden scenario.
+    defense::MonitorRegistry::global().register_monitor(
+        {"spike-probe", "debug: print every over-gate innovation",
+         [](const defense::MonitorContext& ctx)
+             -> std::unique_ptr<defense::AttackMonitor> {
+           class P final : public defense::AttackMonitor {
+            public:
+             explicit P(perception::CameraModel cam)
+                 : AttackMonitor("spike-probe"), cam_(cam) {}
+             void observe(const perception::CameraFrame&,
+                          const perception::PerceptionOutput& out) override {
+               for (const auto& t : out.camera_tracks) {
+                 if (!t.matched_this_frame || t.innovation_m2 < 13.28) continue;
+                 const auto r = cam_.back_project(t.predicted_bbox);
+                 std::printf(
+                     "  t=%6.2f trk=%d cls=%d hits=%d m2=%8.1f ex=%6.2f "
+                     "bbox=(%.0f,%.0f %0.fx%.0f) r=%s\n",
+                     out.time, t.track_id, static_cast<int>(t.cls), t.hits,
+                     t.innovation_m2, t.innovation_x, t.bbox.cx, t.bbox.cy,
+                     t.bbox.w, t.bbox.h,
+                     r ? std::to_string(r->x).c_str() : "-");
+               }
+             }
+            private:
+             perception::CameraModel cam_;
+           };
+           return std::make_unique<P>(ctx.camera);
+         }});
+    const char* key = argc > 2 ? argv[2] : "DS-3";
+    for (int i = 0; i < 3; ++i) {
+      experiments::LoopConfig loop;
+      loop.monitors = {"spike-probe"};
+      stats::Rng rng = stats::Rng::from_stream(4242, i + 1);
+      const auto scenario_seed = rng.engine()();
+      const auto loop_seed = rng.engine()();
+      stats::Rng srng(scenario_seed);
+      sim::Scenario sc = sim::make_scenario(key, srng);
+      experiments::ClosedLoop cl(sc, loop, loop_seed);
+      std::printf("%s golden run %d:\n", key, i);
+      (void)cl.run();
+    }
+  } else if (mode == 10) {
+    defense::MonitorRegistry::global().register_monitor(
+        {"kin-probe", "debug: natural lateral kinematics envelope",
+         [](const defense::MonitorContext& ctx)
+             -> std::unique_ptr<defense::AttackMonitor> {
+           return std::make_unique<KinProbe>(ctx.dt, g_probe_min_r,
+                                             g_probe_max_r);
+         }});
+    for (const bool attacked : {false, true}) {
+      kin_probe(8.0, 150.0, attacked);
+      kin_probe(8.0, 45.0, attacked);
+      kin_probe(12.0, 45.0, attacked);
+      kin_probe(12.0, 35.0, attacked);
+    }
+  } else if (mode == 0) {
     for (const char* key : {"DS-1", "DS-2", "DS-3", "DS-4"}) {
       golden_timeline(key);
     }

@@ -1,0 +1,84 @@
+// Defense-monitor walkthrough: one attacked and one clean campaign on the
+// same scenario, both observed by the full runtime monitor stack, with the
+// per-monitor detection summary printed side by side.
+//
+// This is the "deploying a defense is one key list" workflow from README
+// "Defense monitors". It uses the no-oracle NoSh attack mode so it runs
+// hermetically (no training, no cache); bench/table_defense is the
+// full-scale version with the trained-oracle R rows.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "defense/monitor_registry.hpp"
+#include "experiments/campaign.hpp"
+#include "experiments/reporting.hpp"
+
+using namespace rt;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  const auto& registry = defense::MonitorRegistry::global();
+  std::printf("registered runtime attack monitors:\n");
+  for (const auto& key : registry.keys()) {
+    std::printf("  %-20s %s\n", key.c_str(),
+                registry.get(key).description.c_str());
+  }
+
+  // Two campaigns on the same scenario and seed: monitors are passive, so
+  // the attacked pair and the clean pair differ ONLY in the attacker — the
+  // clean campaign is the false-positive baseline.
+  experiments::LoopConfig loop;
+  experiments::CampaignRunner runner(loop, {});
+  experiments::CampaignSpec attacked;
+  attacked.name = "DS-1-Move_Out-RwoSH (defended)";
+  attacked.scenario = "DS-1";
+  attacked.vector = core::AttackVector::kMoveOut;
+  attacked.mode = experiments::AttackMode::kNoSh;
+  attacked.runs = n;
+  attacked.seed = 4242;
+  attacked.monitors = registry.keys();  // the full stack
+
+  experiments::CampaignSpec clean = attacked;
+  clean.name = "DS-1-Golden (defended)";
+  clean.mode = experiments::AttackMode::kGolden;
+
+  std::printf("\nrunning %d attacked + %d clean runs on DS-1...\n", n, n);
+  const auto attacked_result = runner.run(attacked);
+  const auto clean_result = runner.run(clean);
+
+  std::vector<std::string> head{"campaign", "#runs",     "triggered",
+                                "detected", "det rate",  "median frames",
+                                "false alarms"};
+  std::vector<std::vector<std::string>> rows;
+  for (const auto* r : {&attacked_result, &clean_result}) {
+    rows.push_back(
+        {r->spec.name, std::to_string(r->n()),
+         std::to_string(r->triggered_count()),
+         std::to_string(r->detected_count()),
+         experiments::fmt_pct(r->detection_rate()),
+         r->median_frames_to_detection() < 0.0
+             ? "-"
+             : experiments::fmt(r->median_frames_to_detection(), 0),
+         std::to_string(r->false_alarm_count())});
+  }
+  std::printf("%s", experiments::format_table(head, rows).c_str());
+
+  // Which monitor the detection is credited to, per detected run.
+  std::printf("\ndetecting monitor per detected run:\n");
+  for (int i = 0; i < attacked_result.n(); ++i) {
+    const auto& r = attacked_result.runs[static_cast<std::size_t>(i)];
+    if (!r.defense.detected) continue;
+    std::printf("  run %2d: launch t=%5.2f s -> %s after %d frames\n", i,
+                r.attack.start_time, r.defense.detected_by.c_str(),
+                r.defense.frames_to_detection);
+  }
+  std::printf(
+      "\nmonitors are passive observers: the attacked runs' EB/crash\n"
+      "outcomes are identical with or without the stack. The clean\n"
+      "campaign is the false-positive baseline (expected: 0 alarms).\n"
+      "bench/table_defense sweeps this over every scenario family,\n"
+      "attack mode and monitor.\n");
+  return 0;
+}

@@ -50,6 +50,12 @@ class AdsSystem {
     return planner_;
   }
 
+  /// Installs a passive tap on the perception pipeline (nullptr = none) —
+  /// the hook the `rt::defense` runtime attack monitors attach through.
+  void set_perception_observer(perception::PerceptionObserver* observer) {
+    perception_.set_observer(observer);
+  }
+
  private:
   double camera_dt_;
   perception::PerceptionSystem perception_;

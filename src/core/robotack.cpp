@@ -58,29 +58,31 @@ double Robotack::malware_delta(const perception::WorldTrack& target,
   return gap - d_stop;
 }
 
-std::optional<perception::WorldTrack> Robotack::pick_target(
+const perception::WorldTrack* Robotack::pick_target(
     const std::vector<perception::WorldTrack>& world) {
   const bool random_pick =
       config_.timing == TimingPolicy::kRandomUnconditional &&
       config_.randomize_target;
-  std::vector<const perception::WorldTrack*> candidates;
+  // Candidate list reuses member scratch: this runs on every dormant frame.
+  auto& candidates = candidates_scratch_;
+  candidates.clear();
   for (const auto& w : world) {
     if (w.rel_position.x < config_.sm.min_target_range) continue;
     if (w.rel_position.x > config_.sm.max_target_range) continue;
     candidates.push_back(&w);
   }
-  if (candidates.empty()) return std::nullopt;
+  if (candidates.empty()) return nullptr;
   if (random_pick) {
     const auto i = static_cast<std::size_t>(rng_.uniform_int(
         0, static_cast<std::int64_t>(candidates.size()) - 1));
-    return *candidates[i];
+    return candidates[i];
   }
   // The victim is the object closest to the EV (§III-D phase 2).
   const auto* best = candidates.front();
   for (const auto* c : candidates) {
     if (c->rel_position.norm() < best->rel_position.norm()) best = c;
   }
-  return *best;
+  return best;
 }
 
 void Robotack::arm(const perception::WorldTrack& target, int k, double time,
@@ -153,8 +155,8 @@ void Robotack::arm(const perception::WorldTrack& target, int k, double time,
 void Robotack::maybe_arm(const std::vector<perception::WorldTrack>& world,
                          double ego_speed, double time) {
   if (log_.triggers >= config_.max_triggers) return;
-  const auto target = pick_target(world);
-  if (!target) return;
+  const auto* target = pick_target(world);
+  if (target == nullptr) return;
 
   const double delta = malware_delta(*target, ego_speed);
   const math::Vec2 v_rel = target->rel_velocity;
@@ -204,17 +206,17 @@ void Robotack::maybe_arm(const std::vector<perception::WorldTrack>& world,
   }
 }
 
-perception::CameraFrame Robotack::process(
-    const perception::CameraFrame& true_frame, double ego_speed) {
-  // Phase 2: reconstruct the world from the hacked camera feed.
-  const auto truth_tracks = mot_truth_.update(true_frame);
-  const auto world = projector_truth_.project(truth_tracks);
+void Robotack::process_in_place(perception::CameraFrame& frame,
+                                double ego_speed) {
+  // Phase 2: reconstruct the world from the hacked camera feed. The truth
+  // replica consumes the frame *before* any perturbation is applied.
+  mot_truth_.update_into(frame, truth_tracks_scratch_);
+  projector_truth_.project_into(truth_tracks_scratch_, world_scratch_);
+  const auto& world = world_scratch_;
   update_kinematics(world);
 
-  perception::CameraFrame out = true_frame;
-
   if (!attack_active()) {
-    maybe_arm(world, ego_speed, true_frame.time);
+    maybe_arm(world, ego_speed, frame.time);
   }
 
   // Phase 3: trigger the trajectory hijacker.
@@ -234,8 +236,8 @@ perception::CameraFrame Robotack::process(
     std::optional<std::size_t> det_index;
     if (victim_box) {
       double best = 0.1;
-      for (std::size_t i = 0; i < out.detections.size(); ++i) {
-        const double o = math::iou(out.detections[i].bbox, *victim_box);
+      for (std::size_t i = 0; i < frame.detections.size(); ++i) {
+        const double o = math::iou(frame.detections[i].bbox, *victim_box);
         if (o > best) {
           best = o;
           det_index = i;
@@ -245,7 +247,7 @@ perception::CameraFrame Robotack::process(
 
     const auto ads_pred = mot_ads_.predict_next_bbox(victim_ads_track_);
     const auto res =
-        th_.apply(out, det_index, ads_pred, last_victim_range_);
+        th_.apply(frame, det_index, ads_pred, last_victim_range_);
     if (res.perturbed) ++log_.frames_perturbed;
     --k_left_;
     if (k_left_ == 0) {
@@ -254,7 +256,13 @@ perception::CameraFrame Robotack::process(
   }
 
   // Keep the ADS-view replica in lockstep with what the ADS receives.
-  mot_ads_.update(out);
+  mot_ads_.update_into(frame, ads_tracks_scratch_);
+}
+
+perception::CameraFrame Robotack::process(
+    const perception::CameraFrame& true_frame, double ego_speed) {
+  perception::CameraFrame out = true_frame;
+  process_in_place(out, ego_speed);
   return out;
 }
 

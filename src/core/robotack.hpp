@@ -133,7 +133,13 @@ class Robotack {
   /// Installs a trained oracle for an attack vector.
   void set_oracle(AttackVector v, std::shared_ptr<SafetyOracle> oracle);
 
-  /// Intercepts one camera frame; returns what the ADS will receive.
+  /// Intercepts one camera frame *in place*: `frame` arrives as the true
+  /// detector output and leaves as what the ADS will receive. This is the
+  /// campaign hot path — zero heap allocations at steady state (the malware
+  /// reuses member scratch for its replica trackers and world buffers).
+  void process_in_place(perception::CameraFrame& frame, double ego_speed);
+
+  /// Copying wrapper over `process_in_place` (historical API).
   [[nodiscard]] perception::CameraFrame process(
       const perception::CameraFrame& true_frame, double ego_speed);
 
@@ -153,7 +159,7 @@ class Robotack {
                  double ego_speed, double time);
   void arm(const perception::WorldTrack& target, int k, double time,
            double delta, double predicted_delta);
-  [[nodiscard]] std::optional<perception::WorldTrack> pick_target(
+  [[nodiscard]] const perception::WorldTrack* pick_target(
       const std::vector<perception::WorldTrack>& world);
   [[nodiscard]] double malware_delta(const perception::WorldTrack& target,
                                      double ego_speed) const;
@@ -176,6 +182,13 @@ class Robotack {
   TrajectoryHijacker th_;
 
   std::unordered_map<int, Kinematics> kinematics_;
+
+  // Per-frame buffers reused across `process_in_place` calls so the attack
+  // path allocates nothing at steady state (pinned in test_alloc).
+  std::vector<perception::TrackView> truth_tracks_scratch_;
+  std::vector<perception::WorldTrack> world_scratch_;
+  std::vector<perception::TrackView> ads_tracks_scratch_;
+  std::vector<const perception::WorldTrack*> candidates_scratch_;
 
   // Armed-attack state.
   int k_left_{0};

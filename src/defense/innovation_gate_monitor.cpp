@@ -1,0 +1,55 @@
+#include "defense/innovation_gate_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perception/track_liveness.hpp"
+
+namespace rt::defense {
+
+void InnovationGateMonitor::observe(const perception::CameraFrame& /*frame*/,
+                                    const perception::PerceptionOutput& out) {
+  for (const auto& t : out.camera_tracks) {
+    State& s = state_[t.track_id];
+    if (!t.matched_this_frame || t.hits < config_.min_hits) {
+      // No measurement (or velocity still locking in): the spike streak
+      // breaks; the CUSUM holds its value — a Move_* attacker that ducks
+      // behind occasional misses must still pay off its accumulated drift.
+      s.spike_streak = 0;
+      continue;
+    }
+    // Skip the close-pass regime: bearing rate diverges as an object passes
+    // the camera and the CV filter lags naturally (no attack launches
+    // there; see InnovationGateConfig::min_range_m).
+    const auto range = camera_.back_project(t.predicted_bbox);
+    if (!range || range->x < config_.min_range_m) {
+      s.spike_streak = 0;
+      continue;
+    }
+
+    if (t.innovation_m2 > config_.gate_m2) {
+      if (++s.spike_streak >= config_.spike_consecutive) {
+        raise(out.time, "sustained Mahalanobis innovation spikes");
+      }
+    } else {
+      s.spike_streak = 0;
+    }
+
+    const auto& fit = noise_.for_class(t.cls).center_x;
+    const double e = std::clamp(
+        (t.innovation_x - fit.mu) / std::max(1e-6, fit.sigma),
+        -config_.cusum_clip, config_.cusum_clip);
+    s.cusum_pos = std::max(0.0, s.cusum_pos + e - config_.cusum_slack);
+    s.cusum_neg = std::max(0.0, s.cusum_neg - e - config_.cusum_slack);
+    if (s.cusum_pos > config_.cusum_threshold ||
+        s.cusum_neg > config_.cusum_threshold) {
+      raise(out.time, "biased innovation drift (CUSUM over threshold)");
+    }
+  }
+
+  perception::erase_dead_tracks(
+      state_, out.camera_tracks,
+      [](const perception::TrackView& t) { return t.track_id; });
+}
+
+}  // namespace rt::defense

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "defense/monitor.hpp"
+
+namespace rt::defense {
+
+/// Innovation-gate monitor ("innovation-gate").
+///
+/// Watches the Kalman innovation of every matched camera-track update —
+/// exactly the statistic §III-B says a biased-noise attacker slides under —
+/// with two complementary tests:
+///
+///  1. Spike test: the squared Mahalanobis distance of the matched
+///     detection against the track's predicted measurement must not exceed
+///     the chi-square gate for `spike_consecutive` frames in a row. This is
+///     the classic innovation gate; it catches crude perturbations (the
+///     random baseline, the no-noise-bound ablation).
+///
+///  2. Drift test: a two-sided CUSUM on the sigma-normalized center-x
+///     innovation. Natural detector noise is zero-mean, so the statistic
+///     hovers near zero; RoboTack's Move_* vectors inject a *persistently
+///     biased* sub-sigma shift, which a per-frame gate cannot see but a
+///     cumulative-sum statistic integrates frame over frame. Detection
+///     latency trades off against false alarms via `cusum_threshold`.
+class InnovationGateMonitor final : public AttackMonitor {
+ public:
+  InnovationGateMonitor(const InnovationGateConfig& config,
+                        perception::CameraModel camera,
+                        perception::DetectorNoiseModel noise)
+      : AttackMonitor("innovation-gate"),
+        config_(config),
+        camera_(camera),
+        noise_(noise) {}
+
+  void observe(const perception::CameraFrame& frame,
+               const perception::PerceptionOutput& out) override;
+
+ private:
+  struct State {
+    int spike_streak{0};
+    double cusum_pos{0.0};
+    double cusum_neg{0.0};
+  };
+
+  InnovationGateConfig config_;
+  perception::CameraModel camera_;
+  perception::DetectorNoiseModel noise_;
+  std::unordered_map<int, State> state_;
+};
+
+}  // namespace rt::defense

@@ -1,0 +1,50 @@
+#include "defense/kinematics_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perception/track_liveness.hpp"
+
+namespace rt::defense {
+
+void KinematicsMonitor::observe(const perception::CameraFrame& /*frame*/,
+                                const perception::PerceptionOutput& out) {
+  for (const auto& w : out.camera_world) {
+    State& s = state_[w.track_id];
+    if (!s.has_prev) {
+      s.prev_vy = w.rel_velocity.y;
+      s.has_prev = true;
+      continue;
+    }
+    const double raw = (w.rel_velocity.y - s.prev_vy) / dt_;
+    s.prev_vy = w.rel_velocity.y;
+    s.prev_accel_ema = s.accel_ema;
+    s.accel_ema = s.accel_ema * (1.0 - config_.accel_ema_alpha) +
+                  raw * config_.accel_ema_alpha;
+    const bool had_accel = s.has_accel;
+    s.has_accel = true;
+
+    if (w.hits < config_.min_hits || w.rel_position.x < config_.min_range_m ||
+        w.rel_position.x > config_.max_range_m) {
+      s.streak = 0;
+      continue;
+    }
+    const double accel_max = w.cls == sim::ActorType::kVehicle
+                                 ? config_.vehicle_lat_accel_max
+                                 : config_.pedestrian_lat_accel_max;
+    const double jerk =
+        had_accel ? std::abs(s.accel_ema - s.prev_accel_ema) / dt_ : 0.0;
+    const bool violated =
+        std::abs(s.accel_ema) > accel_max || jerk > config_.jerk_max;
+    s.streak = violated ? s.streak + 1 : 0;
+    if (s.streak >= config_.consecutive) {
+      raise(out.time, "physically implausible lateral acceleration/jerk");
+    }
+  }
+
+  perception::erase_dead_tracks(
+      state_, out.camera_world,
+      [](const perception::WorldTrack& w) { return w.track_id; });
+}
+
+}  // namespace rt::defense

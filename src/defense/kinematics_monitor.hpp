@@ -1,0 +1,47 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "defense/monitor.hpp"
+
+namespace rt::defense {
+
+/// Kinematics-plausibility monitor ("kinematics").
+///
+/// Bounds the per-frame *lateral* acceleration and jerk of every road-frame
+/// camera track against physical limits: real vehicles and pedestrians
+/// cannot out-accelerate their tires or legs, but a hijacked detection
+/// stream can imply arbitrary kinematics. The raw per-frame acceleration
+/// estimate (finite difference of the projector's EMA lateral velocity) is
+/// smoothed with its own EMA before the comparison, and a violation must
+/// persist for `consecutive` frames inside the judged range window.
+///
+/// RoboTack's sub-sigma perturbations imply modest lateral accelerations
+/// and stay under the (generous, above-natural-envelope) bounds — this
+/// monitor is the backstop that catches kinematically absurd streams, and
+/// its near-empty column in the attack-vs-defense matrix is the paper's
+/// stealth claim made measurable.
+class KinematicsMonitor final : public AttackMonitor {
+ public:
+  KinematicsMonitor(const KinematicsConfig& config, double dt)
+      : AttackMonitor("kinematics"), config_(config), dt_(dt) {}
+
+  void observe(const perception::CameraFrame& frame,
+               const perception::PerceptionOutput& out) override;
+
+ private:
+  struct State {
+    double prev_vy{0.0};
+    double accel_ema{0.0};
+    double prev_accel_ema{0.0};
+    bool has_prev{false};
+    bool has_accel{false};
+    int streak{0};
+  };
+
+  KinematicsConfig config_;
+  double dt_;
+  std::unordered_map<int, State> state_;
+};
+
+}  // namespace rt::defense

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "perception/camera_model.hpp"
+#include "perception/detection.hpp"
+#include "perception/fusion.hpp"
+#include "perception/lidar_model.hpp"
+#include "perception/mot_tracker.hpp"
+#include "perception/noise_model.hpp"
+#include "perception/perception_system.hpp"
+
+namespace rt::defense {
+
+/// Tunables of the innovation-gate monitor (see InnovationGateMonitor).
+struct InnovationGateConfig {
+  /// Squared-Mahalanobis gate on the matched detection's innovation. The
+  /// measurement is 4-dimensional (u, v, w, h); 13.28 is the chi-square(4)
+  /// 99 % quantile, so natural noise exceeds it on ~1 % of frames.
+  double gate_m2{13.28};
+  /// Consecutive over-gate innovations on one track before flagging.
+  int spike_consecutive{4};
+  /// Two-sided CUSUM on the sigma-normalized center-x innovation: per frame
+  /// g+ <- max(0, g+ + e - slack), g- <- max(0, g- - e - slack); an alert
+  /// fires when either side exceeds `cusum_threshold`. Zero-mean natural
+  /// noise keeps both sides near zero; the malware's *biased* sub-sigma
+  /// drift (§III-B) accumulates ~(1 - slack) per attacked frame.
+  double cusum_slack{0.6};
+  double cusum_threshold{10.0};
+  /// Per-frame |e| is clipped here before entering the CUSUM: the detector
+  /// population's heavy outlier tail is zero-mean and must not dominate
+  /// the drift statistic.
+  double cusum_clip{2.5};
+  /// Tracks younger than this are exempt (velocity still locking in).
+  int min_hits{4};
+  /// Tracks closer than this (back-projected range, m) are exempt: bearing
+  /// rate explodes as an object passes the camera and the CV filter lags
+  /// naturally (measured: Mahalanobis climbs past the gate below ~18 m on
+  /// golden DS-3 passes). Attacks launch far outside this radius
+  /// (delta_inject 8-34 m means ~45+ m gaps at cruise speed).
+  double min_range_m{20.0};
+};
+
+/// Tunables of the sensor-consistency monitor (SensorConsistencyMonitor).
+struct SensorConsistencyConfig {
+  /// Camera/LiDAR pairing gate: tight laterally (both sensors localize
+  /// sideways well — the lateral departure IS the Move_* breakaway
+  /// signature), generous and range-proportional longitudinally (monocular
+  /// depth error reaches ~15 % of range on the simulated detector).
+  double pair_gate_lateral{2.0};
+  double pair_gate_longitudinal_frac{0.35};
+  double pair_gate_longitudinal_min{8.0};
+  /// Camera tracks younger than this are not judged.
+  int min_camera_hits{4};
+  /// Frames of LiDAR corroboration before the breakaway test arms.
+  int min_paired_frames{6};
+  /// Consecutive unpaired-but-in-coverage frames on a previously
+  /// corroborated track before a breakaway alert fires.
+  int breakaway_consecutive{8};
+  /// A camera track that spent this many *in-coverage* frames without a
+  /// single LiDAR corroboration is a ghost (appear anomaly). Frames spent
+  /// beyond LiDAR range do not count.
+  int ghost_frames{45};
+  /// Multiplier on the characterized vehicle misdetection-streak p99: a
+  /// LiDAR track with no nearby camera track for longer is a disappear
+  /// anomaly. The paper's attacker budgets K below exactly this tail.
+  double absence_p99_mult{1.0};
+  /// Teleport anomaly: per-frame jump of a matched mature track beyond
+  /// these bounds, sustained for `teleport_consecutive` frames. Lateral
+  /// localization is sharp at every range, so the lateral bound is
+  /// absolute; monocular depth error grows with range, so the longitudinal
+  /// bound is range-proportional. The consecutive requirement absorbs the
+  /// single-frame jumps of benign track ID switches in dense traffic.
+  double teleport_lateral_m{3.0};
+  double teleport_longitudinal_frac{0.35};
+  double teleport_longitudinal_min{6.0};
+  int teleport_consecutive{2};
+  /// Breakaway/ghost judged only beyond this range (m): pairing geometry
+  /// degrades on close passes, and no attack operates there.
+  double min_range_m{15.0};
+  /// Fraction of the LiDAR class range considered reliable coverage.
+  double coverage_margin{0.85};
+  int min_lidar_hits{3};
+};
+
+/// Tunables of the kinematics-plausibility monitor (KinematicsMonitor).
+///
+/// The monitor judges *lateral* kinematics only: monocular range recovery
+/// is far too noisy for longitudinal acceleration to mean anything, while
+/// lateral localization is sharp. The bounds are deliberately generous —
+/// they sit above the measured natural envelope of the camera velocity
+/// pipeline (EMA max ~11-12 m/s^2 across all eight families), so the
+/// monitor is the backstop that catches kinematically absurd streams, and
+/// a sub-sigma attacker evades it *by design* (the paper's stealth claim,
+/// made measurable).
+struct KinematicsConfig {
+  double vehicle_lat_accel_max{16.0};
+  double pedestrian_lat_accel_max{12.0};
+  /// Jerk bound (m/s^3) on the smoothed lateral-acceleration derivative.
+  double jerk_max{250.0};
+  /// Consecutive violating frames before flagging.
+  int consecutive{5};
+  /// Tracks younger than this are exempt.
+  int min_hits{8};
+  /// EMA weight of the per-frame raw acceleration estimate.
+  double accel_ema_alpha{0.25};
+  /// Judged range window (m): close passes distort bearing geometry, far
+  /// tracks carry meter-scale projection noise.
+  double min_range_m{10.0};
+  double max_range_m{60.0};
+};
+
+/// Per-monitor tuning bundle carried by the loop configuration.
+struct MonitorTuning {
+  InnovationGateConfig innovation{};
+  SensorConsistencyConfig consistency{};
+  KinematicsConfig kinematics{};
+};
+
+/// Everything a monitor factory may read when instantiating a monitor for
+/// one run: the perception stack's own configuration (the defender knows
+/// its ADS) plus the tuning bundle. Mirrors how `sim::ScenarioSpec`
+/// generators receive `ScenarioParams`.
+struct MonitorContext {
+  double dt{1.0 / 15.0};
+  perception::CameraModel camera{};
+  perception::DetectorNoiseModel noise{
+      perception::DetectorNoiseModel::paper_defaults()};
+  perception::MotConfig mot{};
+  perception::FusionConfig fusion{};
+  perception::LidarConfig lidar{};
+  MonitorTuning tuning{};
+};
+
+/// What one monitor concluded about a run so far. `alarms` counts alarm
+/// frames (including after the first alert); `fired` latches on the first.
+struct MonitorReport {
+  bool fired{false};
+  double first_alert_time{-1.0};
+  std::string reason;
+  int alarms{0};
+};
+
+/// Base class of all runtime attack monitors.
+///
+/// A monitor is a stateful per-run observer of the perception stream: it is
+/// built fresh for every closed-loop run (via the MonitorRegistry), sees
+/// each cycle's consumed camera frame + perception output, and accumulates
+/// a MonitorReport. Monitors are passive — they never feed back into the
+/// ADS — so enabling them cannot change a run's driving outcome, and every
+/// pinned campaign golden is invariant under any monitor stack.
+///
+/// Steady-state zero-allocation contract (the campaign hot path): after the
+/// tracked-object set stabilizes, `observe` must not allocate. Per-track
+/// state lives in id-keyed maps whose nodes are reused across frames (the
+/// same pattern as the fusion stage and the track projector).
+class AttackMonitor {
+ public:
+  explicit AttackMonitor(std::string key) : key_(std::move(key)) {}
+  virtual ~AttackMonitor() = default;
+
+  AttackMonitor(const AttackMonitor&) = delete;
+  AttackMonitor& operator=(const AttackMonitor&) = delete;
+
+  /// Observes one perception cycle: `frame` is the (possibly attacked)
+  /// camera frame the ADS consumed, `out` the perception output it
+  /// produced.
+  virtual void observe(const perception::CameraFrame& frame,
+                       const perception::PerceptionOutput& out) = 0;
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] const MonitorReport& report() const { return report_; }
+
+ protected:
+  /// Records an alarm frame; the first one latches `fired`, the alert time
+  /// and the reason (a string literal — no allocation on later frames).
+  void raise(double time, const char* reason) {
+    ++report_.alarms;
+    if (!report_.fired) {
+      report_.fired = true;
+      report_.first_alert_time = time;
+      report_.reason = reason;
+    }
+  }
+
+ private:
+  std::string key_;
+  MonitorReport report_;
+};
+
+}  // namespace rt::defense

@@ -1,0 +1,98 @@
+#include "defense/monitor_registry.hpp"
+
+#include <stdexcept>
+
+#include "defense/innovation_gate_monitor.hpp"
+#include "defense/kinematics_monitor.hpp"
+#include "defense/sensor_consistency_monitor.hpp"
+
+namespace rt::defense {
+
+namespace {
+
+[[noreturn]] void throw_unknown(const std::string& key,
+                                const std::vector<MonitorSpec>& specs) {
+  std::string message = "MonitorRegistry: unknown monitor '" + key +
+                        "'; known monitors:";
+  for (const auto& spec : specs) message += " " + spec.key;
+  throw std::out_of_range(message);
+}
+
+}  // namespace
+
+void MonitorRegistry::register_monitor(MonitorSpec spec) {
+  if (spec.key.empty()) {
+    throw std::invalid_argument("MonitorRegistry: empty monitor key");
+  }
+  if (!spec.make) {
+    throw std::invalid_argument("MonitorRegistry: monitor '" + spec.key +
+                                "' has no factory");
+  }
+  if (index_.count(spec.key) != 0) {
+    throw std::invalid_argument("MonitorRegistry: duplicate monitor key '" +
+                                spec.key + "'");
+  }
+  index_.emplace(spec.key, specs_.size());
+  specs_.push_back(std::move(spec));
+}
+
+bool MonitorRegistry::contains(const std::string& key) const {
+  return index_.count(key) != 0;
+}
+
+const MonitorSpec& MonitorRegistry::get(const std::string& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) throw_unknown(key, specs_);
+  return specs_[it->second];
+}
+
+std::size_t MonitorRegistry::index_of(const std::string& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) throw_unknown(key, specs_);
+  return it->second;
+}
+
+std::vector<std::string> MonitorRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.key);
+  return out;
+}
+
+std::unique_ptr<AttackMonitor> MonitorRegistry::make(
+    const std::string& key, const MonitorContext& ctx) const {
+  return get(key).make(ctx);
+}
+
+MonitorRegistry& MonitorRegistry::global() {
+  static MonitorRegistry registry = [] {
+    MonitorRegistry r;
+    r.register_monitor(
+        {"innovation-gate",
+         "Kalman innovation gate: Mahalanobis spike streaks + CUSUM on "
+         "biased sub-sigma drift",
+         [](const MonitorContext& ctx) -> std::unique_ptr<AttackMonitor> {
+           return std::make_unique<InnovationGateMonitor>(
+               ctx.tuning.innovation, ctx.camera, ctx.noise);
+         }});
+    r.register_monitor(
+        {"sensor-consistency",
+         "camera-vs-LiDAR cross-check: appear (ghost), disappear "
+         "(absence), breakaway and teleport anomalies",
+         [](const MonitorContext& ctx) -> std::unique_ptr<AttackMonitor> {
+           return std::make_unique<SensorConsistencyMonitor>(
+               ctx.tuning.consistency, ctx.camera, ctx.noise, ctx.lidar);
+         }});
+    r.register_monitor(
+        {"kinematics",
+         "physical plausibility bounds on per-track acceleration and jerk",
+         [](const MonitorContext& ctx) -> std::unique_ptr<AttackMonitor> {
+           return std::make_unique<KinematicsMonitor>(ctx.tuning.kinematics,
+                                                      ctx.dt);
+         }});
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace rt::defense

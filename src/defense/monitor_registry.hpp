@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/monitor.hpp"
+
+namespace rt::defense {
+
+/// One registered monitor family: a string key, a human description, and
+/// the factory that instantiates a fresh per-run monitor from the context.
+struct MonitorSpec {
+  using Factory =
+      std::function<std::unique_ptr<AttackMonitor>(const MonitorContext&)>;
+
+  std::string key;
+  std::string description;
+  Factory make;
+};
+
+/// Process-wide registry of runtime attack monitors, mirroring
+/// `sim::ScenarioRegistry`: the three built-in monitors (innovation-gate,
+/// sensor-consistency, kinematics) are pre-registered in that order, and
+/// user code can append its own monitors at startup and drive them through
+/// the same campaign machinery (`CampaignSpec::monitors`,
+/// `CampaignGridBuilder::monitors`).
+///
+/// Lookup/instantiation is const and safe to call concurrently (every
+/// campaign run builds its own monitor stack); registration is not
+/// synchronized and belongs in single-threaded startup code.
+class MonitorRegistry {
+ public:
+  /// Registers a new monitor family. Throws std::invalid_argument on an
+  /// empty key, a missing factory, or a duplicate key.
+  void register_monitor(MonitorSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Throws std::out_of_range (listing the known keys) when absent.
+  [[nodiscard]] const MonitorSpec& get(const std::string& key) const;
+
+  /// Registration-stable index of the monitor (builtins are 0..2).
+  [[nodiscard]] std::size_t index_of(const std::string& key) const;
+
+  /// Keys in registration order — stable for the lifetime of the registry.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// Instantiates a fresh monitor for one run.
+  [[nodiscard]] std::unique_ptr<AttackMonitor> make(
+      const std::string& key, const MonitorContext& ctx) const;
+
+  /// The process-wide registry, with all built-in monitors registered.
+  [[nodiscard]] static MonitorRegistry& global();
+
+ private:
+  std::vector<MonitorSpec> specs_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace rt::defense

@@ -1,0 +1,136 @@
+#include "defense/sensor_consistency_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perception/track_liveness.hpp"
+
+namespace rt::defense {
+
+bool SensorConsistencyMonitor::within_pair_gate(const math::Vec2& a,
+                                                const math::Vec2& b,
+                                                double range) const {
+  const double gate_lon =
+      std::max(config_.pair_gate_longitudinal_min,
+               config_.pair_gate_longitudinal_frac * range);
+  return std::abs(a.y - b.y) <= config_.pair_gate_lateral &&
+         std::abs(a.x - b.x) <= gate_lon;
+}
+
+bool SensorConsistencyMonitor::paired_with_lidar(
+    const perception::WorldTrack& track,
+    const perception::PerceptionOutput& out) const {
+  for (const auto& l : out.lidar_tracks) {
+    if (within_pair_gate(l.rel_position, track.rel_position,
+                         track.rel_position.x)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SensorConsistencyMonitor::in_lidar_coverage(
+    const perception::WorldTrack& track) const {
+  return track.rel_position.x <
+             lidar_.range_for(track.cls) * config_.coverage_margin &&
+         std::abs(track.rel_position.y) < lidar_.lateral_coverage;
+}
+
+void SensorConsistencyMonitor::observe(
+    const perception::CameraFrame& /*frame*/,
+    const perception::PerceptionOutput& out) {
+  // Camera-side tests: breakaway, ghost, teleport.
+  for (const auto& w : out.camera_world) {
+    CameraState& s = camera_state_[w.track_id];
+
+    // Teleport test: judged only on mature matched tracks; the lateral
+    // bound is absolute (sharp localization at any range), the
+    // longitudinal one range-proportional (monocular depth noise). A
+    // single over-bound jump is forgiven — benign track ID switches in
+    // dense traffic produce exactly one — a *sustained* jumping stream is
+    // not.
+    if (w.matched_this_frame && s.has_last &&
+        w.hits >= config_.min_camera_hits) {
+      const double lat_jump = std::abs(w.rel_position.y - s.last_position.y);
+      const double lon_jump = std::abs(w.rel_position.x - s.last_position.x);
+      const double lon_gate =
+          std::max(config_.teleport_longitudinal_min,
+                   config_.teleport_longitudinal_frac * s.last_position.x);
+      if (lat_jump > config_.teleport_lateral_m || lon_jump > lon_gate) {
+        if (++s.teleport_streak >= config_.teleport_consecutive) {
+          raise(out.time, "camera track teleported between frames");
+        }
+      } else {
+        s.teleport_streak = 0;
+      }
+    }
+    if (w.matched_this_frame) {
+      s.last_position = w.rel_position;
+      s.has_last = true;
+    }
+
+    if (w.hits < config_.min_camera_hits ||
+        w.rel_position.x < config_.min_range_m) {
+      s.unpaired_streak = 0;
+      continue;
+    }
+    const bool covered = in_lidar_coverage(w);
+    if (paired_with_lidar(w, out)) {
+      ++s.paired_frames;
+      s.unpaired_streak = 0;
+    } else if (covered) {
+      ++s.unpaired_streak;
+      if (s.paired_frames >= config_.min_paired_frames &&
+          s.unpaired_streak >= config_.breakaway_consecutive) {
+        raise(out.time, "corroborated camera track broke away from LiDAR");
+      } else if (s.paired_frames < config_.min_paired_frames &&
+                 ++s.uncorroborated_in_coverage >= config_.ghost_frames) {
+        // Still judged a ghost below the corroboration-maturity bar: a
+        // handful of spurious pairing frames (passing clutter inside the
+        // generous gate) must not whitelist an injected object forever.
+        raise(out.time, "persistent camera-only object inside LiDAR coverage");
+      }
+    } else {
+      // Outside coverage there is nothing to disagree with.
+      s.unpaired_streak = 0;
+    }
+  }
+  perception::erase_dead_tracks(
+      camera_state_, out.camera_world,
+      [](const perception::WorldTrack& w) { return w.track_id; });
+
+  // LiDAR-side test: disappear. LiDAR carries no class, so the streak
+  // budget uses the longer (vehicle) tail — the same conservative choice
+  // the attacker calibrates K_max against.
+  const int absence_limit = static_cast<int>(
+      noise_.vehicle.streak_p99 * config_.absence_p99_mult);
+  for (const auto& l : out.lidar_tracks) {
+    if (l.hits < config_.min_lidar_hits) continue;
+    // Only judge objects the camera should currently see.
+    sim::GroundTruthObject probe;
+    probe.rel_position = l.rel_position;
+    probe.dims = sim::default_dimensions(sim::ActorType::kVehicle);
+    if (!camera_.project(probe)) {
+      lidar_state_.erase(l.track_id);
+      continue;
+    }
+    bool seen = false;
+    for (const auto& w : out.camera_world) {
+      if (within_pair_gate(w.rel_position, l.rel_position,
+                           l.rel_position.x)) {
+        seen = true;
+        break;
+      }
+    }
+    LidarState& s = lidar_state_[l.track_id];
+    s.absent_streak = seen ? 0 : s.absent_streak + 1;
+    if (s.absent_streak > absence_limit) {
+      raise(out.time, "LiDAR object missing from camera for too long");
+    }
+  }
+  perception::erase_dead_tracks(
+      lidar_state_, out.lidar_tracks,
+      [](const perception::LidarTrack& l) { return l.track_id; });
+}
+
+}  // namespace rt::defense

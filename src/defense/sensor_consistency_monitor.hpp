@@ -1,0 +1,76 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "defense/monitor.hpp"
+
+namespace rt::defense {
+
+/// Sensor-consistency monitor ("sensor-consistency").
+///
+/// Cross-checks the (attackable) camera track stream against the LiDAR
+/// model, which the threat model leaves truthful. Four anomaly tests, all
+/// evaluated in the road frame:
+///
+///  - breakaway: a camera track that was LiDAR-corroborated for a while and
+///    then departs the LiDAR evidence while still inside LiDAR coverage.
+///    This is the geometric signature of the Move_* vectors — the faked
+///    camera trajectory walks away from the victim's true position until
+///    the pairing gate breaks.
+///  - disappear: a mature LiDAR track with no camera track nearby for
+///    longer than the characterized misdetection-streak tail (the paper's
+///    K_max budget is calibrated against exactly this tail, so a compliant
+///    Disappear attack ducks under; over-long blackouts are caught).
+///  - ghost (appear): a camera track inside LiDAR coverage that LiDAR has
+///    never corroborated, older than `ghost_frames`.
+///  - teleport: a physically impossible per-frame jump of a matched camera
+///    track's road-frame position.
+class SensorConsistencyMonitor final : public AttackMonitor {
+ public:
+  SensorConsistencyMonitor(const SensorConsistencyConfig& config,
+                           perception::CameraModel camera,
+                           perception::DetectorNoiseModel noise,
+                           perception::LidarConfig lidar)
+      : AttackMonitor("sensor-consistency"),
+        config_(config),
+        camera_(camera),
+        noise_(noise),
+        lidar_(lidar) {}
+
+  void observe(const perception::CameraFrame& frame,
+               const perception::PerceptionOutput& out) override;
+
+ private:
+  struct CameraState {
+    int paired_frames{0};
+    int unpaired_streak{0};
+    int uncorroborated_in_coverage{0};
+    int teleport_streak{0};
+    math::Vec2 last_position;
+    bool has_last{false};
+  };
+  struct LidarState {
+    int absent_streak{0};
+  };
+
+  /// The shared elliptical pairing gate: lateral bound absolute, the
+  /// longitudinal one proportional to `range`. Used by the breakaway and
+  /// absence tests so both judge the same geometry.
+  [[nodiscard]] bool within_pair_gate(const math::Vec2& a,
+                                      const math::Vec2& b,
+                                      double range) const;
+  [[nodiscard]] bool paired_with_lidar(
+      const perception::WorldTrack& track,
+      const perception::PerceptionOutput& out) const;
+  [[nodiscard]] bool in_lidar_coverage(
+      const perception::WorldTrack& track) const;
+
+  SensorConsistencyConfig config_;
+  perception::CameraModel camera_;
+  perception::DetectorNoiseModel noise_;
+  perception::LidarConfig lidar_;
+  std::unordered_map<int, CameraState> camera_state_;
+  std::unordered_map<int, LidarState> lidar_state_;
+};
+
+}  // namespace rt::defense

@@ -72,6 +72,47 @@ std::vector<double> CampaignResult::min_deltas() const {
   return out;
 }
 
+int CampaignResult::detected_count() const {
+  return static_cast<int>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.defense.detected; }));
+}
+
+double CampaignResult::detection_rate() const {
+  const int triggered = triggered_count();
+  return triggered == 0 ? 0.0
+                        : static_cast<double>(detected_count()) /
+                              static_cast<double>(triggered);
+}
+
+int CampaignResult::false_alarm_count() const {
+  return static_cast<int>(std::count_if(
+      runs.begin(), runs.end(), [](const RunResult& r) {
+        return r.defense.flagged && !r.defense.detected;
+      }));
+}
+
+double CampaignResult::false_alarm_rate() const {
+  return runs.empty() ? 0.0
+                      : static_cast<double>(false_alarm_count()) /
+                            static_cast<double>(runs.size());
+}
+
+std::vector<double> CampaignResult::frames_to_detection() const {
+  std::vector<double> out;
+  for (const auto& r : runs) {
+    if (r.defense.detected) {
+      out.push_back(static_cast<double>(r.defense.frames_to_detection));
+    }
+  }
+  return out;
+}
+
+double CampaignResult::median_frames_to_detection() const {
+  const auto frames = frames_to_detection();
+  return frames.empty() ? -1.0 : stats::median(frames);
+}
+
 std::unique_ptr<core::Robotack> CampaignRunner::make_attacker(
     const CampaignSpec& spec, std::uint64_t run_seed) const {
   if (spec.mode == AttackMode::kGolden) return nullptr;
@@ -126,6 +167,7 @@ RunResult CampaignRunner::run_one(const CampaignSpec& spec,
 
   LoopConfig cfg = base_;
   cfg.keep_timeline = false;
+  cfg.monitors = spec.monitors;
   ClosedLoop loop(scenario, cfg, loop_seed);
   loop.set_attacker(make_attacker(spec, attacker_seed));
   return loop.run();

@@ -47,6 +47,11 @@ struct CampaignSpec {
   int runs{120};
   std::uint64_t seed{1234};
   std::optional<sim::ScenarioParams> params{};
+  /// Runtime attack monitors deployed on every run of the campaign
+  /// (defense::MonitorRegistry keys; empty = undefended, the historical
+  /// behaviour). Monitors are passive, so the driving outcomes of a
+  /// campaign are identical with or without them.
+  std::vector<std::string> monitors{};
 };
 
 /// Aggregated campaign outcome (plus every per-run result).
@@ -67,6 +72,22 @@ struct CampaignResult {
   [[nodiscard]] std::vector<double> k_primes() const;
   /// Min safety potential since attack start, per triggered run (Fig. 6).
   [[nodiscard]] std::vector<double> min_deltas() const;
+
+  // Defense outcomes (all zero / empty when the spec deployed no monitors).
+  /// Runs whose triggered attack was flagged at/after launch.
+  [[nodiscard]] int detected_count() const;
+  /// detected / triggered (0 when nothing triggered) — the headline
+  /// detection rate of the attack-vs-defense matrix.
+  [[nodiscard]] double detection_rate() const;
+  /// Runs the stack flagged without a post-launch attack to blame: golden
+  /// runs, untriggered runs, or alerts that predate the launch.
+  [[nodiscard]] int false_alarm_count() const;
+  /// false alarms / n — the false-positive rate on no-attack baselines.
+  [[nodiscard]] double false_alarm_rate() const;
+  /// Launch-to-first-alert latency (camera frames) per detected run.
+  [[nodiscard]] std::vector<double> frames_to_detection() const;
+  /// Median detection latency; -1 when nothing was detected.
+  [[nodiscard]] double median_frames_to_detection() const;
 };
 
 /// The trained per-vector oracles RoboTack deploys with.

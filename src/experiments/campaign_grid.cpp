@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "defense/monitor_registry.hpp"
+
 namespace rt::experiments {
 
 namespace {
@@ -46,6 +48,21 @@ CampaignGridBuilder& CampaignGridBuilder::vectors(
 
 CampaignGridBuilder& CampaignGridBuilder::modes(std::vector<AttackMode> modes) {
   modes_ = std::move(modes);
+  dirty_ = true;
+  return *this;
+}
+
+CampaignGridBuilder& CampaignGridBuilder::monitors(
+    std::vector<std::string> keys) {
+  if (keys.empty()) {
+    throw std::invalid_argument("CampaignGridBuilder: empty monitor axis");
+  }
+  // Validate eagerly so a typo fails at grid-definition time ("" is the
+  // undefended cell and always valid).
+  for (const auto& key : keys) {
+    if (!key.empty()) (void)defense::MonitorRegistry::global().get(key);
+  }
+  monitors_ = std::move(keys);
   dirty_ = true;
   return *this;
 }
@@ -106,24 +123,38 @@ void CampaignGridBuilder::flush() {
         // Cross product over the sweep axes (one pass with no axes).
         std::vector<std::size_t> idx(sweeps_.size(), 0);
         while (true) {
-          CampaignSpec spec;
-          spec.name = spec_name(scenario, vector, mode);
-          spec.scenario = scenario;
-          spec.vector = vector;
-          spec.mode = mode;
-          spec.runs = runs_;
-          spec.seed = seed_ + specs_.size() * 1000;
-          if (base_params_ || !sweeps_.empty()) {
-            sim::ScenarioParams p =
-                base_params_ ? *base_params_ : registry.defaults(scenario);
-            for (std::size_t a = 0; a < sweeps_.size(); ++a) {
-              const double value = sweeps_[a].second[idx[a]];
-              sim::set_scenario_param(p, sweeps_[a].first, value);
-              spec.name += "-" + sweeps_[a].first + "=" + fmt_value(value);
+          // Every monitor variant of one campaign cell shares the cell's
+          // seed: their runs are bit-identical driving-wise and differ only
+          // in what the monitor stack observed, so detection rates across
+          // monitors (and the undefended control) compare the exact same
+          // attacks. With the default single undefended variant this
+          // reduces to the historical seed-per-spec convention.
+          const std::uint64_t cell_seed = seed_ + seeded_cells_ * 1000;
+          ++seeded_cells_;
+          for (const std::string& monitor : monitors_) {
+            CampaignSpec spec;
+            spec.name = spec_name(scenario, vector, mode);
+            spec.scenario = scenario;
+            spec.vector = vector;
+            spec.mode = mode;
+            spec.runs = runs_;
+            spec.seed = cell_seed;
+            if (!monitor.empty()) {
+              spec.monitors = {monitor};
+              spec.name += "-" + monitor;
             }
-            spec.params = p;
+            if (base_params_ || !sweeps_.empty()) {
+              sim::ScenarioParams p =
+                  base_params_ ? *base_params_ : registry.defaults(scenario);
+              for (std::size_t a = 0; a < sweeps_.size(); ++a) {
+                const double value = sweeps_[a].second[idx[a]];
+                sim::set_scenario_param(p, sweeps_[a].first, value);
+                spec.name += "-" + sweeps_[a].first + "=" + fmt_value(value);
+              }
+              spec.params = p;
+            }
+            specs_.push_back(std::move(spec));
           }
-          specs_.push_back(std::move(spec));
           // Advance the sweep odometer (innermost axis fastest).
           bool wrapped = sweeps_.empty();
           for (std::size_t a = sweeps_.size(); !wrapped && a > 0;) {

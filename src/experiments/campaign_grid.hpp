@@ -9,7 +9,8 @@
 namespace rt::experiments {
 
 /// Fluent builder for campaign grids: the cross product of scenario keys ×
-/// attack vectors × modes × parameter sweeps, with per-spec seeds derived
+/// attack vectors × modes × monitors × parameter sweeps, with per-spec
+/// seeds derived
 /// from a base seed exactly as the historical hand-rolled tables did
 /// (`seed + spec_index * 1000`).
 ///
@@ -33,6 +34,15 @@ class CampaignGridBuilder {
   CampaignGridBuilder& scenarios(std::vector<std::string> keys);
   CampaignGridBuilder& vectors(std::vector<core::AttackVector> vectors);
   CampaignGridBuilder& modes(std::vector<AttackMode> modes);
+  /// Monitor axis: one spec per key, each deploying that single runtime
+  /// attack monitor, named "...-<monitor>". The empty string "" is the
+  /// undefended cell (no suffix — the historical naming). Non-empty keys
+  /// are validated eagerly against defense::MonitorRegistry::global().
+  /// All monitor variants of one campaign cell share the cell's seed —
+  /// monitors are passive, so their runs are driving-wise bit-identical
+  /// and detection rates compare the exact same attacks. Default: one
+  /// undefended cell, so existing grids are unchanged.
+  CampaignGridBuilder& monitors(std::vector<std::string> keys);
   CampaignGridBuilder& runs(int n);
   CampaignGridBuilder& seed(std::uint64_t s);
   /// Base parameter overrides for the block; sweeps are applied on top.
@@ -54,11 +64,15 @@ class CampaignGridBuilder {
   std::vector<std::string> scenarios_;
   std::vector<core::AttackVector> vectors_{core::AttackVector::kMoveOut};
   std::vector<AttackMode> modes_{AttackMode::kRobotack};
+  std::vector<std::string> monitors_{std::string{}};
   int runs_{60};
   std::uint64_t seed_{1234};
   std::optional<sim::ScenarioParams> base_params_{};
   std::vector<std::pair<std::string, std::vector<double>>> sweeps_;
   bool dirty_{false};
+  /// Campaign cells seeded so far (monitor variants share one cell seed;
+  /// equals specs_.size() for the default single-variant monitor axis).
+  std::size_t seeded_cells_{0};
   std::vector<CampaignSpec> specs_;
 };
 

@@ -48,6 +48,16 @@ RunResult ClosedLoop::run() {
                                 config_.keep_timeline);
   safety::AttackIds ids(config_.ids, config_.noise, config_.camera);
 
+  // Runtime attack monitors: a fresh per-run stack observing the perception
+  // pipeline from inside the ADS. Passive by contract — wiring it up never
+  // changes the driving outcome.
+  defense::MonitorStack monitors;
+  if (!config_.monitors.empty()) {
+    monitors =
+        defense::MonitorStack(config_.monitors, config_.monitor_context());
+    ads.set_perception_observer(&monitors);
+  }
+
   RunResult result;
   double next_lidar = 0.0;
   const int steps =
@@ -71,7 +81,9 @@ RunResult ClosedLoop::run() {
 
     detector.detect_into(gt, t, frame);
     if (attacker_) {
-      frame = attacker_->process(frame, world.ego().speed());
+      // In place on the hoisted frame buffer: the malware's man-in-the-
+      // middle step copies nothing on the per-frame hot path.
+      attacker_->process_in_place(frame, world.ego().speed());
     }
 
     ads.step_into(frame, world.ego().speed(), world.ego().acceleration(),
@@ -110,6 +122,29 @@ RunResult ClosedLoop::run() {
   if (attacker_) result.attack = attacker_->log();
   result.ids_flagged = ids.report().flagged;
   result.ids_reason = ids.report().reason;
+  if (!monitors.empty()) {
+    result.defense = monitors.report();
+    // Ground-truth detection labels, judged PER MONITOR: an alert at/after
+    // the launch of a triggered attack counts as a detection even when a
+    // different monitor false-alarmed earlier (a stack-wide earliest-alert
+    // test would let one noisy monitor mask another's genuine detection).
+    // A run that only alerted pre-launch stays a false alarm.
+    if (result.attack.triggered) {
+      const double launch = result.attack.start_time;
+      double best_time = 0.0;
+      for (const auto& m : result.defense.monitors) {
+        if (!m.fired || m.first_alert_time < launch - 1e-9) continue;
+        if (result.defense.detected && m.first_alert_time >= best_time) {
+          continue;
+        }
+        best_time = m.first_alert_time;
+        result.defense.detected = true;
+        result.defense.frames_to_detection =
+            static_cast<int>(std::lround((best_time - launch) / dt));
+        result.defense.detected_by = m.monitor;
+      }
+    }
+  }
   result.timeline = monitor.timeline();
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "ads/ads_system.hpp"
 #include "core/robotack.hpp"
+#include "defense/monitor_stack.hpp"
 #include "perception/detector_model.hpp"
 #include "perception/lidar_model.hpp"
 #include "safety/ids.hpp"
@@ -36,8 +37,20 @@ struct LoopConfig {
   safety::SafetyModelConfig safety{};
   safety::IdsConfig ids{};
 
+  /// Runtime attack monitors deployed on this run (defense::MonitorRegistry
+  /// keys; empty = no defense). Monitors are passive observers, so any
+  /// stack leaves the driving outcome bit-identical.
+  std::vector<std::string> monitors{};
+  defense::MonitorTuning defense{};
+
   [[nodiscard]] double camera_dt() const { return 1.0 / camera_hz; }
   [[nodiscard]] double lidar_dt() const { return 1.0 / lidar_hz; }
+
+  /// The context the loop hands monitor factories: the perception stack's
+  /// own configuration plus the tuning bundle.
+  [[nodiscard]] defense::MonitorContext monitor_context() const {
+    return {camera_dt(), camera, noise, mot, fusion, lidar, defense};
+  }
 };
 
 /// Everything one simulation run produced.
@@ -53,6 +66,8 @@ struct RunResult {
   core::AttackLog attack;
   bool ids_flagged{false};
   std::string ids_reason;
+  /// What the deployed monitor stack concluded (empty stack = all-clear).
+  defense::DefenseReport defense;
   std::vector<safety::SafetySample> timeline;
 };
 

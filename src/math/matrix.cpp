@@ -137,6 +137,112 @@ void affine_into(const Matrix& w, const Matrix& x, const Matrix& bias,
   }
 }
 
+namespace {
+
+void require_row_range(const Matrix& out, std::size_t rows, std::size_t cols,
+                       std::size_t row_begin, std::size_t row_end) {
+  if (out.rows() != rows || out.cols() != cols) {
+    throw std::invalid_argument("Matrix row kernel: out not pre-sized");
+  }
+  if (row_begin > row_end || row_end > rows) {
+    throw std::invalid_argument("Matrix row kernel: bad row range");
+  }
+}
+
+}  // namespace
+
+void affine_rows_into(const Matrix& w, const Matrix& x, const Matrix& bias,
+                      Matrix& out, std::size_t row_begin,
+                      std::size_t row_end) {
+  require_no_alias(w, x, out);
+  if (&out == &bias) detail::throw_kernel_alias();
+  if (w.cols() != x.rows()) detail::throw_inner_mismatch();
+  if (bias.rows() != w.rows() || bias.cols() != 1) {
+    throw std::invalid_argument("affine_rows_into: bias must be rows(w) x 1");
+  }
+  require_row_range(out, w.rows(), x.cols(), row_begin, row_end);
+  const std::size_t inner = w.cols();
+  const std::size_t cols = x.cols();
+  if (cols == 1) {
+    // Mirrors multiply_into's column fast path: each element is an ordered
+    // dot product (ascending k, skip exact-zero lhs), so restricting the
+    // row range cannot change any value.
+    const auto xd = x.data();
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double v = w(i, k);
+        if (v != 0.0) s += v * xd[k];
+      }
+      out(i, 0) = s;
+      out(i, 0) += bias(i, 0);
+    }
+    return;
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) out(i, j) = 0.0;
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double v = w(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        out(i, j) += v * x(k, j);
+      }
+    }
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double bi = bias(i, 0);
+    for (std::size_t j = 0; j < cols; ++j) out(i, j) += bi;
+  }
+}
+
+void multiply_transposed_rows_into(const Matrix& a, const Matrix& b,
+                                   Matrix& out, std::size_t row_begin,
+                                   std::size_t row_end) {
+  require_no_alias(a, b, out);
+  if (a.cols() != b.cols()) detail::throw_inner_mismatch();
+  require_row_range(out, a.rows(), b.rows(), row_begin, row_end);
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.rows();
+  // Same per-element ordered sums as multiply_transposed_into (the 4-chain
+  // register grouping there never mixes elements, so a plain per-element
+  // loop is bit-identical).
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double v = a(i, k);
+        if (v == 0.0) continue;
+        s += v * b(j, k);
+      }
+      out(i, j) = s;
+    }
+  }
+}
+
+void transposed_multiply_rows_into(const Matrix& a, const Matrix& b,
+                                   Matrix& out, std::size_t row_begin,
+                                   std::size_t row_end) {
+  require_no_alias(a, b, out);
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("Matrix: inner dimension mismatch");
+  }
+  require_row_range(out, a.cols(), b.cols(), row_begin, row_end);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) = 0.0;
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const double v = a(k, i);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += v * b(k, j);
+      }
+    }
+  }
+}
+
 void invert_into(const Matrix& a, Matrix& scratch, Matrix& out) {
   require_no_alias(a, scratch, out);
   if (&scratch == &a || &scratch == &out) {

@@ -127,6 +127,29 @@ void affine_into(const Matrix& w, const Matrix& x, const Matrix& bias,
 /// singular matrix, like `inverse()`.
 void invert_into(const Matrix& a, Matrix& scratch, Matrix& out);
 
+/// Row-range kernels (the minibatch trainer's parallel slots).
+///
+/// Each computes only output rows [row_begin, row_end) of the matching full
+/// kernel; `out` must already be sized to the full result shape (its other
+/// rows are untouched). Because every kernel above runs an independent
+/// serial accumulation per output element — the outer loop is over output
+/// rows — covering [0, rows) with disjoint ranges reproduces the full
+/// kernel BIT FOR BIT regardless of how the ranges are partitioned or on
+/// which thread each range runs. That is what makes the trainer's `threads`
+/// knob both thread-count-invariant and golden-preserving: there is no
+/// floating-point reordering to begin with, only a partition of the output.
+void affine_rows_into(const Matrix& w, const Matrix& x, const Matrix& bias,
+                      Matrix& out, std::size_t row_begin,
+                      std::size_t row_end);
+/// Row range of `multiply_transposed_into` (out = a * b^T).
+void multiply_transposed_rows_into(const Matrix& a, const Matrix& b,
+                                   Matrix& out, std::size_t row_begin,
+                                   std::size_t row_end);
+/// Row range of `transposed_multiply_into` (out = a^T * b).
+void transposed_multiply_rows_into(const Matrix& a, const Matrix& b,
+                                   Matrix& out, std::size_t row_begin,
+                                   std::size_t row_end);
+
 namespace detail {
 [[noreturn]] void throw_kernel_alias();
 [[noreturn]] void throw_inner_mismatch();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "math/matrix.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace rt::nn {
@@ -65,9 +66,21 @@ class Layer {
 
   [[nodiscard]] virtual std::string kind() const = 0;
 
+  /// Installs (or clears, with nullptr) a worker pool for this layer's
+  /// matrix products. Layers fan their output *rows* over the pool as
+  /// pre-assigned disjoint slots — no floating-point accumulation crosses a
+  /// slot boundary — so results are BIT-IDENTICAL to the serial kernels at
+  /// any pool size (see the row-range kernels in math/matrix.hpp). The
+  /// trainer sets this for the duration of a training run and always clears
+  /// it afterwards; the pool must outlive every forward/backward issued
+  /// while set.
+  void set_parallel(runtime::ThreadPool* pool) { pool_ = pool; }
+
  protected:
   /// Input cached by the allocating `forward(x, training=true)` wrapper.
   math::Matrix x_cache_;
+  /// Optional worker pool (nullptr = serial kernels).
+  runtime::ThreadPool* pool_{nullptr};
 };
 
 /// Fully-connected layer: y = W x + b.

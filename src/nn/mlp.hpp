@@ -66,6 +66,13 @@ class Mlp {
     return forward_into(x, ws, false);
   }
 
+  /// Installs (nullptr clears) a worker pool on every layer — see
+  /// Layer::set_parallel. Results are bit-identical with or without a pool;
+  /// the trainer scopes this to a training run.
+  void set_parallel(runtime::ThreadPool* pool) {
+    for (auto& layer : layers_) layer->set_parallel(pool);
+  }
+
   [[nodiscard]] std::vector<math::Matrix*> parameters();
   [[nodiscard]] std::vector<math::Matrix*> gradients();
   [[nodiscard]] const std::vector<std::unique_ptr<Layer>>& layers() const {

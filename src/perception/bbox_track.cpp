@@ -91,7 +91,17 @@ void BboxTrack::update(const Detection& det) {
   measurement_noise_into(det.bbox, r_scratch_);
   kf_.set_measurement_noise(r_scratch_);
   to_measurement_into(det.bbox, z_scratch_);
+  // Record the pre-update innovation for the runtime attack monitors. Pure
+  // observation: the Mahalanobis distance falls out of the update's own
+  // innovation/S^-1 computation (see KalmanFilter::last_update_mahalanobis2),
+  // so the filter state (and every pinned golden) is unchanged and the
+  // bookkeeping costs one 4x4 quadratic form.
+  last_innovation_x_ =
+      (det.bbox.cx - predicted_.cx) / std::max(1.0, det.bbox.w);
+  last_innovation_y_ =
+      (det.bbox.cy - predicted_.cy) / std::max(1.0, det.bbox.h);
   kf_.update(z_scratch_);
+  last_innovation_m2_ = kf_.last_update_mahalanobis2();
   ++hits_;
   consecutive_misses_ = 0;
   last_truth_id_ = det.truth_id;
@@ -99,6 +109,9 @@ void BboxTrack::update(const Detection& det) {
 
 void BboxTrack::mark_missed() {
   ++consecutive_misses_;
+  last_innovation_m2_ = -1.0;
+  last_innovation_x_ = 0.0;
+  last_innovation_y_ = 0.0;
 }
 
 double BboxTrack::mahalanobis2(const math::Bbox& z) const {

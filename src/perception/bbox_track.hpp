@@ -51,6 +51,17 @@ class BboxTrack {
   /// Squared Mahalanobis distance of a candidate measurement (gating/IDS).
   [[nodiscard]] double mahalanobis2(const math::Bbox& z) const;
 
+  /// Innovation of the *last matched* detection against the pre-update
+  /// prediction, recorded by `update` for the runtime attack monitors:
+  /// squared Mahalanobis distance (-1 while unmatched) and the
+  /// size-normalized center displacement per axis (the units the detector
+  /// noise is characterized in, Fig. 5).
+  [[nodiscard]] double last_innovation_m2() const {
+    return last_innovation_m2_;
+  }
+  [[nodiscard]] double last_innovation_x() const { return last_innovation_x_; }
+  [[nodiscard]] double last_innovation_y() const { return last_innovation_y_; }
+
  private:
   /// Fills `out` (4 x 1) with the measurement vector for `b`.
   static void to_measurement_into(const math::Bbox& b, math::Matrix& out);
@@ -72,6 +83,9 @@ class BboxTrack {
   int consecutive_misses_{0};
   int age_{1};
   sim::ActorId last_truth_id_{-1};
+  double last_innovation_m2_{-1.0};
+  double last_innovation_x_{0.0};
+  double last_innovation_y_{0.0};
 };
 
 }  // namespace rt::perception

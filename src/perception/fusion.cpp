@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
 
 namespace rt::perception {
 
@@ -17,14 +16,10 @@ void Fusion::fuse_into(const std::vector<WorldTrack>& camera,
                        const std::vector<LidarTrack>& lidar,
                        std::vector<FusedObject>& out) {
   out.clear();
-  std::unordered_set<int>& live_ids = live_ids_scratch_;
-  live_ids.clear();
 
   lidar_used_scratch_.assign(lidar.size(), 0);
   std::vector<char>& lidar_used = lidar_used_scratch_;
   for (const WorldTrack& cam : camera) {
-    live_ids.insert(cam.track_id);
-
     // Nearest LiDAR track within the elliptical pairing gate.
     const double frac = cam.cls == sim::ActorType::kVehicle
                             ? config_.pair_gate_longitudinal_frac_vehicle
@@ -85,9 +80,16 @@ void Fusion::fuse_into(const std::vector<WorldTrack>& camera,
   }
 
   // Coast published objects whose camera track vanished this frame, then
-  // forget them.
+  // forget them. Liveness is a linear scan over the (small) camera list:
+  // unlike a rebuilt hash set this costs zero allocations per frame.
+  const auto camera_has = [&camera](int id) {
+    for (const WorldTrack& cam : camera) {
+      if (cam.track_id == id) return true;
+    }
+    return false;
+  };
   for (auto it = records_.begin(); it != records_.end();) {
-    if (live_ids.contains(it->first)) {
+    if (camera_has(it->first)) {
       ++it;
       continue;
     }

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "perception/lidar_tracker.hpp"
@@ -106,7 +105,6 @@ class Fusion {
   std::unordered_map<int, Record> records_;
   /// Per-frame association scratch, reused so a fusion step allocates
   /// nothing at steady state.
-  std::unordered_set<int> live_ids_scratch_;
   std::vector<char> lidar_used_scratch_;
 };
 

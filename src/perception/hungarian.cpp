@@ -16,11 +16,20 @@ AssignmentResult solve_assignment(const math::Matrix& cost) {
 
 AssignmentResult solve_assignment(const math::Matrix& cost,
                                   AssignmentScratch& scratch) {
+  AssignmentResult result;
+  solve_assignment_into(cost, scratch, result);
+  return result;
+}
+
+void solve_assignment_into(const math::Matrix& cost,
+                           AssignmentScratch& scratch,
+                           AssignmentResult& out) {
   const std::size_t rows = cost.rows();
   const std::size_t cols = cost.cols();
-  AssignmentResult result;
+  AssignmentResult& result = out;
   result.assignment.assign(rows, -1);
-  if (rows == 0 || cols == 0) return result;
+  result.total_cost = 0.0;
+  if (rows == 0 || cols == 0) return;
 
   // Pad to square; the classic O(n^3) potentials formulation below assumes
   // rows <= cols, which padding guarantees.
@@ -89,7 +98,6 @@ AssignmentResult solve_assignment(const math::Matrix& cost,
       result.total_cost += cost(r - 1, j - 1);
     }
   }
-  return result;
 }
 
 }  // namespace rt::perception

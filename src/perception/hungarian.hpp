@@ -37,5 +37,10 @@ struct AssignmentScratch {
 [[nodiscard]] AssignmentResult solve_assignment(const math::Matrix& cost);
 [[nodiscard]] AssignmentResult solve_assignment(const math::Matrix& cost,
                                                 AssignmentScratch& scratch);
+/// Destination-passing variant: `out.assignment` reuses its capacity, so a
+/// caller holding both scratch and result performs zero allocations per
+/// solve (the MOT trackers on the campaign hot path do).
+void solve_assignment_into(const math::Matrix& cost,
+                           AssignmentScratch& scratch, AssignmentResult& out);
 
 }  // namespace rt::perception

@@ -41,6 +41,12 @@ void KalmanFilter::update(const math::Matrix& z) {
   math::multiply_transposed_into(t_mn_, h_, t_mm1_);
   t_mm1_ += r_;
   math::invert_into(t_mm1_, t_mm2_, t_s_inv_);
+  // Record the innovation's squared Mahalanobis distance while y and S^-1
+  // are at hand — the same kernel sequence as `mahalanobis2`, so the value
+  // is bitwise identical to a pre-update call (t_mn_/t_hx_ are free here).
+  math::transposed_multiply_into(t_y_, t_s_inv_, t_mn_);
+  math::multiply_into(t_mn_, t_y_, t_hx_);
+  last_update_m2_ = t_hx_(0, 0);
   // K = P H^T S^-1
   math::multiply_transposed_into(p_, h_, t_nm_);
   math::multiply_into(t_nm_, t_s_inv_, t_k_);

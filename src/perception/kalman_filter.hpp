@@ -38,6 +38,16 @@ class KalmanFilter {
   /// covariance S = H P H^T + R. Used by gating logic and by the IDS.
   [[nodiscard]] double mahalanobis2(const math::Matrix& z) const;
 
+  /// Squared Mahalanobis distance of the measurement consumed by the last
+  /// `update` (-1 before the first). Recorded inside the update from the
+  /// already-computed innovation and S^-1, so it is bitwise identical to
+  /// calling `mahalanobis2(z)` immediately before the update at a tiny
+  /// fraction of the cost (no second S inversion). Consumed by the
+  /// runtime attack monitors via BboxTrack/TrackView.
+  [[nodiscard]] double last_update_mahalanobis2() const {
+    return last_update_m2_;
+  }
+
   [[nodiscard]] const math::Matrix& state() const { return x_; }
   [[nodiscard]] const math::Matrix& covariance() const { return p_; }
   [[nodiscard]] math::Matrix predicted_measurement() const { return h_ * x_; }
@@ -51,6 +61,7 @@ class KalmanFilter {
 
  private:
   math::Matrix f_, q_, h_, r_, x_, p_;
+  double last_update_m2_{-1.0};
 
   // Fixed scratch reused by every predict/update/mahalanobis2 so a filter
   // step performs zero heap allocations at steady state (the campaign hot

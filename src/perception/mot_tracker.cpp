@@ -21,6 +21,9 @@ TrackView MotTracker::view_of(const BboxTrack& t, bool matched) {
   v.consecutive_misses = t.consecutive_misses();
   v.matched_this_frame = matched;
   v.last_truth_id = t.last_truth_id();
+  v.innovation_m2 = matched ? t.last_innovation_m2() : -1.0;
+  v.innovation_x = matched ? t.last_innovation_x() : 0.0;
+  v.innovation_y = matched ? t.last_innovation_y() : 0.0;
   return v;
 }
 
@@ -55,7 +58,8 @@ void MotTracker::update_into(const CameraFrame& frame,
         cost(i, j) = class_ok ? 1.0 - overlap : 1e3;
       }
     }
-    const AssignmentResult res = solve_assignment(cost, assign_scratch_);
+    solve_assignment_into(cost, assign_scratch_, assign_result_scratch_);
+    const AssignmentResult& res = assign_result_scratch_;
     for (std::size_t i = 0; i < dets.size(); ++i) {
       const int j = res.assignment[i];
       if (j < 0) continue;

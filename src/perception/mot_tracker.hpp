@@ -21,6 +21,12 @@ struct TrackView {
   int consecutive_misses{0};
   bool matched_this_frame{false};
   sim::ActorId last_truth_id{-1};
+  /// Pre-update innovation of the matched detection (see BboxTrack): squared
+  /// Mahalanobis distance (-1 while unmatched) and size-normalized center
+  /// displacement per axis. Consumed by the runtime attack monitors.
+  double innovation_m2{-1.0};
+  double innovation_x{0.0};
+  double innovation_y{0.0};
 };
 
 /// Configuration of the tracking-by-detection manager.
@@ -88,6 +94,7 @@ class MotTracker {
   // tracker step performs no cost-matrix or solver allocations.
   math::Matrix cost_scratch_;
   AssignmentScratch assign_scratch_;
+  AssignmentResult assign_result_scratch_;
   std::vector<int> det_to_track_;
   std::vector<char> track_matched_;
 };

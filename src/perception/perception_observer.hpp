@@ -1,0 +1,30 @@
+#pragma once
+
+#include "perception/detection.hpp"
+
+namespace rt::perception {
+
+struct PerceptionOutput;
+
+/// Passive tap on the perception pipeline: invoked at the end of every
+/// `PerceptionSystem::step_into` with the camera frame the ADS consumed
+/// (i.e. whatever arrived over the attackable link) and the full perception
+/// output of that cycle.
+///
+/// This is the integration point of the `rt::defense` runtime attack
+/// monitors: the defender sees exactly what the production stack saw — never
+/// ground truth — so a monitor's verdict is something a real ADS could have
+/// computed online.
+///
+/// Contract: observers are read-only (they must not mutate the perception
+/// state they are handed) and should allocate nothing at steady state — the
+/// hook sits on the campaign engine's per-frame hot path.
+class PerceptionObserver {
+ public:
+  virtual ~PerceptionObserver() = default;
+
+  virtual void on_perception(const CameraFrame& frame,
+                             const PerceptionOutput& out) = 0;
+};
+
+}  // namespace rt::perception

@@ -30,6 +30,7 @@ void PerceptionSystem::step_into(const CameraFrame& frame,
   projector_.project_into(out.camera_tracks, out.camera_world);
   out.lidar_tracks = lidar_tracker_.tracks();
   fusion_.fuse_into(out.camera_world, out.lidar_tracks, out.world);
+  if (observer_ != nullptr) observer_->on_perception(frame, out);
 }
 
 }  // namespace rt::perception

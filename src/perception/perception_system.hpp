@@ -9,6 +9,7 @@
 #include "perception/fusion.hpp"
 #include "perception/lidar_tracker.hpp"
 #include "perception/mot_tracker.hpp"
+#include "perception/perception_observer.hpp"
 #include "perception/track_projection.hpp"
 
 namespace rt::perception {
@@ -49,11 +50,18 @@ class PerceptionSystem {
 
   [[nodiscard]] const MotTracker& tracker() const { return mot_; }
 
+  /// Installs a passive per-step tap (nullptr = none). The observer is
+  /// invoked at the end of every `step_into` with the consumed frame and the
+  /// produced output; it outlives the pointer set here at the caller's
+  /// responsibility.
+  void set_observer(PerceptionObserver* observer) { observer_ = observer; }
+
  private:
   MotTracker mot_;
   TrackProjector projector_;
   LidarTracker lidar_tracker_;
   Fusion fusion_;
+  PerceptionObserver* observer_{nullptr};
 };
 
 }  // namespace rt::perception

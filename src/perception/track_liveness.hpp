@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iterator>
+
+namespace rt::perception {
+
+/// Erases entries of an id-keyed per-track state map whose id no longer
+/// appears in `tracks` (ids read via `id_of`). The shared liveness sweep of
+/// every per-frame state map (projector history, the defense monitors'
+/// per-track state): a linear scan over the — small — track list, which,
+/// unlike rebuilding a hash set of live ids, costs zero allocations per
+/// frame.
+template <typename Map, typename TrackList, typename IdOf>
+void erase_dead_tracks(Map& state, const TrackList& tracks, IdOf id_of) {
+  for (auto it = state.begin(); it != state.end();) {
+    bool live = false;
+    for (const auto& t : tracks) {
+      if (id_of(t) == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : state.erase(it);
+  }
+}
+
+}  // namespace rt::perception

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include <unordered_set>
+#include "perception/track_liveness.hpp"
 
 namespace rt::perception {
 
@@ -17,12 +17,9 @@ void TrackProjector::project_into(const std::vector<TrackView>& tracks,
                                   std::vector<WorldTrack>& out) {
   out.clear();
   out.reserve(tracks.size());
-  std::unordered_set<int>& seen = seen_scratch_;
-  seen.clear();
   for (const TrackView& t : tracks) {
     const auto pos = camera_.back_project(t.bbox);
     if (!pos) continue;
-    seen.insert(t.track_id);
 
     WorldTrack w;
     w.track_id = t.track_id;
@@ -51,9 +48,8 @@ void TrackProjector::project_into(const std::vector<TrackView>& tracks,
   }
   // Forget vanished tracks so their stale velocity never leaks into a
   // recycled id.
-  for (auto it = history_.begin(); it != history_.end();) {
-    it = seen.contains(it->first) ? std::next(it) : history_.erase(it);
-  }
+  erase_dead_tracks(history_, out,
+                    [](const WorldTrack& w) { return w.track_id; });
 }
 
 }  // namespace rt::perception

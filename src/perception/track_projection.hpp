@@ -1,7 +1,6 @@
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "math/vec2.hpp"
@@ -54,9 +53,6 @@ class TrackProjector {
   double dt_;
   double alpha_;
   std::unordered_map<int, History> history_;
-  /// Per-frame live-id scratch, reused so a projection step allocates
-  /// nothing at steady state.
-  std::unordered_set<int> seen_scratch_;
 };
 
 }  // namespace rt::perception

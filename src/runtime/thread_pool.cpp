@@ -1,8 +1,8 @@
-#include "experiments/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 
 #include <atomic>
 
-namespace rt::experiments {
+namespace rt::runtime {
 
 unsigned ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -112,4 +112,4 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   wait_idle();
 }
 
-}  // namespace rt::experiments
+}  // namespace rt::runtime

@@ -10,7 +10,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/robotack.hpp"
 #include "core/safety_oracle.hpp"
+#include "defense/monitor_stack.hpp"
 #include "math/matrix.hpp"
 #include "nn/mlp.hpp"
 #include "perception/bbox_track.hpp"
@@ -97,6 +99,90 @@ TEST(AllocationPins, MlpPredictIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(allocations(), before)
       << "Mlp::predict allocated on the steady-state path (sink " << sink
       << ")";
+}
+
+TEST(AllocationPins, RobotackAttackOnPathIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  // The malware's man-in-the-middle step on an ACTIVE Move_Out attack:
+  // truth-replica update, trajectory hijack in place, ADS-replica update —
+  // all over member scratch, no CameraFrame copy, no heap traffic.
+  core::RobotackConfig cfg;
+  cfg.vector = core::AttackVector::kMoveOut;
+  cfg.timing = core::TimingPolicy::kAtDeltaThreshold;
+  cfg.delta_trigger = 30.0;  // triggers immediately at this geometry
+  cfg.fixed_k = 1000;        // keep the attack active for the whole pin
+  core::Robotack bot(cfg, perception::CameraModel{},
+                     perception::DetectorNoiseModel::paper_defaults(),
+                     perception::MotConfig{}, 99);
+
+  // A stationary in-lane vehicle at ~30 m (bottom edge v=620).
+  perception::Detection det;
+  det.cls = sim::ActorType::kVehicle;
+  det.bbox = {960.0, 580.0, 96.0, 80.0};
+  perception::CameraFrame frame;
+  const double dt = cfg.dt;
+  for (int i = 0; i < 40; ++i) {
+    frame.time += dt;
+    frame.detections.clear();
+    frame.detections.push_back(det);
+    bot.process_in_place(frame, 10.0);
+  }
+  ASSERT_TRUE(bot.attack_active()) << "attack did not arm during warm-up";
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 200; ++i) {
+    frame.time += dt;
+    frame.detections.clear();
+    frame.detections.push_back(det);
+    bot.process_in_place(frame, 10.0);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "Robotack::process_in_place allocated on the active-attack path";
+  EXPECT_TRUE(bot.attack_active());
+  EXPECT_GT(bot.log().frames_perturbed, 0);
+}
+
+TEST(AllocationPins, MonitorStackObserveIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  // The defense hook sits on the same per-frame hot path: once the track
+  // set is stable, a full three-monitor observe allocates nothing.
+  defense::MonitorContext ctx;
+  defense::MonitorStack stack(
+      {"innovation-gate", "sensor-consistency", "kinematics"}, ctx);
+  perception::CameraFrame frame;
+  perception::PerceptionOutput out;
+  perception::TrackView t;
+  t.track_id = 1;
+  t.cls = sim::ActorType::kVehicle;
+  t.bbox = {960.0, 600.0, 90.0, 40.0};
+  t.predicted_bbox = t.bbox;
+  t.hits = 12;
+  t.matched_this_frame = true;
+  t.innovation_m2 = 1.0;
+  out.camera_tracks = {t};
+  perception::WorldTrack w;
+  w.track_id = 1;
+  w.cls = sim::ActorType::kVehicle;
+  w.rel_position = {30.0, 0.0};
+  w.rel_velocity = {-2.0, 0.0};
+  w.hits = 12;
+  w.matched_this_frame = true;
+  out.camera_world = {w};
+  perception::LidarTrack l;
+  l.track_id = 7;
+  l.rel_position = {30.0, 0.0};
+  l.hits = 6;
+  out.lidar_tracks = {l};
+  for (int i = 0; i < 10; ++i) {
+    out.time = 0.1 * i;
+    stack.on_perception(frame, out);
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 200; ++i) {
+    out.time = 1.0 + 0.1 * i;
+    stack.on_perception(frame, out);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "MonitorStack::on_perception allocated at steady state";
 }
 
 TEST(AllocationPins, SafetyOraclePredictIsAllocationFreeAfterWarmup) {

@@ -79,6 +79,10 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.triggered_count(), b.triggered_count());
   EXPECT_EQ(a.ids_flagged_count(), b.ids_flagged_count());
   EXPECT_DOUBLE_EQ(a.median_k(), b.median_k());
+  EXPECT_EQ(a.detected_count(), b.detected_count());
+  EXPECT_EQ(a.false_alarm_count(), b.false_alarm_count());
+  EXPECT_DOUBLE_EQ(a.median_frames_to_detection(),
+                   b.median_frames_to_detection());
   for (int i = 0; i < a.n(); ++i) {
     const auto& ra = a.runs[static_cast<std::size_t>(i)];
     const auto& rb = b.runs[static_cast<std::size_t>(i)];
@@ -87,6 +91,14 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_EQ(ra.attack.triggered, rb.attack.triggered) << "run " << i;
     EXPECT_DOUBLE_EQ(ra.min_delta, rb.min_delta) << "run " << i;
     EXPECT_DOUBLE_EQ(ra.end_time, rb.end_time) << "run " << i;
+    EXPECT_EQ(ra.defense.flagged, rb.defense.flagged) << "run " << i;
+    EXPECT_EQ(ra.defense.detected, rb.defense.detected) << "run " << i;
+    EXPECT_EQ(ra.defense.frames_to_detection,
+              rb.defense.frames_to_detection)
+        << "run " << i;
+    EXPECT_DOUBLE_EQ(ra.defense.first_alert_time,
+                     rb.defense.first_alert_time)
+        << "run " << i;
   }
 }
 
@@ -211,6 +223,34 @@ TEST(CampaignScheduler, NewScenarioFamiliesDeterministicAcrossThreads) {
   for (std::size_t i = 0; i < one.size(); ++i) {
     expect_identical(one[i], many[i]);
   }
+}
+
+TEST(CampaignScheduler, DefenseGridDeterministicAcrossThreads) {
+  // Monitors consume no randomness and write only their own per-run
+  // report, so a monitored grid — including detection outcomes and
+  // frames-to-detection — is bit-identical at 1 vs 8 threads.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const auto specs =
+      CampaignGridBuilder()
+          .runs(6)
+          .seed(1357)
+          .modes({AttackMode::kNoSh, AttackMode::kGolden})
+          .vectors({core::AttackVector::kMoveOut})
+          .monitors({"innovation-gate", "sensor-consistency", "kinematics"})
+          .scenarios({"DS-1", "cut-in"})
+          .build();
+  ASSERT_EQ(specs.size(), 12u);
+  const auto one = CampaignScheduler(runner, 1).run_all(specs);
+  const auto many = CampaignScheduler(runner, 8).run_all(specs);
+  ASSERT_EQ(one.size(), many.size());
+  int detected_total = 0;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_identical(one[i], many[i]);
+    detected_total += one[i].detected_count();
+  }
+  // The grid actually detects something (the invariance is not vacuous).
+  EXPECT_GT(detected_total, 0);
 }
 
 TEST(CampaignRunner, RunOneIsPureFunctionOfSpecAndIndex) {
