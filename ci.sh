@@ -14,7 +14,7 @@ ctest --test-dir build-release --output-on-failure -j "$jobs"
 # change results; a build misconfiguration that silently drops them from the
 # suite must fail CI, not pass vacuously.
 for required in test_golden_regression test_sh_training test_transfer_matrix \
-                test_defense; do
+                test_defense test_scenario_fuzz; do
   count="$(ctest --test-dir build-release -N -R "$required" | grep -c "Test *#" || true)"
   if [ "$count" -lt 1 ]; then
     echo "ERROR: required golden test binary '$required' missing from the suite" >&2
@@ -55,6 +55,15 @@ echo "==> table_defense smoke (BENCH_defense.json)"
 ./build-release/bench/table_defense --runs 2 --threads 1 \
   --json BENCH_defense.json >/dev/null
 cat BENCH_defense.json
+
+# Bounded fuzz smoke: the coverage-guided scenario search plus the clean-run
+# invariant sweep over its frontier. The driver exits nonzero if any frontier
+# sample violates an invariant, so CI catches generator regressions that the
+# pinned corpus alone would miss.
+echo "==> table_fuzz smoke (BENCH_fuzz.json)"
+./build-release/bench/table_fuzz --runs 2 --threads 1 \
+  --json BENCH_fuzz.json >/dev/null
+cat BENCH_fuzz.json
 if [ -x build-release/bench/bench_perception ]; then
   ./build-release/bench/bench_perception \
     --benchmark_filter='BM_CampaignSchedulerThroughput/1|BM_KalmanPredictUpdate' \
@@ -71,6 +80,10 @@ fi
 echo "==> Debug + ASan/UBSan"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DROBOTACK_SANITIZE=ON
 cmake --build build-asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+# The fuzz sweep's closed-loop sample counts are sized for Release; under
+# the sanitizers run it separately with a reduced RT_FUZZ_SAMPLES (the test
+# floors the per-template count at 2, so every family is still exercised).
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE fuzz
+RT_FUZZ_SAMPLES=4 ctest --test-dir build-asan --output-on-failure -L fuzz
 
 echo "==> OK"

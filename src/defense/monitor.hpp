@@ -19,8 +19,13 @@ struct InnovationGateConfig {
   /// measurement is 4-dimensional (u, v, w, h); 13.28 is the chi-square(4)
   /// 99 % quantile, so natural noise exceeds it on ~1 % of frames.
   double gate_m2{13.28};
-  /// Consecutive over-gate innovations on one track before flagging.
-  int spike_consecutive{4};
+  /// Consecutive over-gate innovations on one track before flagging. A
+  /// benign association switch in dense traffic (track ID jumps to the
+  /// neighbouring object) leaves a *decaying* innovation tail while the
+  /// filter re-locks — the gate-ward half of that tail measures up to 4
+  /// frames, so the streak requirement sits above it; a hijack that keeps
+  /// pulling the track sustains spikes for as long as it acts.
+  int spike_consecutive{6};
   /// Two-sided CUSUM on the sigma-normalized center-x innovation: per frame
   /// g+ <- max(0, g+ + e - slack), g- <- max(0, g- - e - slack); an alert
   /// fires when either side exceeds `cusum_threshold`. Zero-mean natural
@@ -79,8 +84,12 @@ struct SensorConsistencyConfig {
   /// Breakaway/ghost judged only beyond this range (m): pairing geometry
   /// degrades on close passes, and no attack operates there.
   double min_range_m{15.0};
-  /// Fraction of the LiDAR class range considered reliable coverage.
-  double coverage_margin{0.85};
+  /// Fraction of the LiDAR class range considered reliable coverage. The
+  /// coverage test runs on the camera's own range estimate, whose monocular
+  /// depth error reaches ~25 % on pedestrians — the margin must absorb the
+  /// worst underestimate, or an object truly beyond LiDAR range is judged
+  /// "covered but unpaired" and false-fires the breakaway test.
+  double coverage_margin{0.7};
   int min_lidar_hits{3};
 };
 

@@ -21,8 +21,13 @@ bool SensorConsistencyMonitor::paired_with_lidar(
     const perception::WorldTrack& track,
     const perception::PerceptionOutput& out) const {
   for (const auto& l : out.lidar_tracks) {
-    if (within_pair_gate(l.rel_position, track.rel_position,
-                         track.rel_position.x)) {
+    // Gate on the larger of the two range estimates: monocular depth error
+    // scales with the TRUE range, so when the camera underestimates depth
+    // (worst exactly for close crossing pedestrians) a camera-range gate
+    // shrinks while the error grows, and legitimate pairs break apart.
+    const double range =
+        std::max(l.rel_position.x, track.rel_position.x);
+    if (within_pair_gate(l.rel_position, track.rel_position, range)) {
       return true;
     }
   }
@@ -116,8 +121,9 @@ void SensorConsistencyMonitor::observe(
     }
     bool seen = false;
     for (const auto& w : out.camera_world) {
-      if (within_pair_gate(w.rel_position, l.rel_position,
-                           l.rel_position.x)) {
+      const double range =
+          std::max(w.rel_position.x, l.rel_position.x);
+      if (within_pair_gate(w.rel_position, l.rel_position, range)) {
         seen = true;
         break;
       }

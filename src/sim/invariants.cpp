@@ -1,0 +1,209 @@
+#include "sim/invariants.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace rt::sim {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+double speed_cap(ActorType type, const ActorEnvelope& env) {
+  return type == ActorType::kPedestrian ? env.max_pedestrian_speed
+                                        : env.max_vehicle_speed;
+}
+
+bool footprints_overlap(const math::Vec2& pa, const Dimensions& da,
+                        const math::Vec2& pb, const Dimensions& db) {
+  return std::abs(pa.x - pb.x) < (da.length + db.length) / 2.0 &&
+         std::abs(pa.y - pb.y) < (da.width + db.width) / 2.0;
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += '\n';
+    out += v.invariant + ": " + v.detail;
+  }
+  return out;
+}
+
+InvariantReport check_scenario_structure(const Scenario& sc,
+                                         const ActorEnvelope& env) {
+  InvariantReport report;
+  if (sc.key.empty()) report.add("identity", "empty scenario key");
+  if (!(sc.duration > 0.0) || !std::isfinite(sc.duration) ||
+      sc.duration > 600.0) {
+    report.add("duration", "duration " + fmt(sc.duration) +
+                               " outside (0, 600] s");
+  }
+  if (sc.actors.empty()) report.add("actors", "scenario has no actors");
+
+  std::set<ActorId> ids;
+  bool target_found = false;
+  for (const Actor& a : sc.actors) {
+    const std::string who = "actor " + std::to_string(a.id());
+    if (a.id() <= 0) report.add("actor-ids", who + " has non-positive id");
+    if (!ids.insert(a.id()).second) {
+      report.add("actor-ids", who + " id is duplicated");
+    }
+    if (a.id() == sc.target_id) target_found = true;
+
+    const math::Vec2 pos = a.state().position;
+    if (std::abs(pos.y) > env.max_abs_y || pos.x < env.min_x ||
+        pos.x > env.max_x) {
+      report.add("spawn-bounds", who + " spawns at (" + fmt(pos.x) + ", " +
+                                     fmt(pos.y) + ") outside the road");
+    }
+  }
+  if (!target_found) {
+    report.add("target", "target id " + std::to_string(sc.target_id) +
+                             " matches no actor");
+  }
+
+  // Footprint overlaps at spawn: the ego against every actor, and static
+  // actor pairs against each other (a world born interpenetrating is not a
+  // scenario any generator should emit).
+  const World world = sc.make_world();
+  if (world.collision()) {
+    report.add("spawn-overlap", "an actor spawns overlapping the ego");
+  }
+  for (std::size_t i = 0; i < sc.actors.size(); ++i) {
+    for (std::size_t j = i + 1; j < sc.actors.size(); ++j) {
+      const Actor& a = sc.actors[i];
+      const Actor& b = sc.actors[j];
+      if (footprints_overlap(a.state().position, a.dims(),
+                             b.state().position, b.dims())) {
+        report.add("spawn-overlap",
+                   "actors " + std::to_string(a.id()) + " and " +
+                       std::to_string(b.id()) + " spawn overlapping at (" +
+                       fmt(a.state().position.x) + ", " +
+                       fmt(a.state().position.y) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_cruise_replay(const Scenario& sc,
+                                    const ActorEnvelope& env, double dt) {
+  InvariantReport report;
+  World world = sc.make_world();
+  EgoEnvelopeChecker ego_checker(sc.ego.limits());
+  const int steps = static_cast<int>(std::ceil(sc.duration / dt));
+
+  struct Track {
+    math::Vec2 prev_pos;
+    double prev_speed{0.0};
+    bool speed_flagged{false};
+    bool teleport_flagged{false};
+    bool bounds_flagged{false};
+  };
+  std::vector<Track> tracks;
+  tracks.reserve(world.actors().size());
+  for (const Actor& a : world.actors()) {
+    tracks.push_back({a.state().position, a.state().velocity.norm()});
+  }
+
+  for (int i = 0; i < steps; ++i) {
+    world.step(dt, 0.0);
+    const double t = world.time();
+    ego_checker.observe(t, world.ego().speed(), world.ego().acceleration(),
+                        dt, report);
+    for (std::size_t k = 0; k < world.actors().size(); ++k) {
+      const Actor& a = world.actors()[k];
+      Track& track = tracks[k];
+      const std::string who = "actor " + std::to_string(a.id());
+      const math::Vec2 pos = a.state().position;
+      const double speed = a.state().velocity.norm();
+      const double cap = speed_cap(a.type(), env);
+
+      if (!track.speed_flagged && speed > cap + 1e-9) {
+        track.speed_flagged = true;
+        report.add("speed-cap", who + " reaches " + fmt(speed) +
+                                    " m/s (cap " + fmt(cap) + ") at t=" +
+                                    fmt(t));
+      }
+      // Velocity/displacement consistency: a step may straddle one waypoint
+      // switch, so the bound is the larger of the straddled speeds.
+      const double bound =
+          std::max(track.prev_speed, speed) * dt + 1e-6;
+      const double moved = (pos - track.prev_pos).norm();
+      if (!track.teleport_flagged && moved > bound) {
+        track.teleport_flagged = true;
+        report.add("teleport", who + " moves " + fmt(moved) + " m in one " +
+                                   fmt(dt) + " s step at t=" + fmt(t));
+      }
+      if (!track.bounds_flagged &&
+          (std::abs(pos.y) > env.max_abs_y || pos.x < env.min_x ||
+           pos.x > env.max_x)) {
+        track.bounds_flagged = true;
+        report.add("road-bounds", who + " leaves the road at (" +
+                                      fmt(pos.x) + ", " + fmt(pos.y) +
+                                      ") at t=" + fmt(t));
+      }
+      track.prev_pos = pos;
+      track.prev_speed = speed;
+    }
+  }
+
+  // Reachability: the replaying ego crosses every x it ever will, so any
+  // trigger still pending here can never fire in any run of this scenario.
+  for (const Actor& a : world.actors()) {
+    if (!a.started()) {
+      report.add("trigger-unreachable",
+                 "actor " + std::to_string(a.id()) +
+                     " never starts within duration " + fmt(sc.duration) +
+                     " s (ego ends at x=" + fmt(world.ego().x()) + ")");
+    }
+  }
+  return report;
+}
+
+InvariantReport check_scenario(const Scenario& sc, const ActorEnvelope& env) {
+  InvariantReport report = check_scenario_structure(sc, env);
+  InvariantReport replay = check_cruise_replay(sc, env);
+  for (auto& v : replay.violations) report.violations.push_back(std::move(v));
+  return report;
+}
+
+void EgoEnvelopeChecker::observe(double time, double speed, double accel,
+                                 double dt, InvariantReport& report) {
+  if (!speed_flagged_ &&
+      (speed < -tol_ || speed > limits_.max_speed + tol_)) {
+    speed_flagged_ = true;
+    report.add("ego-speed", "speed " + fmt(speed) + " m/s outside [0, " +
+                                fmt(limits_.max_speed) + "] at t=" +
+                                fmt(time));
+  }
+  if (!accel_flagged_ && (accel > limits_.max_accel + tol_ ||
+                          accel < -limits_.max_decel - tol_)) {
+    accel_flagged_ = true;
+    report.add("ego-accel", "accel " + fmt(accel) + " m/s^2 outside [-" +
+                                fmt(limits_.max_decel) + ", " +
+                                fmt(limits_.max_accel) + "] at t=" +
+                                fmt(time));
+  }
+  if (has_prev_ && dt > 0.0) {
+    const double jerk = std::abs(accel - prev_accel_) / dt;
+    if (!jerk_flagged_ && jerk > limits_.max_jerk + tol_) {
+      jerk_flagged_ = true;
+      report.add("ego-jerk", "jerk " + fmt(jerk) + " m/s^3 exceeds " +
+                                 fmt(limits_.max_jerk) + " at t=" +
+                                 fmt(time));
+    }
+  }
+  prev_accel_ = accel;
+  has_prev_ = true;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace rt::sim {
+
+/// One violated invariant: a stable short key (what broke) plus the
+/// concrete evidence (ids, values, timestamps) needed to debug it.
+struct InvariantViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Result of an invariant sweep over one scenario. Checks append; a clean
+/// scenario produces an empty report.
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  void add(std::string invariant, std::string detail) {
+    violations.push_back({std::move(invariant), std::move(detail)});
+  }
+  /// "invariant: detail" lines joined by '\n' (empty when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Envelope limits scripted actors must respect at every step. The caps are
+/// generous relative to anything a generator legitimately scripts (road
+/// limit 50 kph; the fastest composite NPC overtakes at ego + 20 kph) so a
+/// breach always means a generator bug, never a tight tolerance.
+struct ActorEnvelope {
+  double max_vehicle_speed{kph_to_mps(80.0)};
+  double max_pedestrian_speed{2.5};  ///< m/s; sampled gaits stay below 1.8
+  double max_abs_y{7.0};             ///< road reservation half-width, m
+  double min_x{-500.0};              ///< oncoming NPCs script down to -200
+  double max_x{3001.0};              ///< generators aim at kFarAhead = 3000
+};
+
+/// Structural invariants of a freshly generated scenario (t = 0): positive
+/// finite duration, unique positive actor ids, a resolvable target actor,
+/// waypoint speeds/targets inside the actor envelope, actors inside the
+/// road reservation, and no footprint overlapping the ego at spawn.
+[[nodiscard]] InvariantReport check_scenario_structure(
+    const Scenario& sc, const ActorEnvelope& env = {});
+
+/// Kinematic/reachability invariants over a cruise replay: the ego holds
+/// its cruise speed and never reacts (the same replay the registry uses to
+/// resolve victim geometry), so every EgoWithin trigger the scenario can
+/// ever fire, fires here. Checks, at every step: per-class speed caps,
+/// velocity/displacement consistency across waypoint switches, road-bounds
+/// containment; and at the end of the replay, that every actor's trigger
+/// fired and its route made progress. Collisions are deliberately NOT
+/// checked — the replaying ego never brakes, so contact is expected in
+/// crossing families; collision-freedom is a *closed-loop* property checked
+/// by experiments::check_clean_run.
+[[nodiscard]] InvariantReport check_cruise_replay(
+    const Scenario& sc, const ActorEnvelope& env = {},
+    double dt = 1.0 / 15.0);
+
+/// Both structural and cruise-replay invariants.
+[[nodiscard]] InvariantReport check_scenario(const Scenario& sc,
+                                             const ActorEnvelope& env = {});
+
+/// Streaming checker of the ego plant's actuation envelope, for closed-loop
+/// harnesses: feed (speed, accel) after every world step and it validates
+/// speed bounds, accel clamps, and the jerk slew limit between consecutive
+/// observations. Tolerance absorbs the discrete integrator.
+class EgoEnvelopeChecker {
+ public:
+  explicit EgoEnvelopeChecker(EgoLimits limits = {}, double tol = 1e-6)
+      : limits_(limits), tol_(tol) {}
+
+  /// Validates one post-step sample; appends violations to `report`. Each
+  /// envelope kind reports only its first breach (a broken plant breaks it
+  /// every step; one dated line is the useful evidence).
+  void observe(double time, double speed, double accel, double dt,
+               InvariantReport& report);
+
+ private:
+  EgoLimits limits_;
+  double tol_;
+  double prev_accel_{0.0};
+  bool has_prev_{false};
+  bool speed_flagged_{false};
+  bool accel_flagged_{false};
+  bool jerk_flagged_{false};
+};
+
+}  // namespace rt::sim

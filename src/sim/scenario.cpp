@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/road.hpp"
 
@@ -16,6 +17,36 @@ Scenario base_scenario(const ScenarioParams& p) {
   s.ego_cruise_speed = kph_to_mps(p.ego_speed_kph);
   s.ego = EgoVehicle(0.0, kph_to_mps(p.ego_speed_kph));
   return s;
+}
+
+/// Slides a drawn spawn x forward until the footprint at (x, y) clears every
+/// actor already placed in the scenario, with a safety margin between
+/// bumpers. Pure post-processing of the drawn value — it consumes no RNG and
+/// returns the input unchanged when the draw is already clear, so layouts
+/// that never collided are bit-identical with or without it.
+double clear_spawn_x(const Scenario& s, double x, double y, ActorType type) {
+  const Dimensions dims = default_dimensions(type);
+  constexpr double kMargin = 1.0;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Actor& a : s.actors) {
+      const math::Vec2 other = a.state().position;
+      const Dimensions od = a.dims();
+      const double min_dy = 0.5 * (dims.width + od.width);
+      if (std::abs(y - other.y) >= min_dy) continue;
+      const double min_dx = 0.5 * (dims.length + od.length) + kMargin;
+      if (std::abs(x - other.x) >= min_dx) continue;
+      // Strict-progress guard: other.x + min_dx can round to a value whose
+      // recomputed separation is a hair under min_dx, which would re-trigger
+      // this branch forever with the same x.
+      const double candidate = other.x + min_dx;
+      if (candidate <= x) continue;
+      x = candidate;
+      moved = true;
+    }
+  }
+  return x;
 }
 }  // namespace
 
@@ -102,7 +133,9 @@ Scenario make_ds5(const ScenarioParams& p, stats::Rng& rng) {
   const int n_oncoming = static_cast<int>(
       rng.uniform_int(std::max(0, p.npc_vehicles - 1), p.npc_vehicles));
   for (int i = 0; i < n_oncoming; ++i) {
-    const double x0 = rng.uniform(120.0, 400.0);
+    const double x0 = clear_spawn_x(s, rng.uniform(120.0, 400.0),
+                                    Road::kAdjacentLaneCenter,
+                                    ActorType::kVehicle);
     const double speed = kph_to_mps(rng.uniform(20.0, 45.0));
     s.actors.emplace_back(
         next_id++, ActorType::kVehicle,
@@ -110,8 +143,12 @@ Scenario make_ds5(const ScenarioParams& p, stats::Rng& rng) {
         StartTrigger::immediately(),
         std::vector<Waypoint>{{{-200.0, Road::kAdjacentLaneCenter}, speed}});
   }
-  // A trailing NPC in the ego lane, far behind the EV.
-  const double trail_speed = kph_to_mps(rng.uniform(25.0, 40.0));
+  // A trailing NPC in the ego lane, far behind the EV. Capped at the slower
+  // of the ego cruise and the lead's speed so the scripted route never
+  // rear-ends the EV once it settles behind the lead.
+  const double trail_speed = std::min(
+      kph_to_mps(rng.uniform(25.0, 40.0)),
+      kph_to_mps(std::min(p.ego_speed_kph, p.target_speed_kph)));
   s.actors.emplace_back(
       next_id++, ActorType::kVehicle, math::Vec2{-40.0, Road::kEgoLaneCenter},
       StartTrigger::immediately(),
@@ -120,13 +157,17 @@ Scenario make_ds5(const ScenarioParams& p, stats::Rng& rng) {
   // Parked vehicles on the parking lane ahead.
   for (int i = 0; i < 2; ++i) {
     s.actors.emplace_back(next_id++, ActorType::kVehicle,
-                          math::Vec2{rng.uniform(120.0, 320.0),
+                          math::Vec2{clear_spawn_x(s, rng.uniform(120.0, 320.0),
+                                                   Road::kParkingLaneCenter,
+                                                   ActorType::kVehicle),
                                      Road::kParkingLaneCenter});
   }
   // Pedestrians walking along the sidewalks (never entering the road).
   for (int i = 0; i < p.npc_pedestrians; ++i) {
     const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
-    const double x0 = rng.uniform(40.0, 260.0);
+    const double x0 =
+        clear_spawn_x(s, rng.uniform(40.0, 260.0), side,
+                      ActorType::kPedestrian);
     s.actors.emplace_back(
         next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
         StartTrigger::immediately(),
@@ -212,25 +253,139 @@ Scenario make_dense_follow(const ScenarioParams& p, stats::Rng& rng) {
       const double speed = kph_to_mps(rng.uniform(20.0, 45.0));
       s.actors.emplace_back(
           next_id++, ActorType::kVehicle,
-          math::Vec2{x0, Road::kAdjacentLaneCenter},
+          math::Vec2{clear_spawn_x(s, x0, Road::kAdjacentLaneCenter,
+                                   ActorType::kVehicle),
+                     Road::kAdjacentLaneCenter},
           StartTrigger::immediately(),
           std::vector<Waypoint>{
               {{-200.0, Road::kAdjacentLaneCenter}, speed}});
     } else {
       s.actors.emplace_back(next_id++, ActorType::kVehicle,
-                            math::Vec2{x0, Road::kParkingLaneCenter});
+                            math::Vec2{clear_spawn_x(
+                                           s, x0, Road::kParkingLaneCenter,
+                                           ActorType::kVehicle),
+                                       Road::kParkingLaneCenter});
     }
   }
   // Sidewalk pedestrians as in DS-5.
   for (int i = 0; i < p.npc_pedestrians; ++i) {
     const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
-    const double x0 = rng.uniform(40.0, 260.0);
+    const double x0 =
+        clear_spawn_x(s, rng.uniform(40.0, 260.0), side,
+                      ActorType::kPedestrian);
     s.actors.emplace_back(
         next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
         StartTrigger::immediately(),
         std::vector<Waypoint>{{{x0 + rng.uniform(-60.0, 60.0), side},
                                p.pedestrian_gait}});
   }
+  return s;
+}
+
+Scenario make_intersection_turn(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "intersection-turn";
+  s.name = "intersection-turn";
+  s.description =
+      "vehicle pulls out of a side street and turns into the ego lane ahead "
+      "of the EV; oncoming NPC in the adjacent lane";
+  s.target_id = 1;
+  // The turner waits at the side-street mouth on the right curb line and
+  // pulls out when the EV comes within the trigger distance: a short
+  // lateral crossing leg through the corridor, then a turn onto the ego
+  // lane driving ahead at target speed (the classic unprotected right-turn
+  // conflict). The crossing leg is driven at a low maneuvering speed so the
+  // turn stays kinematically plausible.
+  const double mouth_x = p.target_gap + p.trigger_distance;
+  const double turn_speed = kph_to_mps(15.0);
+  s.actors.emplace_back(
+      1, ActorType::kVehicle, math::Vec2{mouth_x, -6.0},
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{
+          {{mouth_x + 4.0, Road::kEgoLaneCenter}, turn_speed},
+          {{kFarAhead, Road::kEgoLaneCenter},
+           kph_to_mps(p.target_speed_kph)}});
+  // Oncoming traffic in the adjacent lane, timed to pass the intersection
+  // around the turn.
+  s.actors.emplace_back(
+      2, ActorType::kVehicle, math::Vec2{mouth_x + 120.0,
+                                         Road::kAdjacentLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{-200.0, Road::kAdjacentLaneCenter},
+                             kph_to_mps(35.0)}});
+  return s;
+}
+
+Scenario make_occlusion_reveal(const ScenarioParams& p, stats::Rng& rng) {
+  Scenario s = base_scenario(p);
+  s.key = "occlusion-reveal";
+  s.name = "occlusion-reveal";
+  s.description =
+      "pedestrian steps out from between a parked vehicle and the curb and "
+      "crosses the street; parked NPC clutter ahead";
+  s.target_id = 1;
+  // The occluder: parked in the parking lane at the reveal point.
+  const double reveal_x = p.target_gap;
+  // The pedestrian waits curbside of the occluder and crosses the full
+  // street once the EV comes within the trigger distance.
+  s.actors.emplace_back(
+      1, ActorType::kPedestrian, math::Vec2{reveal_x + 2.5, -4.6},
+      StartTrigger::ego_within(p.trigger_distance),
+      std::vector<Waypoint>{{{reveal_x + 2.5, 6.5}, p.pedestrian_gait}});
+  s.actors.emplace_back(2, ActorType::kVehicle,
+                        math::Vec2{reveal_x, Road::kParkingLaneCenter});
+  // Parking-lane clutter beyond the reveal point (randomized density).
+  ActorId next_id = 3;
+  for (int i = 0; i < p.npc_vehicles; ++i) {
+    s.actors.emplace_back(
+        next_id++, ActorType::kVehicle,
+        math::Vec2{clear_spawn_x(s, reveal_x + rng.uniform(25.0, 160.0),
+                                 Road::kParkingLaneCenter,
+                                 ActorType::kVehicle),
+                   Road::kParkingLaneCenter});
+  }
+  // Sidewalk pedestrians as benign distractors.
+  for (int i = 0; i < p.npc_pedestrians; ++i) {
+    const double side = rng.bernoulli(0.5) ? 6.3 : -6.3;
+    const double x0 =
+        clear_spawn_x(s, rng.uniform(30.0, 220.0), side,
+                      ActorType::kPedestrian);
+    s.actors.emplace_back(
+        next_id++, ActorType::kPedestrian, math::Vec2{x0, side},
+        StartTrigger::immediately(),
+        std::vector<Waypoint>{{{x0 + rng.uniform(-50.0, 50.0), side},
+                               p.pedestrian_gait}});
+  }
+  return s;
+}
+
+Scenario make_multi_lane_overtake(const ScenarioParams& p) {
+  Scenario s = base_scenario(p);
+  s.key = "multi-lane-overtake";
+  s.name = "multi-lane-overtake";
+  s.description =
+      "EV follows a slow lead while a faster NPC overtakes both in the "
+      "adjacent lane and merges ahead of the lead";
+  s.target_id = 1;
+  // The slow lead the EV follows (the attack target, as in DS-1).
+  s.actors.emplace_back(
+      1, ActorType::kVehicle, math::Vec2{p.target_gap, Road::kEgoLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{{{kFarAhead, Road::kEgoLaneCenter},
+                             kph_to_mps(p.target_speed_kph)}});
+  // The overtaker: starts behind the EV in the adjacent lane, passes both
+  // vehicles, then merges into the ego lane well ahead of the lead and
+  // settles slightly faster than it (the gap keeps opening after the merge).
+  const double pass_x = p.target_gap + p.trigger_distance;
+  const double fast = kph_to_mps(p.ego_speed_kph + 20.0);
+  s.actors.emplace_back(
+      2, ActorType::kVehicle, math::Vec2{-30.0, Road::kAdjacentLaneCenter},
+      StartTrigger::immediately(),
+      std::vector<Waypoint>{
+          {{pass_x, Road::kAdjacentLaneCenter}, fast},
+          {{pass_x + 30.0, Road::kEgoLaneCenter}, fast},
+          {{kFarAhead, Road::kEgoLaneCenter},
+           kph_to_mps(p.target_speed_kph + 8.0)}});
   return s;
 }
 

@@ -86,4 +86,23 @@ struct Scenario {
 [[nodiscard]] Scenario make_dense_follow(const ScenarioParams& p,
                                          stats::Rng& rng);
 
+/// intersection-turn: a vehicle waits at a side-street mouth on the right
+/// curb, pulls out when the EV comes within the trigger distance, turns
+/// into the ego lane ahead and proceeds at target speed; an oncoming NPC
+/// occupies the adjacent lane. Composite: lateral crossing + car following.
+[[nodiscard]] Scenario make_intersection_turn(const ScenarioParams& p);
+
+/// occlusion-reveal: a pedestrian waits between a parked vehicle and the
+/// right curb (occluded from the EV's line of sight) and crosses the street
+/// when the EV comes within the trigger distance; further parked vehicles
+/// clutter the parking lane ahead. Composite: static occluder + crossing.
+[[nodiscard]] Scenario make_occlusion_reveal(const ScenarioParams& p,
+                                             stats::Rng& rng);
+
+/// multi-lane-overtake: the EV follows a slow lead vehicle while a faster
+/// NPC comes up from behind in the adjacent lane, overtakes both, and
+/// merges into the ego lane ahead of the lead. Composite: car following +
+/// adjacent-lane pass + merge across the corridor.
+[[nodiscard]] Scenario make_multi_lane_overtake(const ScenarioParams& p);
+
 }  // namespace rt::sim

@@ -189,6 +189,45 @@ void register_builtins(ScenarioRegistry& reg) {
          "drawn into random lanes plus sidewalk pedestrians",
          p, &make_dense_follow});
   }
+  // Composite families (PR 6): seeds for the procedural scenario sampler.
+  {
+    ScenarioParams p;
+    p.duration = 35.0;
+    p.target_gap = 40.0;
+    p.target_speed_kph = 30.0;
+    p.trigger_distance = 70.0;
+    reg.register_scenario(
+        {"intersection-turn",
+         "vehicle pulls out of a side street and turns into the ego lane "
+         "ahead of the EV; oncoming NPC in the adjacent lane",
+         p, deterministic(&make_intersection_turn)});
+  }
+  {
+    ScenarioParams p;
+    p.duration = 35.0;
+    p.target_gap = 80.0;
+    p.trigger_distance = 75.0;
+    p.pedestrian_gait = 1.2;
+    p.npc_vehicles = 2;
+    p.npc_pedestrians = 2;
+    reg.register_scenario(
+        {"occlusion-reveal",
+         "pedestrian steps out from between a parked vehicle and the curb "
+         "and crosses the street; parked NPC clutter ahead",
+         p, &make_occlusion_reveal});
+  }
+  {
+    ScenarioParams p;
+    p.duration = 40.0;
+    p.target_speed_kph = 28.0;
+    p.target_gap = 55.0;
+    p.trigger_distance = 60.0;
+    reg.register_scenario(
+        {"multi-lane-overtake",
+         "EV follows a slow lead while a faster NPC overtakes both in the "
+         "adjacent lane and merges ahead of the lead",
+         p, deterministic(&make_multi_lane_overtake)});
+  }
 }
 
 }  // namespace

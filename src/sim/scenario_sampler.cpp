@@ -1,0 +1,250 @@
+#include "sim/scenario_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/hash.hpp"
+
+namespace rt::sim {
+
+namespace {
+
+/// Stream id of a template's parameter draw: keyed on the template *name*,
+/// not its registry index, so registering further families never perturbs
+/// existing samples.
+std::uint64_t param_stream(const std::string& key) {
+  return stats::fnv1a_str(stats::kFnv1aOffset, key);
+}
+
+/// Stream id of a sample's canonical NPC topology (stochastic families).
+std::uint64_t topology_stream(const std::string& key) {
+  return stats::fnv1a_str(param_stream(key), "topology");
+}
+
+bool is_integer_param(const std::string& name) {
+  return name == "npc_vehicles" || name == "npc_pedestrians";
+}
+
+}  // namespace
+
+Scenario SampledScenario::make() const {
+  stats::Rng rng =
+      stats::Rng::from_stream(topology_stream(template_key), seed);
+  return ScenarioRegistry::global().make(template_key, params, rng);
+}
+
+std::string SampledScenario::spec_string() const {
+  std::ostringstream os;
+  os << "template=" << template_key << " seed=" << seed;
+  for (const auto& name : scenario_param_names()) {
+    const double v = get_scenario_param(params, name);
+    os << ' ' << name << '=';
+    if (is_integer_param(name)) {
+      os << static_cast<long long>(std::llround(v));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+std::string SampledScenario::corpus_line() const {
+  return template_key + " " + std::to_string(seed);
+}
+
+ScenarioSampler::ScenarioSampler(const ScenarioRegistry& registry)
+    : registry_(&registry) {
+  // Generic plausible bands around each family's defaults, clamped into
+  // absolute sanity bounds. The bands are deliberately conservative along
+  // the axes that decide whether an *unattacked* ADS can physically keep
+  // the run safe (crossing trigger distance vs. ego speed): the sampler
+  // generates the valid scenario space, and the clean-run invariants
+  // (golden collision-freedom, monitor zero-FP) enforce that property on
+  // every draw.
+  for (const auto& key : registry_->keys()) {
+    const ScenarioParams d = registry_->defaults(key);
+    std::vector<ParamRange> table;
+    table.push_back({"duration", 0.75 * d.duration, 1.3 * d.duration});
+    table.push_back({"ego_speed_kph", 30.0, 50.0});
+    table.push_back({"target_speed_kph",
+                     std::max(8.0, 0.6 * d.target_speed_kph),
+                     std::min(45.0, 1.3 * d.target_speed_kph)});
+    table.push_back({"target_gap", std::max(30.0, 0.75 * d.target_gap),
+                     std::min(170.0, 1.5 * d.target_gap)});
+    table.push_back({"pedestrian_gait", 0.8, 1.8});
+    table.push_back({"trigger_distance",
+                     std::max(40.0, 0.8 * d.trigger_distance),
+                     std::min(120.0, 1.3 * d.trigger_distance)});
+    table.push_back({"walk_distance", 2.0, 10.0});
+    table.push_back({"npc_vehicles", 0.0,
+                     std::min(8.0, std::max(4.0, 2.0 * d.npc_vehicles)),
+                     true});
+    table.push_back({"npc_pedestrians", 0.0, 6.0, true});
+    ranges_.emplace(key, std::move(table));
+  }
+
+  // Built-in refinements: pedestrian-crossing families need the trigger
+  // far enough out (and the crossing slow enough) that a stopping-distance-
+  // correct golden run survives the worst sampled corner; the side-street
+  // turn needs the pull-out gap to respect the same bound.
+  const auto refine = [this](const std::string& key, const std::string& name,
+                             double lo, double hi) {
+    auto it = ranges_.find(key);
+    if (it == ranges_.end()) return;  // family not registered in this registry
+    for (auto& range : it->second) {
+      if (range.name == name) {
+        range.lo = lo;
+        range.hi = hi;
+      }
+    }
+  };
+  for (const char* crossing :
+       {"DS-2", "staggered-crossing", "occlusion-reveal"}) {
+    refine(crossing, "trigger_distance", 60.0, 110.0);
+    refine(crossing, "pedestrian_gait", 0.8, 1.6);
+  }
+  refine("intersection-turn", "trigger_distance", 60.0, 110.0);
+}
+
+std::vector<std::string> ScenarioSampler::templates() const {
+  return registry_->keys();
+}
+
+const std::vector<ParamRange>& ScenarioSampler::ranges(
+    const std::string& template_key) const {
+  const auto it = ranges_.find(template_key);
+  if (it == ranges_.end()) {
+    std::string known;
+    for (const auto& key : registry_->keys()) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::out_of_range("ScenarioSampler: unknown template '" +
+                            template_key + "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+void ScenarioSampler::set_ranges(const std::string& template_key,
+                                 std::vector<ParamRange> ranges) {
+  (void)this->ranges(template_key);  // throws on unknown templates
+  for (const auto& range : ranges) {
+    (void)get_scenario_param(ScenarioParams{}, range.name);  // validate name
+    if (!(range.lo <= range.hi)) {
+      throw std::invalid_argument("ScenarioSampler: empty range for '" +
+                                  range.name + "' on template '" +
+                                  template_key + "'");
+    }
+  }
+  ranges_[template_key] = std::move(ranges);
+}
+
+SampledScenario ScenarioSampler::sample(const std::string& template_key,
+                                        std::uint64_t seed) const {
+  const auto& table = ranges(template_key);
+  SampledScenario out;
+  out.template_key = template_key;
+  out.seed = seed;
+  out.params = registry_->defaults(template_key);
+  stats::Rng rng = stats::Rng::from_stream(param_stream(template_key), seed);
+  for (const auto& range : table) {
+    double value;
+    if (range.integer) {
+      value = static_cast<double>(
+          rng.uniform_int(static_cast<std::int64_t>(std::llround(range.lo)),
+                          static_cast<std::int64_t>(std::llround(range.hi))));
+    } else {
+      value = range.lo == range.hi ? range.lo
+                                   : rng.uniform(range.lo, range.hi);
+    }
+    set_scenario_param(out.params, range.name, value);
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> parse_corpus(const std::string& text) {
+  std::vector<CorpusEntry> entries;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    unsigned long long seed = 0;
+    std::string extra;
+    if (!(ls >> seed) || (ls >> extra)) {
+      throw std::invalid_argument(
+          "parse_corpus: malformed line " + std::to_string(line_no) +
+          " (expected '<template> <seed>'): " + line);
+    }
+    entries.push_back({key, static_cast<std::uint64_t>(seed)});
+  }
+  return entries;
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_corpus: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_corpus(buffer.str());
+}
+
+ScenarioParams shrink_params(
+    const ScenarioParams& failing, const ScenarioParams& defaults,
+    const std::function<bool(const ScenarioParams&)>& still_fails,
+    int bisect_iters) {
+  ScenarioParams current = failing;
+  const auto names = scenario_param_names();
+  // Pass 1..3: substitute each field's default while the failure persists.
+  // Fixed-point: a pass that changes nothing ends the substitution phase.
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    for (const auto& name : names) {
+      const double def = get_scenario_param(defaults, name);
+      if (get_scenario_param(current, name) == def) continue;
+      ScenarioParams candidate = current;
+      set_scenario_param(candidate, name, def);
+      if (still_fails(candidate)) {
+        current = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Bisect the surviving non-default fields toward the default: the failing
+  // endpoint moves inward while the failure persists.
+  for (const auto& name : names) {
+    const double def = get_scenario_param(defaults, name);
+    double bad = get_scenario_param(current, name);
+    if (bad == def) continue;
+    double good = def;  // substitution proved the default side passes
+    for (int i = 0; i < bisect_iters; ++i) {
+      double mid = (good + bad) / 2.0;
+      if (is_integer_param(name)) {
+        mid = std::llround(mid);
+        if (mid == bad || mid == good) break;
+      }
+      ScenarioParams candidate = current;
+      set_scenario_param(candidate, name, mid);
+      if (still_fails(candidate)) {
+        bad = mid;
+      } else {
+        good = mid;
+      }
+    }
+    set_scenario_param(current, name, bad);
+  }
+  return current;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scenario_registry.hpp"
+
+namespace rt::sim {
+
+/// One procedurally sampled scenario configuration.
+///
+/// A sample is a *pure function* of `(template_key, seed)`: the parameter
+/// draw uses a counter-based RNG stream keyed on the template name (not on
+/// registry order, so registering further families never changes existing
+/// samples), and stochastic families draw their NPC topology from a second
+/// stream derived the same way. Two consequences the fuzz layer relies on:
+/// a failing sample is fully reproduced by its corpus line
+/// ("<template> <seed>"), and sampling is safe from any number of threads.
+struct SampledScenario {
+  std::string template_key;
+  std::uint64_t seed{0};
+  /// The sampled parameter overrides (starts from the family defaults).
+  ScenarioParams params{};
+
+  /// The canonical world of this sample: instantiates the family with the
+  /// sampled params and the sample's own topology stream. Every call
+  /// returns a bit-identical scenario.
+  [[nodiscard]] Scenario make() const;
+
+  /// Registrable spec string: "template=<key> seed=<n> <param>=<value>...".
+  /// Printed whenever a sample violates an invariant, so a fuzz finding can
+  /// be re-registered (or pinned in the corpus) verbatim.
+  [[nodiscard]] std::string spec_string() const;
+
+  /// The corpus line of this sample: "<template> <seed>".
+  [[nodiscard]] std::string corpus_line() const;
+};
+
+/// Sampling range of one named ScenarioParams field.
+struct ParamRange {
+  std::string name;
+  double lo{0.0};
+  double hi{0.0};
+  bool integer{false};
+};
+
+/// Seeded procedural generator of scenario configurations over the families
+/// of a ScenarioRegistry.
+///
+/// Each registered family gets a per-template table of parameter ranges:
+/// plausible bands around the family defaults, clamped so that a correct
+/// (unattacked) ADS survives every sample — the sampler generates the
+/// *valid* scenario space, and the invariant suite (sim/invariants.hpp,
+/// experiments/scenario_search.hpp) is what makes that claim enforceable
+/// without per-scenario goldens. Range tables can be overridden per
+/// template for targeted fuzzing.
+class ScenarioSampler {
+ public:
+  explicit ScenarioSampler(
+      const ScenarioRegistry& registry = ScenarioRegistry::global());
+
+  /// The registry keys this sampler draws from (registration order).
+  [[nodiscard]] std::vector<std::string> templates() const;
+
+  /// The range table of one template. Throws std::out_of_range (listing
+  /// known templates) when absent.
+  [[nodiscard]] const std::vector<ParamRange>& ranges(
+      const std::string& template_key) const;
+
+  /// Replaces the range table of one template (targeted fuzzing).
+  void set_ranges(const std::string& template_key,
+                  std::vector<ParamRange> ranges);
+
+  /// The pure function (template, seed) -> sampled configuration.
+  [[nodiscard]] SampledScenario sample(const std::string& template_key,
+                                       std::uint64_t seed) const;
+
+ private:
+  const ScenarioRegistry* registry_;
+  std::unordered_map<std::string, std::vector<ParamRange>> ranges_;
+};
+
+/// One corpus entry: a (template, seed) pair, the full identity of a
+/// sampled scenario.
+struct CorpusEntry {
+  std::string template_key;
+  std::uint64_t seed{0};
+};
+
+/// Parses corpus text: one "<template> <seed>" per line; blank lines and
+/// '#' comments are skipped. Throws std::invalid_argument on a malformed
+/// line (naming the line number).
+[[nodiscard]] std::vector<CorpusEntry> parse_corpus(const std::string& text);
+
+/// Reads and parses a corpus file. Throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& path);
+
+/// Shrinks a failing parameter set toward the family defaults while the
+/// predicate keeps failing: per-field default substitution, then bisection
+/// toward the default. Returns a minimal failing configuration (the
+/// predicate is guaranteed to fail on the result). `still_fails` must be
+/// deterministic; it is called O(fields * passes * bisect_iters) times.
+[[nodiscard]] ScenarioParams shrink_params(
+    const ScenarioParams& failing, const ScenarioParams& defaults,
+    const std::function<bool(const ScenarioParams&)>& still_fails,
+    int bisect_iters = 8);
+
+}  // namespace rt::sim

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "ads/planner.hpp"
+#include "experiments/reporting.hpp"
 #include "core/scenario_matcher.hpp"
 #include "core/trajectory_hijacker.hpp"
 #include "perception/camera_model.hpp"
@@ -320,6 +325,94 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, NormalFitRoundTrip,
     ::testing::Values(std::tuple{0.0, 1.0}, std::tuple{0.023, 0.464},
                       std::tuple{0.254, 2.010}, std::tuple{-1.5, 0.2}));
+
+// ------------------------------------------------------------- csv round trip
+
+/// Strict RFC-4180 parser used only by the round-trip property below: records
+/// separated by '\n', cells by ',', quoted cells may embed separators and
+/// doubled quotes. Returns rows of unescaped cells.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (!cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Property: any cell content — commas, quotes, embedded newlines, CR,
+/// non-ASCII bytes — survives write_csv unchanged once parsed back per
+/// RFC 4180. Randomized over a dirty alphabet; failures print the seed.
+TEST(CsvProperty, RandomizedCellsRoundTripThroughWriteCsv) {
+  const std::string alphabet = "abzAZ09 ,\"\n\r;|\t'éπ–";
+  stats::Rng rng(4180);
+  const std::string path =
+      ::testing::TempDir() + "/robotack_csv_roundtrip.csv";
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n_rows = static_cast<int>(rng.uniform_int(1, 5));
+    const int n_cols = static_cast<int>(rng.uniform_int(1, 4));
+    std::vector<std::string> header;
+    for (int c = 0; c < n_cols; ++c) header.push_back("h" + std::to_string(c));
+    std::vector<std::vector<std::string>> rows(n_rows);
+    for (auto& row : rows) {
+      for (int c = 0; c < n_cols; ++c) {
+        std::string cell;
+        const int len = static_cast<int>(rng.uniform_int(0, 12));
+        for (int k = 0; k < len; ++k) {
+          cell += alphabet[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(alphabet.size()) - 1))];
+        }
+        // A lone trailing CR is indistinguishable from a CRLF line ending
+        // on read-back; RFC 4180 writers quote it, and the newline split
+        // below is '\n'-exact, so keep the cell but make the case explicit.
+        row.push_back(std::move(cell));
+      }
+    }
+    experiments::write_csv(path, header, rows);
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const auto parsed = parse_csv(buffer.str());
+    ASSERT_EQ(parsed.size(), rows.size() + 1) << "trial " << trial;
+    EXPECT_EQ(parsed[0], header) << "trial " << trial;
+    for (int r = 0; r < n_rows; ++r) {
+      EXPECT_EQ(parsed[static_cast<std::size_t>(r) + 1],
+                rows[static_cast<std::size_t>(r)])
+          << "trial " << trial << " row " << r;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rt
