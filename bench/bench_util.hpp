@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <vector>
@@ -13,6 +14,7 @@
 #include "experiments/campaign.hpp"
 #include "experiments/reporting.hpp"
 #include "experiments/sh_training.hpp"
+#include "service/campaign_service.hpp"
 
 namespace rt::bench {
 
@@ -32,6 +34,13 @@ inline unsigned campaign_threads() {
     return static_cast<unsigned>(std::max(1, std::atoi(env)));
   }
   return 0;
+}
+
+/// Campaign result-cache directory shared by the table_* drivers and the
+/// campaign server: empty = no caching. Override with RT_CAMPAIGN_CACHE.
+inline std::string campaign_cache_dir() {
+  if (const char* env = std::getenv("RT_CAMPAIGN_CACHE")) return env;
+  return {};
 }
 
 /// Loads (or trains once and caches under data/) the three per-vector
@@ -57,26 +66,34 @@ struct BenchOptions {
   std::uint64_t seed{0};
   std::string csv_path;   ///< empty = no CSV output
   std::string json_path;  ///< empty = no JSON perf records
+  std::string cache_dir;  ///< empty = no result cache (env RT_CAMPAIGN_CACHE)
+  unsigned workers{0};    ///< forked grid workers; 0 = in-process threads
 };
 
-/// Parses --runs N, --seed S, --threads T, --csv PATH, --json PATH (and
-/// --help). Unknown flags or missing values print usage and exit non-zero.
+/// Parses --runs N, --seed S, --threads T, --csv PATH, --json PATH,
+/// --cache-dir PATH, --workers N (and --help). Unknown flags or missing
+/// values print usage and exit non-zero.
 inline BenchOptions parse_options(int argc, char** argv,
                                   std::uint64_t default_seed) {
   BenchOptions opts;
   opts.runs = runs_per_campaign();
   opts.threads = campaign_threads();
   opts.seed = default_seed;
+  opts.cache_dir = campaign_cache_dir();
   const auto usage = [&](std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--runs N] [--seed S] [--threads T] [--csv PATH] "
-                 "[--json PATH]\n"
+                 "[--json PATH] [--cache-dir PATH] [--workers N]\n"
                  "  --runs N     runs per campaign (default %d; env ROBOTACK_RUNS)\n"
                  "  --seed S     base campaign seed (default %llu)\n"
                  "  --threads T  campaign-engine threads, 0 = per core "
                  "(env ROBOTACK_THREADS)\n"
                  "  --csv PATH   also write the result table as CSV\n"
-                 "  --json PATH  also write machine-readable perf records\n",
+                 "  --json PATH  also write machine-readable perf records\n"
+                 "  --cache-dir PATH  campaign result cache "
+                 "(env RT_CAMPAIGN_CACHE; empty = off)\n"
+                 "  --workers N  forked grid worker processes "
+                 "(0 = in-process threads)\n",
                  argv[0], opts.runs,
                  static_cast<unsigned long long>(default_seed));
   };
@@ -110,6 +127,10 @@ inline BenchOptions parse_options(int argc, char** argv,
       opts.csv_path = value();
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opts.json_path = value();
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      opts.cache_dir = value();
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      opts.workers = static_cast<unsigned>(numeric(value()));
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(stdout);
@@ -131,6 +152,41 @@ inline void maybe_write_csv(const BenchOptions& opts,
   if (opts.csv_path.empty()) return;
   experiments::write_csv(opts.csv_path, header, rows);
   std::printf("wrote %s\n", opts.csv_path.c_str());
+}
+
+/// Builds the CampaignService implied by --cache-dir/--workers (plus
+/// --threads for in-process misses). The service outlives the returned
+/// executor, so drivers keep it alive for the whole grid run and may read
+/// its cache/request stats afterwards.
+inline std::unique_ptr<service::CampaignService> make_service(
+    const experiments::CampaignRunner& runner, const BenchOptions& opts) {
+  service::ServiceConfig cfg;
+  if (!opts.cache_dir.empty()) {
+    cfg.cache = service::CacheConfig{opts.cache_dir};
+  }
+  cfg.workers = opts.workers;
+  cfg.threads = opts.threads;
+  return std::make_unique<service::CampaignService>(runner, cfg);
+}
+
+/// Shared grid-run epilogue for drivers that route through a service:
+/// reports cache traffic when a cache was configured.
+inline void report_service_stats(const service::CampaignService& svc) {
+  if (svc.config().cache) {
+    const auto cs = svc.cache_stats();
+    std::printf(
+        "cache: hits=%llu misses=%llu stale=%llu corrupt=%llu (dir %s)\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.stale),
+        static_cast<unsigned long long>(cs.corrupt),
+        svc.config().cache->dir.c_str());
+  }
+  if (svc.config().workers >= 1) {
+    const auto& ss = svc.shard_stats();
+    std::printf("workers: %u forked, %d deaths, %d retries\n", ss.workers,
+                ss.worker_deaths, ss.shard_retries);
+  }
 }
 
 /// Shared JSON epilogue: writes the perf records when --json was given and

@@ -40,12 +40,17 @@ int main(int argc, char** argv) {
   experiments::CampaignRunner runner(loop, oracles);
 
   experiments::CampaignScheduler scheduler(runner, opts.threads);
+  const auto svc = bench::make_service(runner, opts);
 
   const int n = opts.runs;
   std::printf("runs per campaign: %d (--runs or ROBOTACK_RUNS to change)\n",
               n);
   std::printf("scheduler threads: %u (--threads or ROBOTACK_THREADS)\n",
               scheduler.threads());
+  if (opts.workers >= 1) {
+    std::printf("grid workers: %u forked processes (--workers)\n",
+                opts.workers);
+  }
 
   std::vector<std::string> head{"ID",       "K(paper)", "K",     "#runs",
                                 "EB(paper)", "EB",       "crash(paper)",
@@ -66,7 +71,7 @@ int main(int argc, char** argv) {
 
   const auto specs = experiments::table2_campaigns(n, opts.seed);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = scheduler.run_all(specs);
+  const auto results = svc->run_grid(specs);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   for (const auto& r : results) grid_runs += r.n();
   std::printf("grid: %d runs in %.2f s  (%.1f runs/sec at %u threads)\n",
               grid_runs, elapsed, grid_runs / elapsed, scheduler.threads());
+  bench::report_service_stats(*svc);
   bench::maybe_write_bench_json(
       opts, {{"table2_campaign_grid", grid_runs / elapsed, elapsed * 1000.0,
               scheduler.threads(), opts.seed}});

@@ -29,6 +29,14 @@ int main(int argc, char** argv) {
   cfg.seed = opts.seed;
   cfg.threads = opts.threads;
 
+  // --cache-dir / --workers route the grid through the campaign service
+  // (content-hash cache and/or forked shards); results are identical.
+  experiments::CampaignRunner runner(loop, oracles);
+  const auto svc = bench::make_service(runner, opts);
+  if (!opts.cache_dir.empty() || opts.workers >= 1) {
+    cfg.executor = svc->executor();
+  }
+
   const auto& monitors = defense::MonitorRegistry::global();
   std::printf("monitors:\n");
   for (const auto& key : monitors.keys()) {
@@ -49,6 +57,7 @@ int main(int argc, char** argv) {
   for (const auto& c : grid.cells) total_runs += c.n;
   std::printf("grid: %zu cells, %d runs in %.2f s (%.1f runs/sec)\n",
               grid.cells.size(), total_runs, elapsed, total_runs / elapsed);
+  bench::report_service_stats(*svc);
   bench::maybe_write_bench_json(
       opts, {{"defense_grid", total_runs / elapsed, elapsed * 1000.0,
               cfg.threads == 0 ? experiments::ThreadPool::default_threads()

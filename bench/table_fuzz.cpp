@@ -63,6 +63,15 @@ int main(int argc, char** argv) {
   cfg.seed = opts.seed;
   cfg.threads = opts.threads;
   cfg.monitors = defense::MonitorRegistry::global().keys();
+
+  // --cache-dir / --workers score each round's specs through the campaign
+  // service (the search itself passes oracles={}; the executor's runner
+  // must match for bit-identical scoring).
+  const experiments::CampaignRunner service_runner(loop, {});
+  const auto svc = bench::make_service(service_runner, opts);
+  if (!opts.cache_dir.empty() || opts.workers >= 1) {
+    cfg.executor = svc->executor();
+  }
   const unsigned threads = opts.threads == 0
                                ? experiments::ThreadPool::default_threads()
                                : opts.threads;
@@ -120,6 +129,7 @@ int main(int argc, char** argv) {
   for (const auto& col : experiments::ScenarioSearchResult::csv_header()) {
     csv_header.push_back(col);
   }
+  bench::report_service_stats(*svc);
   bench::maybe_write_csv(opts, csv_header, csv_rows);
   bench::maybe_write_bench_json(opts, records);
   return violations == 0 ? 0 : 1;

@@ -1,0 +1,109 @@
+// Campaign-service benchmark: runs the Table II grid twice through one
+// content-hash result cache — a cold pass (all misses, real simulation)
+// and a warm pass (all hits, pure cache reads) — and enforces the service
+// contract: the warm pass must be >= 10x faster and bit-identical to the
+// cold pass. With --workers N the cold pass additionally exercises the
+// forked multi-process sharder.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "experiments/campaign_serde.hpp"
+#include "experiments/reporting.hpp"
+
+using namespace rt;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, /*default_seed=*/20200613);
+  bench::header("Campaign service — cold vs warm cache over Table II");
+
+  experiments::LoopConfig loop;
+  const auto oracles = bench::oracles(loop);
+  experiments::CampaignRunner runner(loop, oracles);
+
+  // --cache-dir reuses (and keeps) a caller-owned cache; the default is a
+  // private scratch dir wiped before the cold pass and removed at exit, so
+  // "cold" genuinely means cold.
+  namespace fs = std::filesystem;
+  std::string cache_dir = opts.cache_dir;
+  const bool owned = cache_dir.empty();
+  if (owned) {
+    cache_dir = (fs::temp_directory_path() /
+                 ("rt_table_service_" + std::to_string(::getpid())))
+                    .string();
+  }
+  std::error_code ec;
+  if (owned) fs::remove_all(cache_dir, ec);
+
+  auto run_pass = [&](const char* label, double& elapsed_s,
+                      std::size_t& hits) {
+    bench::BenchOptions pass = opts;
+    pass.cache_dir = cache_dir;
+    auto svc = bench::make_service(runner, pass);
+    const auto specs = experiments::table2_campaigns(opts.runs, opts.seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = svc->run_grid(specs);
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    hits = svc->last_request().cache_hits;
+    int grid_runs = 0;
+    for (const auto& r : results) grid_runs += r.n();
+    std::printf("%s: %zu specs, %d runs in %.3f s (hits=%zu)\n", label,
+                specs.size(), grid_runs, elapsed_s, hits);
+    bench::report_service_stats(*svc);
+    // Canonical bytes of the whole grid, for the bit-identity check.
+    std::string blob;
+    for (const auto& r : results) {
+      blob += experiments::serialize_campaign_result(r);
+    }
+    return blob;
+  };
+
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  std::size_t cold_hits = 0;
+  std::size_t warm_hits = 0;
+  const std::string cold = run_pass("cold", cold_s, cold_hits);
+  const std::string warm = run_pass("warm", warm_s, warm_hits);
+  if (owned) fs::remove_all(cache_dir, ec);
+
+  const auto specs = experiments::table2_campaigns(opts.runs, opts.seed);
+  int grid_runs = 0;
+  for (const auto& s : specs) grid_runs += s.runs;
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  std::printf("warm speedup: %.1fx (contract: >= 10x)\n", speedup);
+  bench::maybe_write_bench_json(
+      opts,
+      {{"table_service_cold", cold_s > 0.0 ? grid_runs / cold_s : 0.0,
+        cold_s * 1000.0, opts.workers >= 1 ? opts.workers : opts.threads,
+        opts.seed},
+       {"table_service_warm", warm_s > 0.0 ? grid_runs / warm_s : 0.0,
+        warm_s * 1000.0, opts.workers >= 1 ? opts.workers : opts.threads,
+        opts.seed}});
+
+  bool ok = true;
+  if (warm != cold) {
+    std::printf("FAIL: warm results differ from cold results\n");
+    ok = false;
+  }
+  if (cold_hits != 0) {
+    std::printf("FAIL: cold pass hit the cache (%zu hits)\n", cold_hits);
+    ok = false;
+  }
+  if (warm_hits != specs.size()) {
+    std::printf("FAIL: warm pass missed the cache (%zu/%zu hits)\n",
+                warm_hits, specs.size());
+    ok = false;
+  }
+  if (speedup < 10.0) {
+    std::printf("FAIL: warm pass only %.1fx faster than cold\n", speedup);
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "service contract holds" : "service contract VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -14,7 +14,8 @@ ctest --test-dir build-release --output-on-failure -j "$jobs"
 # change results; a build misconfiguration that silently drops them from the
 # suite must fail CI, not pass vacuously.
 for required in test_golden_regression test_sh_training test_transfer_matrix \
-                test_defense test_scenario_fuzz; do
+                test_defense test_scenario_fuzz test_campaign_serde \
+                test_service; do
   count="$(ctest --test-dir build-release -N -R "$required" | grep -c "Test *#" || true)"
   if [ "$count" -lt 1 ]; then
     echo "ERROR: required golden test binary '$required' missing from the suite" >&2
@@ -64,6 +65,37 @@ echo "==> table_fuzz smoke (BENCH_fuzz.json)"
 ./build-release/bench/table_fuzz --runs 2 --threads 1 \
   --json BENCH_fuzz.json >/dev/null
 cat BENCH_fuzz.json
+# Campaign service: the cold/warm cache driver is its own gate (it exits
+# nonzero unless the warm pass is 100% hits, bit-identical, and >=10x
+# faster), and its records are the service-layer perf trajectory.
+echo "==> table_service smoke (BENCH_service.json)"
+./build-release/bench/table_service --runs 4 --threads 1 \
+  --json BENCH_service.json
+cat BENCH_service.json
+
+# Batch server determinism gate: run the same grid request twice against one
+# cache directory. The second pass must report 100% cache hits and produce a
+# byte-identical CSV, or the content-hash cache has broken bit-determinism.
+echo "==> campaign_server cache determinism"
+server_req='run scenarios=DS-1,DS-2 vectors=Disappear modes=RwoSH,Golden runs=3 seed=11'
+server_cache="build-release/server_cache_smoke"
+rm -rf "$server_cache"
+printf '%s\nquit\n' "$server_req" | ./build-release/examples/campaign_server \
+  --no-oracles --cache-dir "$server_cache" \
+  >build-release/server_pass1.csv 2>build-release/server_pass1.log
+printf '%s\nquit\n' "$server_req" | ./build-release/examples/campaign_server \
+  --no-oracles --cache-dir "$server_cache" \
+  >build-release/server_pass2.csv 2>build-release/server_pass2.log
+cmp build-release/server_pass1.csv build-release/server_pass2.csv || {
+  echo "ERROR: campaign_server CSV not byte-identical across cache passes" >&2
+  exit 1
+}
+grep -q 'hits=4 misses=0' build-release/server_pass2.log || {
+  echo "ERROR: campaign_server warm pass was not 100% cache hits" >&2
+  cat build-release/server_pass2.log >&2
+  exit 1
+}
+
 if [ -x build-release/bench/bench_perception ]; then
   ./build-release/bench/bench_perception \
     --benchmark_filter='BM_CampaignSchedulerThroughput/1|BM_KalmanPredictUpdate' \

@@ -1,0 +1,437 @@
+// Campaign-as-a-service front-end: a long-lived process answering
+// line-delimited campaign-grid requests against one shared content-hash
+// result cache (rt::service::CampaignService). Batch mode reads requests
+// from stdin; --socket PATH serves the same protocol on a Unix stream
+// socket. Result CSV goes to stdout (bit-deterministic: a repeated request
+// is byte-identical); timing and cache-hit stats go to stderr, so CI can
+// compare result bytes across passes while asserting on the hit counts.
+//
+// Request language (one request per line; '#' starts a comment):
+//   run scenarios=DS-1,DS-2 vectors=Disappear modes=RwoSH,Golden
+//       runs=6 seed=11 [monitors=m1,m2] [param=name:value]
+//       [sweep=name:v1,v2,...]       (all on ONE line)
+//   quit | shutdown
+// Vectors: Disappear, Move_Out, Move_In. Modes: R, RwoSH, Golden, Random.
+// `param` pins one scenario parameter (repeatable); `sweep` crosses a
+// parameter axis exactly like the grid builder's sweep().
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <csignal>
+#include <iostream>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign_grid.hpp"
+#include "experiments/sh_training.hpp"
+#include "service/campaign_service.hpp"
+
+using namespace rt;
+
+namespace {
+
+struct ServerOptions {
+  std::string cache_dir;       ///< empty = no result cache
+  std::size_t cache_max_mb{256};
+  unsigned workers{0};         ///< forked workers per miss batch
+  unsigned threads{0};         ///< in-process threads when workers == 0
+  bool json{false};            ///< stream JSONL instead of CSV
+  std::string socket_path;     ///< empty = stdin batch mode
+  bool no_oracles{false};      ///< skip oracle loading (R requests run
+                               ///< without a safety hijacker model)
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(
+      out,
+      "usage: %s [--cache-dir PATH] [--cache-max-mb N] [--workers N]\n"
+      "          [--threads N] [--json] [--socket PATH] [--no-oracles]\n"
+      "Reads 'run ...' requests from stdin (or the Unix socket) and streams\n"
+      "results; see the header of examples/campaign_server.cpp for the\n"
+      "request language. RT_CAMPAIGN_CACHE sets the default cache dir.\n",
+      argv0);
+  std::exit(code);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+/// Parsed key=value arguments of one `run` request.
+struct Request {
+  std::vector<std::string> scenarios;
+  std::vector<core::AttackVector> vectors{core::AttackVector::kDisappear};
+  std::vector<experiments::AttackMode> modes{
+      experiments::AttackMode::kRobotack};
+  std::vector<std::string> monitors;
+  int runs{8};
+  std::uint64_t seed{20200613};
+  std::vector<std::pair<std::string, std::vector<double>>> sweeps;
+};
+
+std::optional<core::AttackVector> parse_vector(const std::string& name) {
+  if (name == "Disappear") return core::AttackVector::kDisappear;
+  if (name == "Move_Out") return core::AttackVector::kMoveOut;
+  if (name == "Move_In") return core::AttackVector::kMoveIn;
+  return std::nullopt;
+}
+
+std::optional<experiments::AttackMode> parse_mode(const std::string& name) {
+  if (name == "R") return experiments::AttackMode::kRobotack;
+  if (name == "RwoSH") return experiments::AttackMode::kNoSh;
+  if (name == "Golden") return experiments::AttackMode::kGolden;
+  if (name == "Random") return experiments::AttackMode::kRandomBaseline;
+  return std::nullopt;
+}
+
+/// Parses everything after the `run` verb. Returns nullopt (with a stderr
+/// diagnostic) on any unknown key, name or malformed number — a bad
+/// request is rejected, never half-run.
+std::optional<Request> parse_request(const std::vector<std::string>& words) {
+  Request req;
+  for (std::size_t w = 1; w < words.size(); ++w) {
+    const std::string& word = words[w];
+    const std::size_t eq = word.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "error: expected key=value, got '%s'\n",
+                   word.c_str());
+      return std::nullopt;
+    }
+    const std::string key = word.substr(0, eq);
+    const std::string value = word.substr(eq + 1);
+    if (key == "scenarios") {
+      req.scenarios = split(value, ',');
+    } else if (key == "vectors") {
+      req.vectors.clear();
+      for (const auto& name : split(value, ',')) {
+        const auto v = parse_vector(name);
+        if (!v) {
+          std::fprintf(stderr, "error: unknown vector '%s'\n", name.c_str());
+          return std::nullopt;
+        }
+        req.vectors.push_back(*v);
+      }
+    } else if (key == "modes") {
+      req.modes.clear();
+      for (const auto& name : split(value, ',')) {
+        const auto m = parse_mode(name);
+        if (!m) {
+          std::fprintf(stderr, "error: unknown mode '%s'\n", name.c_str());
+          return std::nullopt;
+        }
+        req.modes.push_back(*m);
+      }
+    } else if (key == "monitors") {
+      req.monitors = split(value, ',');
+    } else if (key == "runs") {
+      req.runs = std::atoi(value.c_str());
+      if (req.runs <= 0) {
+        std::fprintf(stderr, "error: runs must be positive\n");
+        return std::nullopt;
+      }
+    } else if (key == "seed") {
+      char* end = nullptr;
+      req.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "error: bad seed '%s'\n", value.c_str());
+        return std::nullopt;
+      }
+    } else if (key == "param" || key == "sweep") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: %s expects name:value[,value...]\n",
+                     key.c_str());
+        return std::nullopt;
+      }
+      std::vector<double> values;
+      for (const auto& tok : split(value.substr(colon + 1), ',')) {
+        char* end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+          std::fprintf(stderr, "error: bad %s value '%s'\n", key.c_str(),
+                       tok.c_str());
+          return std::nullopt;
+        }
+        values.push_back(d);
+      }
+      if (values.empty() || (key == "param" && values.size() != 1)) {
+        std::fprintf(stderr, "error: bad %s '%s'\n", key.c_str(),
+                     value.c_str());
+        return std::nullopt;
+      }
+      req.sweeps.emplace_back(value.substr(0, colon), std::move(values));
+    } else {
+      std::fprintf(stderr, "error: unknown key '%s'\n", key.c_str());
+      return std::nullopt;
+    }
+  }
+  if (req.scenarios.empty()) {
+    std::fprintf(stderr, "error: request needs scenarios=...\n");
+    return std::nullopt;
+  }
+  return req;
+}
+
+/// Expands a request into campaign specs via the shared grid builder (a
+/// `param` pin is a one-value sweep, so per-family defaults survive for
+/// everything unpinned).
+std::optional<std::vector<experiments::CampaignSpec>> build_specs(
+    const Request& req) {
+  experiments::CampaignGridBuilder builder;
+  builder.scenarios(req.scenarios)
+      .vectors(req.vectors)
+      .modes(req.modes)
+      .runs(req.runs)
+      .seed(req.seed);
+  if (!req.monitors.empty()) builder.monitors(req.monitors);
+  for (const auto& [name, values] : req.sweeps) builder.sweep(name, values);
+  try {
+    return builder.build();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+const char* kCsvHeader =
+    "name,scenario,vector,mode,runs,seed,n,triggered,eb,crash,detected,"
+    "false_alarms,eb_rate,crash_rate,detection_rate,median_k\n";
+
+void emit_result(const experiments::CampaignResult& r, bool json,
+                 std::FILE* out) {
+  const auto& s = r.spec;
+  if (json) {
+    std::fprintf(
+        out,
+        "{\"name\":\"%s\",\"scenario\":\"%s\",\"vector\":\"%s\","
+        "\"mode\":\"%s\",\"runs\":%d,\"seed\":%" PRIu64 ",\"n\":%d,"
+        "\"triggered\":%d,\"eb\":%d,\"crash\":%d,\"detected\":%d,"
+        "\"false_alarms\":%d,\"eb_rate\":%.6f,\"crash_rate\":%.6f,"
+        "\"detection_rate\":%.6f,\"median_k\":%.6f}\n",
+        s.name.c_str(), s.scenario.c_str(), core::to_string(s.vector),
+        to_string(s.mode), s.runs, s.seed, r.n(), r.triggered_count(),
+        r.eb_count(), r.crash_count(), r.detected_count(),
+        r.false_alarm_count(), r.eb_rate(), r.crash_rate(),
+        r.detection_rate(), r.median_k());
+  } else {
+    std::fprintf(out,
+                 "%s,%s,%s,%s,%d,%" PRIu64 ",%d,%d,%d,%d,%d,%d,%.6f,%.6f,"
+                 "%.6f,%.6f\n",
+                 s.name.c_str(), s.scenario.c_str(),
+                 core::to_string(s.vector), to_string(s.mode), s.runs,
+                 s.seed, r.n(), r.triggered_count(), r.eb_count(),
+                 r.crash_count(), r.detected_count(), r.false_alarm_count(),
+                 r.eb_rate(), r.crash_rate(), r.detection_rate(),
+                 r.median_k());
+  }
+}
+
+/// Handles one request line. Returns false when the connection/session
+/// should end (quit/shutdown).
+bool handle_line(const std::string& line, service::CampaignService& svc,
+                 const ServerOptions& opts, std::FILE* out) {
+  std::string text = line;
+  const std::size_t hash = text.find('#');
+  if (hash != std::string::npos) text.resize(hash);
+  std::istringstream in(text);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+  if (words.empty()) return true;
+  if (words[0] == "quit" || words[0] == "shutdown") return false;
+  if (words[0] != "run") {
+    std::fprintf(stderr, "error: unknown verb '%s'\n", words[0].c_str());
+    return true;
+  }
+  const auto req = parse_request(words);
+  if (!req) return true;
+  const auto specs = build_specs(*req);
+  if (!specs) return true;
+
+  const auto results = svc.run_grid(*specs);
+  if (!opts.json) std::fputs(kCsvHeader, out);
+  for (const auto& r : results) emit_result(r, opts.json, out);
+  std::fflush(out);
+
+  const auto& rs = svc.last_request();
+  std::fprintf(stderr,
+               "# request: specs=%zu hits=%zu misses=%zu wall_ms=%.1f\n",
+               rs.specs, rs.cache_hits, rs.specs - rs.cache_hits,
+               rs.wall_ms);
+  return true;
+}
+
+void print_cache_summary(const service::CampaignService& svc) {
+  const auto cs = svc.cache_stats();
+  std::fprintf(stderr,
+               "# cache: hits=%llu misses=%llu stale=%llu corrupt=%llu "
+               "stores=%llu evictions=%llu\n",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.stale),
+               static_cast<unsigned long long>(cs.corrupt),
+               static_cast<unsigned long long>(cs.stores),
+               static_cast<unsigned long long>(cs.evictions));
+}
+
+/// Serves the stdin batch: every line is a request, EOF or quit ends the
+/// batch, and the cumulative cache summary is the last stderr line.
+int serve_stdin(service::CampaignService& svc, const ServerOptions& opts) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!handle_line(line, svc, opts, stdout)) break;
+  }
+  print_cache_summary(svc);
+  return 0;
+}
+
+/// Serves the same protocol on a Unix stream socket, one client at a time
+/// (requests are CPU-bound grid runs; concurrency comes from --workers).
+/// A client line `shutdown` stops the server; `quit` only ends the
+/// connection.
+int serve_socket(service::CampaignService& svc, const ServerOptions& opts) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, opts.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opts.socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "# listening on %s\n", opts.socket_path.c_str());
+
+  bool running = true;
+  while (running) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::perror("accept");
+      break;
+    }
+    std::FILE* out = ::fdopen(fd, "w");
+    if (out == nullptr) {
+      ::close(fd);
+      continue;
+    }
+    // Line-buffered reader over the same descriptor.
+    std::string buffer;
+    char chunk[4096];
+    ssize_t n = 0;
+    bool client_open = true;
+    while (client_open && (n = ::read(fd, chunk, sizeof chunk)) > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t eol = 0;
+      while (client_open &&
+             (eol = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        if (line == "shutdown") {
+          running = false;
+          client_open = false;
+        } else if (!handle_line(line, svc, opts, out)) {
+          client_open = false;
+        } else {
+          std::fputs("end\n", out);
+          std::fflush(out);
+        }
+      }
+    }
+    std::fclose(out);  // also closes fd
+  }
+  ::close(listener);
+  ::unlink(opts.socket_path.c_str());
+  print_cache_summary(svc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  if (const char* env = std::getenv("RT_CAMPAIGN_CACHE")) {
+    opts.cache_dir = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      opts.cache_dir = value();
+    } else if (std::strcmp(argv[i], "--cache-max-mb") == 0) {
+      opts.cache_max_mb =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      opts.workers = static_cast<unsigned>(std::atoi(value()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = static_cast<unsigned>(std::atoi(value()));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json = true;
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      opts.socket_path = value();
+    } else if (std::strcmp(argv[i], "--no-oracles") == 0) {
+      opts.no_oracles = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+
+  experiments::LoopConfig loop;
+  experiments::OracleSet oracles;
+  if (!opts.no_oracles) {
+    experiments::ShTrainingConfig train;
+    oracles = experiments::load_or_train_oracles(
+        experiments::default_cache_dir(), loop, train);
+  }
+  const experiments::CampaignRunner runner(loop, oracles);
+
+  service::ServiceConfig cfg;
+  if (!opts.cache_dir.empty()) {
+    cfg.cache = service::CacheConfig{opts.cache_dir,
+                                     opts.cache_max_mb * 1024 * 1024};
+  }
+  cfg.workers = opts.workers;
+  cfg.threads = opts.threads;
+  service::CampaignService svc(runner, cfg);
+
+  std::fprintf(stderr, "# campaign server: cache=%s workers=%u oracles=%s\n",
+               opts.cache_dir.empty() ? "(off)" : opts.cache_dir.c_str(),
+               opts.workers, opts.no_oracles ? "off" : "on");
+  return opts.socket_path.empty() ? serve_stdin(svc, opts)
+                                  : serve_socket(svc, opts);
+}

@@ -188,27 +188,56 @@ CampaignScheduler::CampaignScheduler(const CampaignRunner& runner,
     : runner_(runner),
       threads_(threads == 0 ? ThreadPool::default_threads() : threads) {}
 
+std::vector<GridCell> grid_cells(const std::vector<CampaignSpec>& specs) {
+  std::vector<GridCell> cells;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (int i = 0; i < specs[s].runs; ++i) cells.push_back({s, i});
+  }
+  return cells;
+}
+
+void run_cells(const CampaignRunner& runner,
+               const std::vector<CampaignSpec>& specs,
+               const std::vector<GridCell>& cells,
+               const std::vector<std::size_t>& indices,
+               const std::function<void(std::size_t cell_index,
+                                        const RunResult& run)>& sink) {
+  for (const std::size_t ci : indices) {
+    const GridCell& cell = cells.at(ci);
+    sink(ci, runner.run_one(specs.at(cell.spec), cell.run));
+  }
+}
+
+void run_cell_range(const CampaignRunner& runner,
+                    const std::vector<CampaignSpec>& specs,
+                    const std::vector<GridCell>& cells, std::size_t begin,
+                    std::size_t end,
+                    const std::function<void(std::size_t cell_index,
+                                             const RunResult& run)>& sink) {
+  std::vector<std::size_t> indices;
+  indices.reserve(end > begin ? end - begin : 0);
+  for (std::size_t i = begin; i < end && i < cells.size(); ++i) {
+    indices.push_back(i);
+  }
+  run_cells(runner, specs, cells, indices, sink);
+}
+
 std::vector<CampaignResult> CampaignScheduler::run_all(
     const std::vector<CampaignSpec>& specs,
     const CampaignProgressFn& on_progress) const {
   std::vector<CampaignResult> results(specs.size());
-  struct Cell {
-    std::size_t spec;
-    int run;
-  };
-  std::vector<Cell> cells;
   for (std::size_t s = 0; s < specs.size(); ++s) {
     results[s].spec = specs[s];
     results[s].runs.resize(
         static_cast<std::size_t>(std::max(0, specs[s].runs)));
-    for (int i = 0; i < specs[s].runs; ++i) cells.push_back({s, i});
   }
+  const std::vector<GridCell> cells = grid_cells(specs);
 
   std::vector<int> done(specs.size(), 0);
   std::mutex progress_mutex;
   ThreadPool pool(threads_);
   pool.parallel_for(static_cast<int>(cells.size()), [&](int c) {
-    const Cell cell = cells[static_cast<std::size_t>(c)];
+    const GridCell cell = cells[static_cast<std::size_t>(c)];
     results[cell.spec].runs[static_cast<std::size_t>(cell.run)] =
         runner_.run_one(specs[cell.spec], cell.run);
     if (on_progress) {

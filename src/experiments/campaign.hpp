@@ -131,6 +131,49 @@ class CampaignRunner {
 using CampaignProgressFn =
     std::function<void(std::size_t spec_index, int done, int total)>;
 
+/// One <spec, run_index> cell of a campaign grid — the unit the in-process
+/// scheduler, the multi-process sharder (rt::service) and the result cache
+/// all operate on.
+struct GridCell {
+  std::size_t spec{0};
+  int run{0};
+};
+
+/// Flattens a grid into its cell list, spec-major (all runs of spec 0, then
+/// spec 1, ...) — the enumeration order run_all has always used, so a cell
+/// index addresses the same <spec, run> pair in every process of a sharded
+/// run.
+[[nodiscard]] std::vector<GridCell> grid_cells(
+    const std::vector<CampaignSpec>& specs);
+
+/// Runs the listed cells serially (in list order) and hands each finished
+/// result to `sink` with its index into `cells`. This is the sharded
+/// worker's entry point: because it calls CampaignRunner::run_one exactly
+/// like the in-process scheduler, any partition of the cell list across
+/// processes reassembles into bit-identical campaign results.
+void run_cells(const CampaignRunner& runner,
+               const std::vector<CampaignSpec>& specs,
+               const std::vector<GridCell>& cells,
+               const std::vector<std::size_t>& indices,
+               const std::function<void(std::size_t cell_index,
+                                        const RunResult& run)>& sink);
+
+/// Convenience: the contiguous half-open cell range [begin, end).
+void run_cell_range(const CampaignRunner& runner,
+                    const std::vector<CampaignSpec>& specs,
+                    const std::vector<GridCell>& cells, std::size_t begin,
+                    std::size_t end,
+                    const std::function<void(std::size_t cell_index,
+                                             const RunResult& run)>& sink);
+
+/// Pluggable campaign-batch executor: runs every spec and returns results
+/// in spec order. Grid harnesses (defense grid, scenario search) accept one
+/// so the service layer can substitute cached and/or multi-process
+/// execution (rt::service::CampaignService::executor()) for the default
+/// in-process CampaignScheduler without the harness knowing.
+using GridExecutor = std::function<std::vector<CampaignResult>(
+    const std::vector<CampaignSpec>&)>;
+
 /// Batches whole campaign grids (e.g. all of Table II) over a fixed thread
 /// pool. Every <spec, run_index> cell becomes one task; each task writes
 /// its RunResult into a pre-assigned slot, so aggregates are bit-identical

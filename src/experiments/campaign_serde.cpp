@@ -1,0 +1,475 @@
+#include "experiments/campaign_serde.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/scenario_registry.hpp"
+
+namespace rt::experiments {
+
+namespace {
+
+// ----------------------------------------------------------------- Writer
+
+class Writer {
+ public:
+  void tag(std::string_view t) {
+    out_.append(t);
+    out_ += '\n';
+  }
+  void u64(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+    out_ += '\n';
+  }
+  void i64(std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+    out_ += '\n';
+  }
+  void b(bool v) { out_ += v ? "1\n" : "0\n"; }
+  void d(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "d%016" PRIx64, bits);
+    out_ += buf;
+    out_ += '\n';
+  }
+  void str(std::string_view s) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%zu:", s.size());
+    out_ += buf;
+    out_.append(s);
+    out_ += '\n';
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// ----------------------------------------------------------------- Reader
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  void expect(std::string_view tag) {
+    const std::string_view got = token();
+    if (got != tag) {
+      fail("expected '" + std::string(tag) + "', got '" + std::string(got) +
+           "'");
+    }
+  }
+
+  std::uint64_t u64() {
+    const std::string t(token());
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (t.empty() || *end != '\0' || errno != 0 || t.front() == '-') {
+      fail("expected unsigned integer, got '" + t + "'");
+    }
+    return v;
+  }
+
+  std::int64_t i64() {
+    const std::string t(token());
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    if (t.empty() || *end != '\0' || errno != 0) {
+      fail("expected integer, got '" + t + "'");
+    }
+    return v;
+  }
+
+  int i32() {
+    const std::int64_t v = i64();
+    if (v < INT32_MIN || v > INT32_MAX) fail("integer out of 32-bit range");
+    return static_cast<int>(v);
+  }
+
+  bool b() {
+    const std::string_view t = token();
+    if (t == "1") return true;
+    if (t == "0") return false;
+    fail("expected bool 0/1, got '" + std::string(t) + "'");
+  }
+
+  double d() {
+    const std::string_view t = token();
+    if (t.size() != 17 || t.front() != 'd') {
+      fail("expected double d<16 hex>, got '" + std::string(t) + "'");
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      const char c = t[i];
+      int nibble = 0;
+      if (c >= '0' && c <= '9') {
+        nibble = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = c - 'a' + 10;
+      } else {
+        fail("bad hex digit in double token '" + std::string(t) + "'");
+      }
+      bits = (bits << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string str() {
+    skip_ws();
+    std::size_t len = 0;
+    bool any_digit = false;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      len = len * 10 + static_cast<std::size_t>(text_[pos_] - '0');
+      if (len > text_.size()) fail("netstring length overflows input");
+      ++pos_;
+      any_digit = true;
+    }
+    if (!any_digit) fail("expected netstring <len>:<bytes>");
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      fail("netstring missing ':' after length");
+    }
+    ++pos_;
+    if (text_.size() - pos_ < len) fail("truncated netstring payload");
+    std::string out(text_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Succeeds only when nothing follows the 'end' sentinel and the payload
+  /// keeps its final newline — so EVERY strict prefix of a serialization
+  /// is invalid, including the one that only drops the terminator (and so
+  /// is any whitespace-padded copy: payloads are canonical bytes).
+  void done() {
+    if (pos_ != text_.size() - 1 || text_.empty() || text_.back() != '\n') {
+      fail("payload truncated or trailing garbage after 'end'");
+    }
+    ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw SerdeError("campaign serde: " + what + " (at byte " +
+                     std::to_string(pos_) + " of " +
+                     std::to_string(text_.size()) + ")");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view token() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("truncated input");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+// ------------------------------------------------------------ spec body
+
+void write_spec_body(Writer& w, const CampaignSpec& s) {
+  w.tag("spec");
+  w.str(s.name);
+  w.str(s.scenario);
+  w.u64(static_cast<std::uint64_t>(s.vector));
+  w.u64(static_cast<std::uint64_t>(s.mode));
+  w.i64(s.runs);
+  w.u64(s.seed);
+  w.b(s.params.has_value());
+  if (s.params) {
+    // Self-describing name/value pairs via the registry's named-parameter
+    // table: a reader from a build whose ScenarioParams lost a field fails
+    // loudly on the unknown name instead of shifting every later field.
+    const auto names = sim::scenario_param_names();
+    w.u64(names.size());
+    for (const auto& name : names) {
+      w.str(name);
+      w.d(sim::get_scenario_param(*s.params, name));
+    }
+  }
+  w.u64(s.monitors.size());
+  for (const auto& m : s.monitors) w.str(m);
+}
+
+CampaignSpec read_spec_body(Reader& r) {
+  r.expect("spec");
+  CampaignSpec s;
+  s.name = r.str();
+  s.scenario = r.str();
+  const std::uint64_t vec = r.u64();
+  if (vec > 2) r.fail("attack vector out of range");
+  s.vector = static_cast<core::AttackVector>(vec);
+  const std::uint64_t mode = r.u64();
+  if (mode > 3) r.fail("attack mode out of range");
+  s.mode = static_cast<AttackMode>(mode);
+  s.runs = r.i32();
+  s.seed = r.u64();
+  if (r.b()) {
+    sim::ScenarioParams p;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::string name = r.str();
+      const double value = r.d();
+      try {
+        sim::set_scenario_param(p, name, value);
+      } catch (const std::invalid_argument& e) {
+        r.fail(std::string("unknown scenario param: ") + e.what());
+      }
+    }
+    s.params = p;
+  }
+  const std::uint64_t nm = r.u64();
+  if (nm > 1024) r.fail("implausible monitor count");
+  s.monitors.clear();
+  for (std::uint64_t i = 0; i < nm; ++i) s.monitors.push_back(r.str());
+  return s;
+}
+
+// ------------------------------------------------------------- run body
+
+void write_run_body(Writer& w, const RunResult& run) {
+  w.tag("run");
+  w.b(run.eb);
+  w.i64(run.eb_episodes);
+  w.b(run.crash);
+  w.b(run.collision);
+  w.d(run.min_delta);
+  w.d(run.min_delta_since_attack);
+  w.d(run.end_time);
+  w.b(run.halted_early);
+
+  w.tag("attack");
+  const core::AttackLog& a = run.attack;
+  w.b(a.triggered);
+  w.i64(a.triggers);
+  w.u64(static_cast<std::uint64_t>(a.vector));
+  w.d(a.start_time);
+  w.d(a.delta_at_launch);
+  w.d(a.v_rel_at_launch.x);
+  w.d(a.v_rel_at_launch.y);
+  w.d(a.a_rel_at_launch.x);
+  w.d(a.a_rel_at_launch.y);
+  w.d(a.predicted_delta);
+  w.i64(a.planned_k);
+  w.i64(a.frames_perturbed);
+  w.i64(a.k_prime);
+  w.d(a.omega_target);
+  w.u64(static_cast<std::uint64_t>(a.victim_cls));
+  w.i64(a.victim_truth_id);
+
+  w.tag("ids");
+  w.b(run.ids_flagged);
+  w.str(run.ids_reason);
+
+  w.tag("defense");
+  const defense::DefenseReport& def = run.defense;
+  w.b(def.flagged);
+  w.d(def.first_alert_time);
+  w.str(def.first_monitor);
+  w.u64(def.monitors.size());
+  for (const defense::MonitorOutcome& m : def.monitors) {
+    w.str(m.monitor);
+    w.b(m.fired);
+    w.d(m.first_alert_time);
+    w.i64(m.alarms);
+    w.str(m.reason);
+  }
+  w.b(def.detected);
+  w.i64(def.frames_to_detection);
+  w.str(def.detected_by);
+
+  w.tag("timeline");
+  w.u64(run.timeline.size());
+  for (const safety::SafetySample& t : run.timeline) {
+    w.d(t.time);
+    w.d(t.delta);
+    w.d(t.d_safe);
+    w.d(t.target_delta);
+    w.d(t.ego_speed);
+    w.b(t.eb_active);
+    w.b(t.attack_active);
+  }
+}
+
+RunResult read_run_body(Reader& r) {
+  r.expect("run");
+  RunResult run;
+  run.eb = r.b();
+  run.eb_episodes = r.i32();
+  run.crash = r.b();
+  run.collision = r.b();
+  run.min_delta = r.d();
+  run.min_delta_since_attack = r.d();
+  run.end_time = r.d();
+  run.halted_early = r.b();
+
+  r.expect("attack");
+  core::AttackLog& a = run.attack;
+  a.triggered = r.b();
+  a.triggers = r.i32();
+  const std::uint64_t vec = r.u64();
+  if (vec > 2) r.fail("attack vector out of range");
+  a.vector = static_cast<core::AttackVector>(vec);
+  a.start_time = r.d();
+  a.delta_at_launch = r.d();
+  a.v_rel_at_launch.x = r.d();
+  a.v_rel_at_launch.y = r.d();
+  a.a_rel_at_launch.x = r.d();
+  a.a_rel_at_launch.y = r.d();
+  a.predicted_delta = r.d();
+  a.planned_k = r.i32();
+  a.frames_perturbed = r.i32();
+  a.k_prime = r.i32();
+  a.omega_target = r.d();
+  const std::uint64_t cls = r.u64();
+  if (cls > 1) r.fail("victim class out of range");
+  a.victim_cls = static_cast<sim::ActorType>(cls);
+  a.victim_truth_id = r.i32();
+
+  r.expect("ids");
+  run.ids_flagged = r.b();
+  run.ids_reason = r.str();
+
+  r.expect("defense");
+  defense::DefenseReport& def = run.defense;
+  def.flagged = r.b();
+  def.first_alert_time = r.d();
+  def.first_monitor = r.str();
+  const std::uint64_t nm = r.u64();
+  if (nm > 1024) r.fail("implausible monitor count");
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    defense::MonitorOutcome m;
+    m.monitor = r.str();
+    m.fired = r.b();
+    m.first_alert_time = r.d();
+    m.alarms = r.i32();
+    m.reason = r.str();
+    def.monitors.push_back(std::move(m));
+  }
+  def.detected = r.b();
+  def.frames_to_detection = r.i32();
+  def.detected_by = r.str();
+
+  r.expect("timeline");
+  const std::uint64_t nt = r.u64();
+  if (nt > (1ull << 24)) r.fail("implausible timeline length");
+  run.timeline.reserve(nt);
+  for (std::uint64_t i = 0; i < nt; ++i) {
+    safety::SafetySample t;
+    t.time = r.d();
+    t.delta = r.d();
+    t.d_safe = r.d();
+    t.target_delta = r.d();
+    t.ego_speed = r.d();
+    t.eb_active = r.b();
+    t.attack_active = r.b();
+    run.timeline.push_back(t);
+  }
+  return run;
+}
+
+void write_header(Writer& w, std::string_view magic) {
+  w.tag(magic);
+  w.u64(kCampaignSerdeVersion);
+}
+
+void read_header(Reader& r, std::string_view magic) {
+  r.expect(magic);
+  const std::uint64_t version = r.u64();
+  if (version != kCampaignSerdeVersion) {
+    r.fail("unsupported " + std::string(magic) + " version " +
+           std::to_string(version) + " (this build reads " +
+           std::to_string(kCampaignSerdeVersion) + ")");
+  }
+}
+
+}  // namespace
+
+std::string serialize_spec(const CampaignSpec& spec) {
+  Writer w;
+  write_header(w, "RTSPEC");
+  write_spec_body(w, spec);
+  w.tag("end");
+  return w.take();
+}
+
+CampaignSpec deserialize_spec(std::string_view text) {
+  Reader r(text);
+  read_header(r, "RTSPEC");
+  CampaignSpec spec = read_spec_body(r);
+  r.expect("end");
+  r.done();
+  return spec;
+}
+
+std::string serialize_run_result(const RunResult& run) {
+  Writer w;
+  write_header(w, "RTRUN");
+  write_run_body(w, run);
+  w.tag("end");
+  return w.take();
+}
+
+RunResult deserialize_run_result(std::string_view text) {
+  Reader r(text);
+  read_header(r, "RTRUN");
+  RunResult run = read_run_body(r);
+  r.expect("end");
+  r.done();
+  return run;
+}
+
+std::string serialize_campaign_result(const CampaignResult& result) {
+  Writer w;
+  write_header(w, "RTCAMPAIGN");
+  write_spec_body(w, result.spec);
+  w.tag("nruns");
+  w.u64(result.runs.size());
+  for (const RunResult& run : result.runs) write_run_body(w, run);
+  w.tag("end");
+  return w.take();
+}
+
+CampaignResult deserialize_campaign_result(std::string_view text) {
+  Reader r(text);
+  read_header(r, "RTCAMPAIGN");
+  CampaignResult result;
+  result.spec = read_spec_body(r);
+  r.expect("nruns");
+  const std::uint64_t n = r.u64();
+  if (n > (1ull << 24)) r.fail("implausible run count");
+  result.runs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    result.runs.push_back(read_run_body(r));
+  }
+  r.expect("end");
+  r.done();
+  return result;
+}
+
+}  // namespace rt::experiments

@@ -56,7 +56,8 @@ DefenseGrid run_defense_grid(const DefenseGridConfig& cfg,
 
   CampaignRunner runner(base, oracles);
   CampaignScheduler scheduler(runner, cfg.threads);
-  const auto results = scheduler.run_all(specs);
+  const auto results =
+      cfg.executor ? cfg.executor(specs) : scheduler.run_all(specs);
 
   DefenseGrid grid;
   grid.cells.reserve(results.size());

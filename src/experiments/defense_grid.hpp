@@ -23,6 +23,10 @@ struct DefenseGridConfig {
   std::uint64_t seed{20200613};
   /// 0 = one thread per core. Results are thread-count-invariant.
   unsigned threads{0};
+  /// Optional campaign-batch executor (e.g. a cached / multi-process
+  /// rt::service::CampaignService). Unset = the in-process scheduler with
+  /// `threads` threads. Any conforming executor yields identical grids.
+  GridExecutor executor{};
 };
 
 /// One aggregated cell of the matrix.

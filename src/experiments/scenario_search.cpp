@@ -205,7 +205,8 @@ ScenarioSearchResult run_scenario_search(const ScenarioSearchConfig& cfg,
     }
     if (specs.empty()) continue;
 
-    const std::vector<CampaignResult> results = scheduler.run_all(specs);
+    const std::vector<CampaignResult> results =
+        cfg.executor ? cfg.executor(specs) : scheduler.run_all(specs);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const CampaignResult& result = results[i];
       SearchFrontierEntry entry;

@@ -68,6 +68,10 @@ struct ScenarioSearchConfig {
   std::uint64_t seed{20200613};
   /// 0 = one thread per core. Results are thread-count-invariant.
   unsigned threads{0};
+  /// Optional campaign-batch executor (e.g. a cached / multi-process
+  /// rt::service::CampaignService) for scoring each round's specs. Unset =
+  /// the in-process scheduler with `threads` threads.
+  GridExecutor executor{};
   /// Attack condition scored by the search. kNoSh works with an empty
   /// oracle set (no training), which keeps the bench driver hermetic.
   AttackMode mode{AttackMode::kNoSh};

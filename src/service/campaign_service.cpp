@@ -1,0 +1,78 @@
+#include "service/campaign_service.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+namespace rt::service {
+
+using experiments::CampaignResult;
+using experiments::CampaignSpec;
+
+CampaignService::CampaignService(const experiments::CampaignRunner& runner,
+                                 ServiceConfig config)
+    : runner_(runner), config_(std::move(config)) {
+  if (config_.cache) {
+    cache_ = std::make_unique<CampaignCellCache>(*config_.cache);
+  }
+}
+
+std::vector<CampaignResult> CampaignService::run_grid(
+    const std::vector<CampaignSpec>& specs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  request_stats_ = RequestStats{};
+  request_stats_.specs = specs.size();
+  shard_stats_ = ShardStats{};
+
+  std::vector<CampaignResult> results(specs.size());
+  std::vector<std::size_t> miss_indices;
+  std::vector<CampaignSpec> miss_specs;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (cache_) {
+      if (auto cached = cache_->lookup(specs[i])) {
+        results[i] = std::move(*cached);
+        ++request_stats_.cache_hits;
+        continue;
+      }
+    }
+    miss_indices.push_back(i);
+    miss_specs.push_back(specs[i]);
+  }
+
+  if (!miss_specs.empty()) {
+    std::vector<CampaignResult> fresh;
+    if (config_.workers >= 1) {
+      ShardOptions shard = config_.shard;
+      shard.workers = config_.workers;
+      const ShardedCampaignScheduler sharded(runner_, shard);
+      fresh = sharded.run_all(miss_specs);
+      shard_stats_ = sharded.stats();
+    } else {
+      const experiments::CampaignScheduler scheduler(runner_,
+                                                     config_.threads);
+      fresh = scheduler.run_all(miss_specs);
+    }
+    for (std::size_t m = 0; m < miss_indices.size(); ++m) {
+      if (cache_) cache_->store(miss_specs[m], fresh[m]);
+      results[miss_indices[m]] = std::move(fresh[m]);
+    }
+  }
+
+  request_stats_.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return results;
+}
+
+CacheStats CampaignService::cache_stats() const {
+  return cache_ ? cache_->stats() : CacheStats{};
+}
+
+experiments::GridExecutor CampaignService::executor() {
+  return [this](const std::vector<CampaignSpec>& specs) {
+    return run_grid(specs);
+  };
+}
+
+}  // namespace rt::service

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "service/cell_cache.hpp"
+#include "service/sharded_scheduler.hpp"
+
+namespace rt::service {
+
+/// How a CampaignService executes and caches grids.
+struct ServiceConfig {
+  /// Content-hash result cache; nullopt = always re-run.
+  std::optional<CacheConfig> cache{};
+  /// Forked worker processes for cache-miss execution. 0 = in-process
+  /// CampaignScheduler (with `threads` threads); >= 1 = the multi-process
+  /// ShardedCampaignScheduler with this many workers.
+  unsigned workers{0};
+  /// Thread count of the in-process scheduler when workers == 0
+  /// (0 = one per hardware core).
+  unsigned threads{0};
+  /// Sharder knobs (its `workers` field is overridden by `workers` above).
+  ShardOptions shard{};
+};
+
+/// What the most recent run_grid did.
+struct RequestStats {
+  std::size_t specs{0};        ///< specs in the request
+  std::size_t cache_hits{0};   ///< specs served from the cache
+  double wall_ms{0.0};         ///< end-to-end request wall time
+};
+
+/// The campaign-as-a-service facade: one long-lived object that answers
+/// grid requests, consulting the content-hash cache first and executing
+/// only the misses (in-process or via forked shards), then storing fresh
+/// results back. Because cache entries round-trip bit-exactly and both
+/// executors honour the counter-based seeding contract, any mix of cached
+/// and freshly-computed cells is indistinguishable from a cold in-process
+/// run of the whole grid.
+class CampaignService {
+ public:
+  CampaignService(const experiments::CampaignRunner& runner,
+                  ServiceConfig config);
+
+  /// Runs (or recalls) every spec; results in spec order.
+  [[nodiscard]] std::vector<experiments::CampaignResult> run_grid(
+      const std::vector<experiments::CampaignSpec>& specs);
+
+  /// Stats of the most recent run_grid.
+  [[nodiscard]] const RequestStats& last_request() const {
+    return request_stats_;
+  }
+
+  /// Cumulative cache counters (all zero when caching is off).
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Sharder stats of the most recent run_grid (empty when workers == 0
+  /// or every spec was a cache hit).
+  [[nodiscard]] const ShardStats& shard_stats() const {
+    return shard_stats_;
+  }
+
+  /// The cache, or nullptr when caching is off.
+  [[nodiscard]] CampaignCellCache* cache() { return cache_.get(); }
+
+  /// This service as a pluggable experiments::GridExecutor, for dropping
+  /// cached / sharded execution into grid harnesses (defense grid,
+  /// scenario search) that know nothing about rt::service.
+  [[nodiscard]] experiments::GridExecutor executor();
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  const experiments::CampaignRunner& runner_;
+  ServiceConfig config_;
+  std::unique_ptr<CampaignCellCache> cache_;
+  RequestStats request_stats_;
+  ShardStats shard_stats_;
+};
+
+}  // namespace rt::service

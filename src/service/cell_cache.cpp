@@ -1,0 +1,239 @@
+#include "service/cell_cache.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "experiments/campaign_serde.hpp"
+#include "sim/scenario_registry.hpp"
+#include "stats/hash.hpp"
+
+namespace rt::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kCacheMagic = "RTCACHE";
+constexpr std::uint64_t kCacheHeaderVersion = 1;
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return in.good() || in.eof();
+}
+
+}  // namespace
+
+std::uint64_t campaign_cell_fingerprint(
+    const experiments::CampaignSpec& spec, std::uint64_t code_version) {
+  std::uint64_t h = stats::kFnv1aOffset;
+  h = stats::fnv1a_str(h, "rt.campaign.cell.v1");
+  h = stats::fnv1a_u64(h, code_version);
+  h = stats::fnv1a_str(h, spec.name);
+  h = stats::fnv1a_str(h, spec.scenario);
+  h = stats::fnv1a_u64(h, static_cast<std::uint64_t>(spec.vector));
+  h = stats::fnv1a_u64(h, static_cast<std::uint64_t>(spec.mode));
+  h = stats::fnv1a_u64(h, static_cast<std::uint64_t>(spec.runs));
+  h = stats::fnv1a_u64(h, spec.seed);
+  h = stats::fnv1a_u64(h, spec.params.has_value() ? 1 : 0);
+  if (spec.params) {
+    for (const auto& name : sim::scenario_param_names()) {
+      h = stats::fnv1a_str(h, name);
+      h = stats::fnv1a_double(h, sim::get_scenario_param(*spec.params, name));
+    }
+  }
+  h = stats::fnv1a_u64(h, spec.monitors.size());
+  for (const auto& m : spec.monitors) h = stats::fnv1a_str(h, m);
+  return h;
+}
+
+CampaignCellCache::CampaignCellCache(CacheConfig config)
+    : config_(std::move(config)) {
+  if (config_.dir.empty()) {
+    throw std::invalid_argument("CampaignCellCache: empty cache dir");
+  }
+  fs::create_directories(config_.dir);
+}
+
+std::string CampaignCellCache::entry_path(
+    const experiments::CampaignSpec& spec) const {
+  const std::uint64_t fp =
+      campaign_cell_fingerprint(spec, config_.code_version);
+  return (fs::path(config_.dir) / ("cell_" + fingerprint_hex(fp) + ".rtcr"))
+      .string();
+}
+
+std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
+    const experiments::CampaignSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t fp =
+      campaign_cell_fingerprint(spec, config_.code_version);
+  const fs::path path =
+      fs::path(config_.dir) / ("cell_" + fingerprint_hex(fp) + ".rtcr");
+
+  std::string blob;
+  if (!read_file(path, blob)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // Header line: RTCACHE <header version> <code_version> <fingerprint hex>
+  const std::size_t eol = blob.find('\n');
+  if (eol == std::string::npos) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  char magic[16] = {0};
+  unsigned long long header_version = 0;
+  unsigned long long file_code_version = 0;
+  unsigned long long file_fp = 0;
+  const std::string header = blob.substr(0, eol);
+  if (std::sscanf(header.c_str(), "%15s %llu %llu %llx", magic,
+                  &header_version, &file_code_version, &file_fp) != 4 ||
+      std::string(magic) != kCacheMagic ||
+      header_version != kCacheHeaderVersion) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  if (file_code_version != config_.code_version) {
+    // Written by a build with different simulation semantics: ignore it
+    // (it will be overwritten by the store that follows the re-run).
+    ++stats_.stale;
+    return std::nullopt;
+  }
+  if (file_fp != fp) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+
+  experiments::CampaignResult result;
+  try {
+    result = experiments::deserialize_campaign_result(
+        std::string_view(blob).substr(eol + 1));
+  } catch (const experiments::SerdeError&) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  // Belt and braces against a fingerprint collision or a renamed file: the
+  // stored spec must be the requested one.
+  if (result.spec.name != spec.name || result.spec.seed != spec.seed ||
+      result.spec.runs != spec.runs ||
+      result.spec.scenario != spec.scenario) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+
+  ++stats_.hits;
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return result;
+}
+
+void CampaignCellCache::store(const experiments::CampaignSpec& spec,
+                              const experiments::CampaignResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t fp =
+      campaign_cell_fingerprint(spec, config_.code_version);
+  const fs::path path =
+      fs::path(config_.dir) / ("cell_" + fingerprint_hex(fp) + ".rtcr");
+  const fs::path tmp = path.string() + ".tmp";
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << kCacheMagic << ' ' << kCacheHeaderVersion << ' '
+        << config_.code_version << ' ' << fingerprint_hex(fp) << '\n';
+    out << experiments::serialize_campaign_result(result);
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;  // disk trouble: the cache silently declines to store
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  ++stats_.stores;
+
+  if (config_.max_bytes > 0) {
+    stats_.evictions += evict_locked(config_.max_bytes);
+  }
+}
+
+std::size_t CampaignCellCache::evict_to_limit(std::size_t limit_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t removed = evict_locked(limit_bytes);
+  stats_.evictions += removed;
+  return removed;
+}
+
+std::size_t CampaignCellCache::evict_to_limit() {
+  return config_.max_bytes > 0 ? evict_to_limit(config_.max_bytes) : 0;
+}
+
+std::size_t CampaignCellCache::evict_locked(std::size_t limit_bytes) {
+  struct Entry {
+    fs::file_time_type mtime;
+    std::uintmax_t size;
+    fs::path path;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(config_.dir, ec)) {
+    const std::string fname = de.path().filename().string();
+    if (fname.rfind("cell_", 0) != 0 ||
+        de.path().extension() != ".rtcr") {
+      continue;
+    }
+    std::error_code fec;
+    const auto size = fs::file_size(de.path(), fec);
+    const auto mtime = fs::last_write_time(de.path(), fec);
+    if (fec) continue;
+    total += size;
+    entries.push_back({mtime, size, de.path()});
+  }
+  if (total <= limit_bytes) return 0;
+
+  // Oldest access first (hits re-touch mtime, so this is LRU); path as a
+  // deterministic tie-break on coarse-granularity filesystems.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= limit_bytes) break;
+    std::error_code rec;
+    if (fs::remove(e.path, rec)) {
+      total -= e.size;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+CacheStats CampaignCellCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rt::service

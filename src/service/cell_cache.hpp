@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "experiments/campaign.hpp"
+
+namespace rt::service {
+
+/// Simulation-semantics version baked into every cache key and cache-file
+/// header. Bump whenever a change anywhere in the stack alters campaign
+/// results for an unchanged spec (scenario generators, sensor/noise models,
+/// planner, attacker, per-run seed derivation): entries written by another
+/// code version are ignored — counted as `stale`, never served.
+inline constexpr std::uint64_t kCampaignCodeVersion = 1;
+
+/// Content hash of one campaign cell — the generalization of the PR 3
+/// oracle-cache fingerprint to whole campaigns. Folds the code version plus
+/// every result-determining field of the spec: scenario key, attack vector,
+/// mode, runs, seed, explicit scenario params (so every sweep value gets
+/// its own key) and the monitor stack; `name` is folded too (it is derived
+/// from the axes, and keeping it in means a cached result's spec is exactly
+/// the requested spec). Equal fingerprints at equal code versions imply
+/// bit-identical CampaignResults.
+[[nodiscard]] std::uint64_t campaign_cell_fingerprint(
+    const experiments::CampaignSpec& spec,
+    std::uint64_t code_version = kCampaignCodeVersion);
+
+/// Hit/miss/hygiene counters of one cache instance.
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};     ///< no entry on disk
+  std::uint64_t stale{0};      ///< entry ignored: other code version
+  std::uint64_t corrupt{0};    ///< entry ignored: malformed/truncated/mismatched
+  std::uint64_t evictions{0};  ///< files removed by the LRU size sweep
+  std::uint64_t stores{0};
+
+  [[nodiscard]] std::uint64_t lookups() const {
+    return hits + misses + stale + corrupt;
+  }
+};
+
+struct CacheConfig {
+  std::string dir;
+  /// LRU byte budget: after each store the oldest entries (by access time —
+  /// hits re-touch their file) are evicted until the directory is back
+  /// under this. 0 = unbounded.
+  std::size_t max_bytes{256ull * 1024 * 1024};
+  std::uint64_t code_version{kCampaignCodeVersion};
+};
+
+/// Content-addressed on-disk cache of campaign results:
+/// `<dir>/cell_<fingerprint hex16>.rtcr`, each file one header line
+/// (`RTCACHE 1 <code_version> <fingerprint>`) plus the serialized
+/// CampaignResult (experiments::serialize_campaign_result). Damaged, stale
+/// or mismatched files are counted misses — never wrong results — and the
+/// serde layer underneath throws on any truncation, so a partial write can
+/// never load as zeros. Stores are write-temp + rename, safe against
+/// concurrent readers in other processes. Instance methods are
+/// mutex-serialized, safe from concurrent threads.
+class CampaignCellCache {
+ public:
+  explicit CampaignCellCache(CacheConfig config);
+
+  /// The cached result for this exact spec (at this cache's code version),
+  /// or nullopt. A hit re-touches the file's mtime for LRU.
+  [[nodiscard]] std::optional<experiments::CampaignResult> lookup(
+      const experiments::CampaignSpec& spec);
+
+  /// Serializes and stores the result under the spec's fingerprint, then
+  /// runs the LRU sweep if a byte budget is configured.
+  void store(const experiments::CampaignSpec& spec,
+             const experiments::CampaignResult& result);
+
+  /// Evicts oldest entries until the directory is within `limit_bytes`
+  /// (pass the configured budget via the no-arg overload). Returns the
+  /// number of files removed.
+  std::size_t evict_to_limit(std::size_t limit_bytes);
+  std::size_t evict_to_limit();
+
+  /// On-disk path an entry for this spec would use.
+  [[nodiscard]] std::string entry_path(
+      const experiments::CampaignSpec& spec) const;
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  /// Sweep body; caller holds mutex_. Returns files removed.
+  std::size_t evict_locked(std::size_t limit_bytes);
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+}  // namespace rt::service

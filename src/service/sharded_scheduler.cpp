@@ -1,0 +1,274 @@
+#include "service/sharded_scheduler.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/campaign_serde.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rt::service {
+
+namespace {
+
+using experiments::CampaignResult;
+using experiments::CampaignRunner;
+using experiments::CampaignSpec;
+using experiments::GridCell;
+
+constexpr std::uint64_t kFrameMagic = 0x52542d43454c4c31ull;  // "RT-CELL1"
+/// A RunResult frame is a few KB; anything near this is stream corruption.
+constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `len` bytes, polling (with timeout) before every read.
+/// Returns 1 on a full read, 0 on clean EOF at the first byte (nothing
+/// read), -1 on error, timeout, or EOF mid-buffer (a truncated frame).
+int read_exact(int fd, void* data, std::size_t len, int timeout_ms) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) return -1;  // worker silent past the timeout
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+struct Frame {
+  std::uint64_t cell{0};
+  std::string payload;
+};
+
+/// Same return convention as read_exact.
+int read_frame(int fd, int timeout_ms, Frame& out) {
+  std::uint64_t header[3] = {0, 0, 0};
+  const int hr = read_exact(fd, header, sizeof header, timeout_ms);
+  if (hr <= 0) return hr;
+  if (header[0] != kFrameMagic || header[2] > kMaxFramePayload) return -1;
+  out.cell = header[1];
+  out.payload.resize(static_cast<std::size_t>(header[2]));
+  if (!out.payload.empty() &&
+      read_exact(fd, out.payload.data(), out.payload.size(), timeout_ms) !=
+          1) {
+    return -1;
+  }
+  return 1;
+}
+
+void write_frame(int fd, std::uint64_t cell, const std::string& payload,
+                 bool& ok) {
+  if (!ok) return;
+  const std::uint64_t header[3] = {kFrameMagic, cell, payload.size()};
+  ok = write_all(fd, header, sizeof header) &&
+       write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace
+
+ShardedCampaignScheduler::ShardedCampaignScheduler(
+    const CampaignRunner& runner, ShardOptions opts)
+    : runner_(runner), opts_(opts) {}
+
+std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
+    const std::vector<CampaignSpec>& specs) const {
+  stats_ = ShardStats{};
+  std::vector<CampaignResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results[i].spec = specs[i];
+    results[i].runs.resize(
+        static_cast<std::size_t>(std::max(specs[i].runs, 0)));
+  }
+  const std::vector<GridCell> cells = experiments::grid_cells(specs);
+  if (cells.empty()) return results;
+
+  unsigned workers = opts_.workers == 0
+                         ? runtime::ThreadPool::default_threads()
+                         : opts_.workers;
+  workers = std::max(
+      1u, std::min(workers, static_cast<unsigned>(cells.size())));
+  stats_.workers = workers;
+
+  std::vector<char> filled(cells.size(), 0);
+  const auto fill = [&](std::size_t cell_index, experiments::RunResult rr) {
+    const GridCell& c = cells[cell_index];
+    results[c.spec].runs[static_cast<std::size_t>(c.run)] = std::move(rr);
+    filled[cell_index] = 1;
+  };
+
+  // Worker body: run the assigned cells, stream one frame per finished
+  // cell, then _exit (no atexit/flush: nothing in the parent's state may be
+  // touched). Never returns.
+  const auto child_main = [&](const std::vector<std::size_t>& indices,
+                              int wfd, int crash_after) {
+    bool ok = true;
+    int sent = 0;
+    try {
+      experiments::run_cells(
+          runner_, specs, cells, indices,
+          [&](std::size_t cell_index, const experiments::RunResult& run) {
+            if (crash_after >= 0 && sent == crash_after) ::_exit(42);
+            write_frame(wfd, cell_index,
+                        experiments::serialize_run_result(run), ok);
+            ++sent;
+          });
+    } catch (...) {
+      ::_exit(3);
+    }
+    ::close(wfd);
+    ::_exit(ok ? 0 : 4);
+  };
+
+  // Forks one worker per shard and drains the pipes sequentially. All
+  // pipes are created before the first fork, and each child closes every
+  // descriptor except its own write end — otherwise a sibling's surviving
+  // write-end copy would keep a dead worker's pipe from ever reaching EOF.
+  // The sequential drain cannot deadlock: an undrained worker blocked on
+  // pipe backpressure is merely paused, and its turn always comes.
+  const auto run_wave = [&](const std::vector<std::vector<std::size_t>>&
+                                shards,
+                            bool allow_crash_hook) {
+    const std::size_t n = shards.size();
+    std::vector<int> rfds(n, -1);
+    std::vector<int> wfds(n, -1);
+    std::vector<pid_t> pids(n, -1);
+    for (std::size_t s = 0; s < n; ++s) {
+      int fds[2];
+      if (::pipe(fds) == 0) {
+        rfds[s] = fds[0];
+        wfds[s] = fds[1];
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (wfds[s] < 0) continue;  // pipe() failed: shard handled as dead
+      const pid_t pid = ::fork();
+      if (pid < 0) continue;  // fork() failed: likewise
+      if (pid == 0) {
+        for (std::size_t t = 0; t < n; ++t) {
+          if (rfds[t] >= 0) ::close(rfds[t]);
+          if (t != s && wfds[t] >= 0) ::close(wfds[t]);
+        }
+        const int crash_after =
+            (allow_crash_hook && static_cast<int>(s) == opts_.crash_shard)
+                ? opts_.crash_after_cells
+                : -1;
+        child_main(shards[s], wfds[s], crash_after);
+      }
+      pids[s] = pid;
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (wfds[s] >= 0) ::close(wfds[s]);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      bool dead = pids[s] < 0;
+      if (!dead) {
+        while (true) {
+          Frame f;
+          const int fr = read_frame(rfds[s], opts_.read_timeout_ms, f);
+          if (fr == 0) break;  // clean EOF: worker finished its stream
+          if (fr < 0) {
+            dead = true;
+            break;
+          }
+          if (f.cell >= cells.size() || filled[f.cell]) {
+            dead = true;  // out-of-range or duplicate cell: corrupt stream
+            break;
+          }
+          try {
+            fill(f.cell, experiments::deserialize_run_result(f.payload));
+          } catch (const experiments::SerdeError&) {
+            dead = true;
+            break;
+          }
+        }
+      }
+      if (rfds[s] >= 0) ::close(rfds[s]);
+      if (pids[s] >= 0) {
+        if (dead) ::kill(pids[s], SIGKILL);
+        int status = 0;
+        while (::waitpid(pids[s], &status, 0) < 0 && errno == EINTR) {
+        }
+        if (!dead && !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+          dead = true;
+        }
+      }
+      if (dead) ++stats_.worker_deaths;
+    }
+  };
+
+  // First wave: contiguous [size*s/W, size*(s+1)/W) shards over the cell
+  // list. Any partition yields identical results; contiguous ranges keep
+  // each worker's cells mostly within one spec (cache-friendly configs).
+  std::vector<std::vector<std::size_t>> shards(workers);
+  for (unsigned s = 0; s < workers; ++s) {
+    const std::size_t begin = cells.size() * s / workers;
+    const std::size_t end = cells.size() * (s + 1) / workers;
+    for (std::size_t i = begin; i < end; ++i) shards[s].push_back(i);
+  }
+  run_wave(shards, /*allow_crash_hook=*/true);
+
+  // Shard retries: everything still missing goes to one recovery worker
+  // per attempt (the crash hook never fires on retries).
+  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!filled[i]) missing.push_back(i);
+    }
+    if (missing.empty()) break;
+    ++stats_.shard_retries;
+    run_wave({std::move(missing)}, /*allow_crash_hook=*/false);
+  }
+
+  // Last resort: the parent runs whatever is still missing itself, so
+  // run_all always returns a complete (and still bit-identical) grid.
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!filled[i]) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    stats_.cells_recovered_in_process += static_cast<int>(missing.size());
+    experiments::run_cells(
+        runner_, specs, cells, missing,
+        [&](std::size_t cell_index, const experiments::RunResult& run) {
+          fill(cell_index, run);
+        });
+  }
+  return results;
+}
+
+}  // namespace rt::service

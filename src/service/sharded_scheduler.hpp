@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+
+namespace rt::service {
+
+/// Knobs of the multi-process sharder.
+struct ShardOptions {
+  /// Forked worker processes. Clamped to [1, cell count]; 0 = one worker
+  /// per hardware core (runtime::ThreadPool::default_threads()).
+  unsigned workers{2};
+  /// Re-fork attempts per shard after a worker death before the parent
+  /// falls back to running the shard's missing cells in-process (so a
+  /// crashing worker degrades to a re-run, never a lost result or a hung
+  /// parent).
+  int max_retries{2};
+  /// Per-read poll timeout on a worker pipe. A worker that goes silent for
+  /// longer is declared dead (killed + reaped) and its shard retried.
+  int read_timeout_ms{600000};
+  /// Test hooks: the first-wave worker for shard `crash_shard` calls
+  /// _exit(42) after streaming `crash_after_cells` results. Retries are
+  /// never crashed, so the harness can prove death -> retry -> identical
+  /// results. -1 = disabled.
+  int crash_shard{-1};
+  int crash_after_cells{0};
+};
+
+/// What a sharded run observed about its workers.
+struct ShardStats {
+  unsigned workers{0};          ///< workers actually forked in the first wave
+  int worker_deaths{0};         ///< abnormal exits / truncated streams / timeouts
+  int shard_retries{0};         ///< re-forked recovery workers
+  int cells_recovered_in_process{0};  ///< cells the parent ran itself
+};
+
+/// Multi-process campaign grid execution: forks N workers over disjoint,
+/// contiguous ranges of the grid's cell list (experiments::grid_cells),
+/// each worker streaming one serialized RunResult frame per cell back over
+/// a pipe, the parent merging frames into pre-assigned slots.
+///
+/// Because every run's randomness is a pure function of (spec.seed,
+/// run_index) — the PR 1 counter-based contract — and doubles cross the
+/// pipe as raw bit patterns, a sharded run is bit-identical to the
+/// in-process CampaignScheduler at ANY worker count. Worker death (crash,
+/// kill, truncated frame, silence past the timeout) is detected per shard;
+/// the missing cells are re-forked up to `max_retries` times and finally
+/// run in-process, so results are complete and identical even under
+/// worker loss.
+class ShardedCampaignScheduler {
+ public:
+  explicit ShardedCampaignScheduler(const experiments::CampaignRunner& runner,
+                                    ShardOptions opts = {});
+
+  /// Runs every spec to completion and returns results in spec order.
+  [[nodiscard]] std::vector<experiments::CampaignResult> run_all(
+      const std::vector<experiments::CampaignSpec>& specs) const;
+
+  /// Stats of the most recent run_all.
+  [[nodiscard]] const ShardStats& stats() const { return stats_; }
+
+ private:
+  const experiments::CampaignRunner& runner_;
+  ShardOptions opts_;
+  mutable ShardStats stats_;
+};
+
+}  // namespace rt::service
