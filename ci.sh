@@ -49,6 +49,14 @@ echo "==> bench smoke (BENCH_campaign.json)"
   --json BENCH_campaign.json
 cat BENCH_campaign.json
 
+# Legacy-noise migration window (PR 8): while the RT_LEGACY_NOISE escape
+# hatch exists, the historical std::normal_distribution path must stay
+# green too — smoke one grid driver under it. Remove together with the
+# flag once the re-pinned goldens have soaked.
+echo "==> legacy-noise smoke (RT_LEGACY_NOISE=1)"
+RT_LEGACY_NOISE=1 ./build-release/bench/table2_attack_summary \
+  --runs 2 --threads 1 >/dev/null
+
 # The attack-vs-defense matrix: smoke the full scenario x mode x monitor
 # grid (2 runs per cell keeps all 8 families to a few seconds) and track
 # its throughput next to the campaign numbers.
@@ -104,7 +112,7 @@ if [ -x build-release/bench/bench_perception ]; then
 fi
 if [ -x build-release/bench/bench_nn ]; then
   ./build-release/bench/bench_nn \
-    --benchmark_filter='BM_OracleInference|BM_SafetyHijackerDecision' \
+    --benchmark_filter='BM_OracleInference|BM_OracleBatchInference|BM_SafetyHijackerDecision' \
     --json BENCH_nn.json >/dev/null
   cat BENCH_nn.json
 fi

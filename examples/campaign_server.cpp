@@ -20,11 +20,14 @@
 #include <unistd.h>
 
 #include <cinttypes>
+#include <cmath>
 #include <csignal>
+#include <cstdint>
 #include <iostream>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -60,6 +63,28 @@ struct ServerOptions {
       "request language. RT_CAMPAIGN_CACHE sets the default cache dir.\n",
       argv0);
   std::exit(code);
+}
+
+/// Strict unsigned parse: the WHOLE string must be base-10 digits and the
+/// value must land in [lo, hi]. Unlike atoi/strtoull this rejects empty
+/// strings, signs, whitespace, trailing junk ("12x") and overflow instead
+/// of silently returning 0 or wrapping — a garbled `runs=abc` must be an
+/// error reply, not a 0-run campaign.
+std::optional<std::uint64_t> parse_uint(const std::string& s,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // overflow
+    }
+    v = v * 10 + digit;
+  }
+  if (v < lo || v > hi) return std::nullopt;
+  return v;
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -137,18 +162,22 @@ std::optional<Request> parse_request(const std::vector<std::string>& words) {
     } else if (key == "monitors") {
       req.monitors = split(value, ',');
     } else if (key == "runs") {
-      req.runs = std::atoi(value.c_str());
-      if (req.runs <= 0) {
-        std::fprintf(stderr, "error: runs must be positive\n");
+      const auto runs = parse_uint(value, 1,
+                                   std::numeric_limits<int>::max());
+      if (!runs) {
+        std::fprintf(stderr, "error: bad runs '%s' (want a positive integer)\n",
+                     value.c_str());
         return std::nullopt;
       }
+      req.runs = static_cast<int>(*runs);
     } else if (key == "seed") {
-      char* end = nullptr;
-      req.seed = std::strtoull(value.c_str(), &end, 10);
-      if (end == value.c_str() || *end != '\0') {
+      const auto seed = parse_uint(
+          value, 0, std::numeric_limits<std::uint64_t>::max());
+      if (!seed) {
         std::fprintf(stderr, "error: bad seed '%s'\n", value.c_str());
         return std::nullopt;
       }
+      req.seed = *seed;
     } else if (key == "param" || key == "sweep") {
       const std::size_t colon = value.find(':');
       if (colon == std::string::npos) {
@@ -160,7 +189,9 @@ std::optional<Request> parse_request(const std::vector<std::string>& words) {
       for (const auto& tok : split(value.substr(colon + 1), ',')) {
         char* end = nullptr;
         const double d = std::strtod(tok.c_str(), &end);
-        if (end == tok.c_str() || *end != '\0') {
+        if (end == tok.c_str() || *end != '\0' || !std::isfinite(d)) {
+          // Unconsumed trailing characters and nan/inf tokens are both
+          // rejected — a non-finite scenario parameter is never meaningful.
           std::fprintf(stderr, "error: bad %s value '%s'\n", key.c_str(),
                        tok.c_str());
           return std::nullopt;
@@ -386,15 +417,29 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict flag numbers: `--workers 4x` or `--threads abc` is a usage
+    // error, not a silent 0.
+    const auto uint_value = [&](std::uint64_t lo,
+                                std::uint64_t hi) -> std::uint64_t {
+      const char* flag = argv[i];
+      const std::string text = value();
+      const auto v = parse_uint(text, lo, hi);
+      if (!v) {
+        std::fprintf(stderr, "%s: bad value '%s' for %s\n", argv[0],
+                     text.c_str(), flag);
+        usage(argv[0], 2);
+      }
+      return *v;
+    };
     if (std::strcmp(argv[i], "--cache-dir") == 0) {
       opts.cache_dir = value();
     } else if (std::strcmp(argv[i], "--cache-max-mb") == 0) {
-      opts.cache_max_mb =
-          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+      opts.cache_max_mb = static_cast<std::size_t>(
+          uint_value(0, std::numeric_limits<std::size_t>::max() >> 20));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
-      opts.workers = static_cast<unsigned>(std::atoi(value()));
+      opts.workers = static_cast<unsigned>(uint_value(0, 4096));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      opts.threads = static_cast<unsigned>(std::atoi(value()));
+      opts.threads = static_cast<unsigned>(uint_value(0, 4096));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opts.json = true;
     } else if (std::strcmp(argv[i], "--socket") == 0) {

@@ -135,12 +135,18 @@ PlanOutput LongitudinalPlanner::plan(const WorldModel& world,
           std::max(0.0, (v * v - lead_speed * lead_speed) / (2.0 * usable));
     }
 
-    // IDM following term.
+    // IDM following term. The gap ratio is squared explicitly rather than
+    // via std::pow(., 2.0): gcc folds that pow to this exact multiply at -O2
+    // but emits a libm call at -O0, and glibc pow can land one ulp off the
+    // single-rounded square — an optimization-level divergence that made
+    // dataset pins unstable across the Release and Debug/ASan suites. The
+    // quartic pow stays a libm call at every level, so it is consistent.
     const double s_star = idm_desired_gap(v, dv, config_, s0);
+    const double gap_ratio = s_star / lead_gap;
     const double idm =
         config_.max_accel *
         (1.0 - std::pow(v / std::max(config_.cruise_speed, 0.1), 4.0) -
-         std::pow(s_star / lead_gap, 2.0));
+         gap_ratio * gap_ratio);
     accel = std::min(accel, idm);
 
     // Safety-envelope cap: keep the comfortable stopping distance inside

@@ -36,6 +36,47 @@ double SafetyOracle::predict(double delta, math::Vec2 v_rel,
   return net_.predict(x)(0, 0);
 }
 
+void SafetyOracle::predict_batch(std::span<const OracleQuery> queries,
+                                 std::span<double> out) {
+  if (out.size() != queries.size()) {
+    throw std::invalid_argument(
+        "SafetyOracle::predict_batch: out.size() != queries.size()");
+  }
+  if (queries.empty()) return;
+  // Thread-local gather matrix + workspace, mirroring predict's scratch:
+  // once a thread has seen a batch width, serving that width allocates
+  // nothing, and a shared trained oracle stays safe under concurrent
+  // callers (forward mutates only the caller-thread workspace).
+  thread_local math::Matrix x;
+  thread_local nn::Mlp::Workspace ws;
+  x.resize(kInputDim, queries.size());
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    const OracleQuery& q = queries[j];
+    x(0, j) = q.delta;
+    x(1, j) = q.v_rel.x;
+    x(2, j) = q.v_rel.y;
+    x(3, j) = q.a_rel.x;
+    x(4, j) = q.a_rel.y;
+    x(5, j) = q.k;
+  }
+  scaler_.transform_in_place(x);
+  const math::Matrix& y = net_.predict_batch_into(x, ws);
+  for (std::size_t j = 0; j < queries.size(); ++j) out[j] = y(0, j);
+}
+
+OracleBatchBuffer::OracleBatchBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  pending_.reserve(capacity_);
+  results_.reserve(capacity_);
+}
+
+std::span<const double> OracleBatchBuffer::flush(SafetyOracle& oracle) {
+  results_.resize(pending_.size());
+  oracle.predict_batch(pending_, results_);
+  pending_.clear();
+  return results_;
+}
+
 std::uint64_t SafetyOracle::content_hash() {
   std::uint64_t h = net_.content_hash();
   for (const double v : scaler_.means()) h = stats::fnv1a_double(h, v);

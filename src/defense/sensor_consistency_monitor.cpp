@@ -58,9 +58,15 @@ void SensorConsistencyMonitor::observe(
         w.hits >= config_.min_camera_hits) {
       const double lat_jump = std::abs(w.rel_position.y - s.last_position.y);
       const double lon_jump = std::abs(w.rel_position.x - s.last_position.x);
+      // Gate on the larger of the two range estimates, for the same reason
+      // the LiDAR pair gate does: monocular depth error scales with the
+      // TRUE range, so when the camera underestimates depth on one frame
+      // and corrects on the next, a gate keyed to the underestimate shrinks
+      // exactly when the legitimate correction is largest.
       const double lon_gate =
           std::max(config_.teleport_longitudinal_min,
-                   config_.teleport_longitudinal_frac * s.last_position.x);
+                   config_.teleport_longitudinal_frac *
+                       std::max(s.last_position.x, w.rel_position.x));
       if (lat_jump > config_.teleport_lateral_m || lon_jump > lon_gate) {
         if (++s.teleport_streak >= config_.teleport_consecutive) {
           raise(out.time, "camera track teleported between frames");

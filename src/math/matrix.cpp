@@ -38,12 +38,6 @@ Matrix Matrix::column(std::span<const double> entries) {
   return m;
 }
 
-void Matrix::resize(std::size_t rows, std::size_t cols) {
-  rows_ = rows;
-  cols_ = cols;
-  data_.resize(rows * cols);
-}
-
 void Matrix::require_same_shape(const Matrix& o) const {
   if (rows_ != o.rows_ || cols_ != o.cols_) {
     throw std::invalid_argument("Matrix: shape mismatch");
@@ -179,21 +173,39 @@ void affine_rows_into(const Matrix& w, const Matrix& x, const Matrix& bias,
     }
     return;
   }
+  // Register-tiled wide path, mirroring multiply_into's: per output row,
+  // fixed-width column tiles accumulate in a local array (registers), then
+  // the bias adds once per element. Ascending-k sums with the same
+  // skip-exact-zero shortcut — bit-identical to the memory-accumulating
+  // loop this replaces, for any row partition.
+  constexpr std::size_t kTile = 16;
+  const double* wd = w.data().data();
+  const double* xd2 = x.data().data();
+  double* od = out.data().data();
   for (std::size_t i = row_begin; i < row_end; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) out(i, j) = 0.0;
-  }
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    for (std::size_t k = 0; k < inner; ++k) {
-      const double v = w(i, k);
-      if (v == 0.0) continue;
-      for (std::size_t j = 0; j < cols; ++j) {
-        out(i, j) += v * x(k, j);
-      }
-    }
-  }
-  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* wrow = wd + i * inner;
     const double bi = bias(i, 0);
-    for (std::size_t j = 0; j < cols; ++j) out(i, j) += bi;
+    for (std::size_t j0 = 0; j0 < cols; j0 += kTile) {
+      const std::size_t width = std::min(kTile, cols - j0);
+      double acc[kTile] = {};
+      if (width == kTile) {
+        for (std::size_t k = 0; k < inner; ++k) {
+          const double v = wrow[k];
+          if (v == 0.0) continue;
+          const double* xrow = xd2 + k * cols + j0;
+          for (std::size_t j = 0; j < kTile; ++j) acc[j] += v * xrow[j];
+        }
+      } else {
+        for (std::size_t k = 0; k < inner; ++k) {
+          const double v = wrow[k];
+          if (v == 0.0) continue;
+          const double* xrow = xd2 + k * cols + j0;
+          for (std::size_t j = 0; j < width; ++j) acc[j] += v * xrow[j];
+        }
+      }
+      double* orow = od + i * cols + j0;
+      for (std::size_t j = 0; j < width; ++j) orow[j] = acc[j] + bi;
+    }
   }
 }
 
@@ -243,6 +255,50 @@ void transposed_multiply_rows_into(const Matrix& a, const Matrix& b,
   }
 }
 
+namespace {
+
+/// Gauss-Jordan with partial pivoting over compile-time N — the SAME
+/// statement sequence as the generic loop below with the trip counts fixed,
+/// so every divide/subtract happens in the identical order and the result
+/// is bit-identical. N=4 serves the KF innovation covariance S, the single
+/// inversion on the per-frame tracker path.
+template <std::size_t N>
+void invert_fixed(double* s, double* o) {
+  for (std::size_t i = 0; i < N * N; ++i) o[i] = 0.0;
+  for (std::size_t i = 0; i < N; ++i) o[i * N + i] = 1.0;
+  for (std::size_t col = 0; col < N; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < N; ++r) {
+      if (std::abs(s[r * N + col]) > std::abs(s[pivot * N + col])) pivot = r;
+    }
+    if (std::abs(s[pivot * N + col]) < 1e-12) {
+      throw std::domain_error("Matrix::inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < N; ++j) {
+        std::swap(s[col * N + j], s[pivot * N + j]);
+        std::swap(o[col * N + j], o[pivot * N + j]);
+      }
+    }
+    const double d = s[col * N + col];
+    for (std::size_t j = 0; j < N; ++j) {
+      s[col * N + j] /= d;
+      o[col * N + j] /= d;
+    }
+    for (std::size_t r = 0; r < N; ++r) {
+      if (r == col) continue;
+      const double f = s[r * N + col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < N; ++j) {
+        s[r * N + j] -= f * s[col * N + j];
+        o[r * N + j] -= f * o[col * N + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void invert_into(const Matrix& a, Matrix& scratch, Matrix& out) {
   require_no_alias(a, scratch, out);
   if (&scratch == &a || &scratch == &out) {
@@ -254,6 +310,9 @@ void invert_into(const Matrix& a, Matrix& scratch, Matrix& out) {
   const std::size_t n = a.rows();
   scratch = a;
   out.resize(n, n);
+  if (n == 4) {
+    return invert_fixed<4>(scratch.data().data(), out.data().data());
+  }
   std::fill(out.data().begin(), out.data().end(), 0.0);
   for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
   for (std::size_t col = 0; col < n; ++col) {

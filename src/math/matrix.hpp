@@ -52,8 +52,15 @@ class Matrix {
   /// capacity (no deallocation on shrink; at most one growth allocation,
   /// after which same-or-smaller resizes are allocation-free). Element
   /// values are unspecified afterwards — this exists for the `*_into`
-  /// kernels and workspaces, which overwrite every entry.
-  void resize(std::size_t rows, std::size_t cols);
+  /// kernels and workspaces, which overwrite every entry. Inline with a
+  /// same-shape early return: steady-state kernel calls re-resize scratch
+  /// to the shape it already has millions of times per campaign.
+  void resize(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   Matrix operator+(const Matrix& o) const;
   Matrix operator-(const Matrix& o) const;
@@ -153,6 +160,48 @@ void transposed_multiply_rows_into(const Matrix& a, const Matrix& b,
 namespace detail {
 [[noreturn]] void throw_kernel_alias();
 [[noreturn]] void throw_inner_mismatch();
+
+/// Fixed-dimension kernel bodies (PR 8). The campaign hot loop is dominated
+/// by the bbox tracker's 6-state/4-measurement Kalman algebra — a handful
+/// of shapes issued millions of times — where the generic kernels pay for
+/// runtime trip counts on every call. These templates run the SAME
+/// element-order contract with compile-time bounds so the compiler fully
+/// unrolls them and keeps each output row's accumulators in registers.
+///
+/// Bit-identity: per output element the terms still sum in ascending k with
+/// the identical skip-exact-zero-lhs shortcut, and no element's sum ever
+/// mixes with another's — accumulating in a local `acc` array instead of
+/// the output memory reorders nothing. Every pinned golden is invariant
+/// under this dispatch by construction.
+
+/// out = a * b with compile-time shape (R x K) * (K x C).
+template <std::size_t R, std::size_t K, std::size_t C>
+inline void multiply_fixed(const double* a, const double* b, double* out) {
+  for (std::size_t i = 0; i < R; ++i) {
+    double acc[C] = {};
+    for (std::size_t k = 0; k < K; ++k) {
+      const double v = a[i * K + k];
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < C; ++j) acc[j] += v * b[k * C + j];
+    }
+    for (std::size_t j = 0; j < C; ++j) out[i * C + j] = acc[j];
+  }
+}
+
+/// out = a * b^T with compile-time shape (R x K) * (C x K)^T.
+template <std::size_t R, std::size_t K, std::size_t C>
+inline void multiply_transposed_fixed(const double* a, const double* b,
+                                      double* out) {
+  for (std::size_t i = 0; i < R; ++i) {
+    double acc[C] = {};
+    for (std::size_t k = 0; k < K; ++k) {
+      const double v = a[i * K + k];
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < C; ++j) acc[j] += v * b[j * K + k];
+    }
+    for (std::size_t j = 0; j < C; ++j) out[i * C + j] = acc[j];
+  }
+}
 }  // namespace detail
 
 inline void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -162,6 +211,33 @@ inline void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t inner = a.cols();
   const std::size_t cols = b.cols();
   out.resize(rows, cols);
+  {
+    // Fixed-shape dispatch for the tracker KF's product set (n = 6 states,
+    // m = 4 measurements): F*P / (I-KH)*P (6,6,6), H*P (4,6,6), K*H
+    // (6,4,6), (P H^T)*S^-1 (6,4,4), and the column products F*x, H*x,
+    // K*y, (y^T S^-1)*y. Same element order as the generic paths below —
+    // see detail::multiply_fixed.
+    const double* ad = a.data().data();
+    const double* bd = b.data().data();
+    double* od = out.data().data();
+    if (inner == 6) {
+      if (rows == 6) {
+        if (cols == 6) return detail::multiply_fixed<6, 6, 6>(ad, bd, od);
+        if (cols == 1) return detail::multiply_fixed<6, 6, 1>(ad, bd, od);
+      } else if (rows == 4) {
+        if (cols == 6) return detail::multiply_fixed<4, 6, 6>(ad, bd, od);
+        if (cols == 1) return detail::multiply_fixed<4, 6, 1>(ad, bd, od);
+      }
+    } else if (inner == 4) {
+      if (rows == 6) {
+        if (cols == 4) return detail::multiply_fixed<6, 4, 4>(ad, bd, od);
+        if (cols == 6) return detail::multiply_fixed<6, 4, 6>(ad, bd, od);
+        if (cols == 1) return detail::multiply_fixed<6, 4, 1>(ad, bd, od);
+      } else if (rows == 1 && cols == 1) {
+        return detail::multiply_fixed<1, 4, 1>(ad, bd, od);
+      }
+    }
+  }
   if (cols == 1) {
     // Column fast path (Kalman column updates, batch-1 NN inference): each
     // output element is an ordered dot product, so accumulate in registers
@@ -203,14 +279,39 @@ inline void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
     }
     return;
   }
-  std::fill(out.data().begin(), out.data().end(), 0.0);
+  // Register-tiled wide path (batched NN forwards, PR 8): accumulate each
+  // output row in fixed-width column tiles held in a local array, so the
+  // compiler keeps the whole tile in registers instead of dragging a
+  // load-add-store chain through `out`, whose aliasing it cannot prove.
+  // Per output element the terms still sum in ascending k with the same
+  // skip-exact-zero-lhs shortcut — bit-identical to the plain i-k-j loop
+  // this replaces.
+  constexpr std::size_t kTile = 16;
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* od = out.data().data();
   for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t k = 0; k < inner; ++k) {
-      const double v = a(i, k);
-      if (v == 0.0) continue;
-      for (std::size_t j = 0; j < cols; ++j) {
-        out(i, j) += v * b(k, j);
+    const double* arow = ad + i * inner;
+    for (std::size_t j0 = 0; j0 < cols; j0 += kTile) {
+      const std::size_t width = std::min(kTile, cols - j0);
+      double acc[kTile] = {};
+      if (width == kTile) {
+        for (std::size_t k = 0; k < inner; ++k) {
+          const double v = arow[k];
+          if (v == 0.0) continue;
+          const double* brow = bd + k * cols + j0;
+          for (std::size_t j = 0; j < kTile; ++j) acc[j] += v * brow[j];
+        }
+      } else {
+        for (std::size_t k = 0; k < inner; ++k) {
+          const double v = arow[k];
+          if (v == 0.0) continue;
+          const double* brow = bd + k * cols + j0;
+          for (std::size_t j = 0; j < width; ++j) acc[j] += v * brow[j];
+        }
       }
+      double* orow = od + i * cols + j0;
+      for (std::size_t j = 0; j < width; ++j) orow[j] = acc[j];
     }
   }
 }
@@ -223,6 +324,23 @@ inline void multiply_transposed_into(const Matrix& a, const Matrix& b,
   const std::size_t inner = a.cols();
   const std::size_t cols = b.rows();
   out.resize(rows, cols);
+  if (inner == 6) {
+    // Fixed-shape dispatch for the KF's B^T products: (F P)*F^T (6,6,6),
+    // (H P)*H^T (4,6,4), P*H^T (6,6,4). Same element order — see
+    // detail::multiply_transposed_fixed.
+    const double* ad = a.data().data();
+    const double* bd = b.data().data();
+    double* od = out.data().data();
+    if (rows == 6 && cols == 6) {
+      return detail::multiply_transposed_fixed<6, 6, 6>(ad, bd, od);
+    }
+    if (rows == 4 && cols == 4) {
+      return detail::multiply_transposed_fixed<4, 6, 4>(ad, bd, od);
+    }
+    if (rows == 6 && cols == 4) {
+      return detail::multiply_transposed_fixed<6, 6, 4>(ad, bd, od);
+    }
+  }
   // out(i, j) = sum_k a(i, k) * b(j, k): rows of both operands stream
   // sequentially, and register accumulation (four independent j chains)
   // replaces the historical `a * b.transposed()` materialization. Per

@@ -60,6 +60,12 @@ class Layer {
     return g;
   }
 
+  /// True when the layer's inference-mode forward is an exact copy of its
+  /// input (dropout). `Mlp::forward_into` skips such layers at inference,
+  /// feeding the previous activation straight to the next layer — the
+  /// values are bit-identical, the copy just never happens.
+  [[nodiscard]] virtual bool inference_identity() const { return false; }
+
   /// Trainable parameters and their gradients (parallel vectors).
   virtual std::vector<math::Matrix*> parameters() { return {}; }
   virtual std::vector<math::Matrix*> gradients() { return {}; }
@@ -129,6 +135,7 @@ class Dropout : public Layer {
   void backward_into(const math::Matrix& x_in, const math::Matrix& grad_out,
                      math::Matrix& grad_in) override;
   [[nodiscard]] std::string kind() const override { return "dropout"; }
+  [[nodiscard]] bool inference_identity() const override { return true; }
   [[nodiscard]] double rate() const { return rate_; }
 
  private:

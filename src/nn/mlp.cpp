@@ -13,6 +13,24 @@ math::Matrix Mlp::forward(const math::Matrix& x, bool training) {
 const math::Matrix& Mlp::forward_into(const math::Matrix& x, Workspace& ws,
                                       bool training) {
   ws.acts.resize(layers_.size() + 1);
+  if (!training) {
+    // Inference: no backward will read ws.acts, so the input copy into
+    // acts[0] is skipped and identity layers (dropout) forward their input
+    // pointer instead of copying a matrix per layer. Bit-identical values.
+    const math::Matrix* cur = &x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (layers_[i]->inference_identity()) continue;
+      layers_[i]->forward_into(*cur, ws.acts[i + 1], false);
+      cur = &ws.acts[i + 1];
+    }
+    if (cur == &x) {
+      // Empty (or all-identity) stack: keep the "valid until next use of
+      // ws" lifetime contract by materializing the pass-through.
+      ws.acts[0] = x;
+      return ws.acts[0];
+    }
+    return *cur;
+  }
   ws.acts[0] = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->forward_into(ws.acts[i], ws.acts[i + 1], training);

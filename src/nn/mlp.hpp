@@ -66,6 +66,26 @@ class Mlp {
     return forward_into(x, ws, false);
   }
 
+  /// Batched inference: `x` packs B query columns into one (D x B) matrix
+  /// and the whole stack runs as matrix-matrix products — one kernel call
+  /// per layer for the entire batch instead of B matrix-vector forwards.
+  /// Column j of the result is BIT-IDENTICAL to `predict` on column j
+  /// alone: every kernel accumulates each output element as an ordered
+  /// ascending-k sum with the same skip-exact-zero shortcut regardless of
+  /// batch width (see the kernel contract in math/matrix.hpp), so batching
+  /// is a pure throughput lever, never a semantics change. Same
+  /// thread-local workspace and concurrency contract as `predict`.
+  [[nodiscard]] const math::Matrix& predict_batch(const math::Matrix& x) {
+    return predict(x);
+  }
+
+  /// Batched inference over an explicit workspace (zero allocations once
+  /// `ws` has seen the batch shape).
+  [[nodiscard]] const math::Matrix& predict_batch_into(const math::Matrix& x,
+                                                       Workspace& ws) {
+    return forward_into(x, ws, false);
+  }
+
   /// Installs (nullptr clears) a worker pool on every layer — see
   /// Layer::set_parallel. Results are bit-identical with or without a pool;
   /// the trainer scopes this to a training run.

@@ -5,6 +5,15 @@
 
 namespace rt::perception {
 
+namespace {
+
+/// The exact value a skip-zero kernel accumulates when an element rides
+/// through a unit row: `0.0 + 1.0 * v`. Every nonzero bit pattern passes
+/// unchanged; -0.0 normalizes to +0.0, exactly as the generic sum does.
+inline double through_unit(double v) { return v != 0.0 ? v : 0.0; }
+
+}  // namespace
+
 KalmanFilter::KalmanFilter(math::Matrix f, math::Matrix q, math::Matrix h,
                            math::Matrix r, math::Matrix x0, math::Matrix p0)
     : f_(std::move(f)),
@@ -20,9 +29,31 @@ KalmanFilter::KalmanFilter(math::Matrix f, math::Matrix q, math::Matrix h,
       p_.rows() != n || p_.cols() != n) {
     throw std::invalid_argument("KalmanFilter: inconsistent dimensions");
   }
+  // Detect the bbox tracker's constant-velocity structure: H = [I4 | 0] and
+  // F = I6 except the two position<-velocity couplings F(0,4), F(1,5). F and
+  // H have no setters, so this holds for the filter's lifetime.
+  if (n == 6 && m == 4) {
+    bool structured = f_(0, 4) != 0.0 && f_(1, 5) != 0.0;
+    for (std::size_t i = 0; structured && i < 4; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        if (h_(i, j) != (i == j ? 1.0 : 0.0)) structured = false;
+      }
+    }
+    for (std::size_t i = 0; structured && i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        if ((i == 0 && j == 4) || (i == 1 && j == 5)) continue;
+        if (f_(i, j) != (i == j ? 1.0 : 0.0)) structured = false;
+      }
+    }
+    cv_fast_ = structured;
+  }
 }
 
 void KalmanFilter::predict() {
+  if (cv_fast_) {
+    predict_cv_();
+    return;
+  }
   // x <- F x;  P <- F P F^T + Q — via the fixed scratch, no allocations.
   math::multiply_into(f_, x_, t_x_);
   std::swap(x_, t_x_);
@@ -32,7 +63,56 @@ void KalmanFilter::predict() {
   std::swap(p_, t_nn2_);
 }
 
+void KalmanFilter::predict_cv_() {
+  // Specialized F P F^T + Q for F = I + dt couplings. Bit-identity: per
+  // output element this replays the generic kernels' term sequence — each
+  // F*[.] row k-sum touches only k = i (weight 1.0) and, for rows 0/1, the
+  // coupling column; the [.]*F^T column j-sum likewise only k = j plus the
+  // coupling. Terms the generic loop skips (exact-zero lhs) or that
+  // contribute v*0.0 (rhs structural zeros) provably never change the
+  // accumulator value: adding +-0.0 to a running sum only normalizes a zero
+  // accumulator to +0.0, which `through_unit` reproduces.
+  const double f04 = f_(0, 4);
+  const double f15 = f_(1, 5);
+  double* x = x_.data().data();
+  const double nx0 = through_unit(x[0]) + f04 * x[4];
+  const double nx1 = through_unit(x[1]) + f15 * x[5];
+  x[0] = nx0;
+  x[1] = nx1;
+  for (std::size_t i = 2; i < 6; ++i) x[i] = through_unit(x[i]);
+
+  const double* q = q_.data().data();
+  double* p = p_.data().data();
+  const double* p4 = p + 4 * 6;
+  const double* p5 = p + 5 * 6;
+  double fp[6];
+  for (std::size_t i = 0; i < 6; ++i) {
+    double* pi = p + i * 6;
+    // Row i of F*P (reads rows i, 4, 5 of P — rows 4/5 are only
+    // overwritten on their own iteration, after this read).
+    for (std::size_t j = 0; j < 6; ++j) {
+      double v = through_unit(pi[j]);
+      if (i == 0) v += f04 * p4[j];
+      if (i == 1) v += f15 * p5[j];
+      fp[j] = v;
+    }
+    // Row i of (F P) F^T + Q, written over P in place.
+    double c0 = through_unit(fp[0]);
+    if (fp[4] != 0.0) c0 += fp[4] * f04;
+    double c1 = through_unit(fp[1]);
+    if (fp[5] != 0.0) c1 += fp[5] * f15;
+    const double* qi = q + i * 6;
+    pi[0] = c0 + qi[0];
+    pi[1] = c1 + qi[1];
+    for (std::size_t j = 2; j < 6; ++j) pi[j] = through_unit(fp[j]) + qi[j];
+  }
+}
+
 void KalmanFilter::update(const math::Matrix& z) {
+  if (cv_fast_ && z.rows() == 4 && z.cols() == 1) {
+    update_cv_(z);
+    return;
+  }
   // y = z - H x
   math::multiply_into(h_, x_, t_hx_);
   math::subtract_into(z, t_hx_, t_y_);
@@ -62,6 +142,68 @@ void KalmanFilter::update(const math::Matrix& z) {
     }
   }
   math::multiply_into(t_nn2_, p_, t_nn1_);
+  std::swap(p_, t_nn1_);
+}
+
+void KalmanFilter::update_cv_(const math::Matrix& z) {
+  // Specialized measurement update for H = [I4 | 0]. The selection rows
+  // collapse H x / H P / (H P) H^T / P H^T / K H to `through_unit` copies of
+  // the corresponding state/covariance/gain blocks — exactly what the
+  // generic skip-zero kernels accumulate element by element (see
+  // predict_cv_ for the +-0.0 argument). The dense remainders (S^-1
+  // products, (I - K H) P) run the same fixed kernels the generic dispatch
+  // selects, in the same order.
+  const double* zd = z.data().data();
+  double* x = x_.data().data();
+  const double* p = p_.data().data();
+  const double* r = r_.data().data();
+  // y = z - H x
+  t_y_.resize(4, 1);
+  double* y = t_y_.data().data();
+  for (std::size_t i = 0; i < 4; ++i) y[i] = zd[i] - through_unit(x[i]);
+  // S = H P H^T + R: top-left 4x4 block of P, plus R.
+  t_mm1_.resize(4, 4);
+  double* s = t_mm1_.data().data();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      s[i * 4 + j] = through_unit(p[i * 6 + j]) + r[i * 4 + j];
+    }
+  }
+  math::invert_into(t_mm1_, t_mm2_, t_s_inv_);
+  // Innovation Mahalanobis bookkeeping — same kernel calls as the generic
+  // update, so `last_update_mahalanobis2` keeps its bitwise contract.
+  math::transposed_multiply_into(t_y_, t_s_inv_, t_mn_);
+  math::multiply_into(t_mn_, t_y_, t_hx_);
+  last_update_m2_ = t_hx_(0, 0);
+  // K = (P H^T) S^-1: P H^T is the left 6x4 block of P.
+  t_nm_.resize(6, 4);
+  double* pht = t_nm_.data().data();
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      pht[i * 4 + j] = through_unit(p[i * 6 + j]);
+    }
+  }
+  t_k_.resize(6, 4);
+  double* k = t_k_.data().data();
+  math::detail::multiply_fixed<6, 4, 4>(pht, t_s_inv_.data().data(), k);
+  // x <- x + K y
+  t_x_.resize(6, 1);
+  double* ky = t_x_.data().data();
+  math::detail::multiply_fixed<6, 4, 1>(k, y, ky);
+  for (std::size_t i = 0; i < 6; ++i) x[i] += ky[i];
+  // P <- (I - K H) P, with K H = [K | 0] through the selection columns.
+  t_nn2_.resize(6, 6);
+  double* ikh = t_nn2_.data().data();
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      ikh[i * 6 + j] = (i == j ? 1.0 : 0.0) - through_unit(k[i * 4 + j]);
+    }
+    for (std::size_t j = 4; j < 6; ++j) {
+      ikh[i * 6 + j] = (i == j ? 1.0 : 0.0) - 0.0;
+    }
+  }
+  t_nn1_.resize(6, 6);
+  math::detail::multiply_fixed<6, 6, 6>(ikh, p, t_nn1_.data().data());
   std::swap(p_, t_nn1_);
 }
 

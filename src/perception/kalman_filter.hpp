@@ -60,8 +60,18 @@ class KalmanFilter {
   void set_measurement_noise(const math::Matrix& r) { r_ = r; }
 
  private:
+  /// Structured fast path for the bbox tracker's constant-velocity model
+  /// (n = 6, m = 4, H an exact 0/1 selection block, F identity plus the two
+  /// dt couplings). Detected once at construction; F and H are immutable
+  /// afterwards. Both bodies replay the generic skip-zero kernels' exact
+  /// per-element term sequences (see the derivation comments in the .cpp),
+  /// so every result is bit-identical to the generic path.
+  void predict_cv_();
+  void update_cv_(const math::Matrix& z);
+
   math::Matrix f_, q_, h_, r_, x_, p_;
   double last_update_m2_{-1.0};
+  bool cv_fast_{false};
 
   // Fixed scratch reused by every predict/update/mahalanobis2 so a filter
   // step performs zero heap allocations at steady state (the campaign hot

@@ -37,6 +37,19 @@ bool read_file(const fs::path& path, std::string& out) {
   return in.good() || in.eof();
 }
 
+fs::path touch_sidecar(const fs::path& entry) {
+  return fs::path(entry.string() + ".touch");
+}
+
+/// Access counter from an entry's `.touch` sidecar; 0 (== "no recorded
+/// access, fall back to mtime") when absent or unreadable.
+std::uint64_t read_touch(const fs::path& entry) {
+  std::ifstream in(touch_sidecar(entry));
+  std::uint64_t v = 0;
+  if (in >> v) return v;
+  return 0;
+}
+
 }  // namespace
 
 std::uint64_t campaign_cell_fingerprint(
@@ -68,6 +81,32 @@ CampaignCellCache::CampaignCellCache(CacheConfig config)
     throw std::invalid_argument("CampaignCellCache: empty cache dir");
   }
   fs::create_directories(config_.dir);
+  // Re-seed the monotonic access sequence from the max persisted counter,
+  // so a restarted process keeps strictly increasing LRU order.
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(config_.dir, ec)) {
+    if (de.path().extension() != ".touch") continue;
+    std::ifstream in(de.path());
+    std::uint64_t v = 0;
+    if (in >> v) touch_seq_ = std::max(touch_seq_, v);
+  }
+}
+
+void CampaignCellCache::touch_locked(const std::string& entry_path) {
+  const fs::path sidecar = touch_sidecar(entry_path);
+  const fs::path tmp = sidecar.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << ++touch_seq_ << '\n';
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;  // counter write failed: the entry falls back to mtime order
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, sidecar, ec);
+  if (ec) fs::remove(tmp, ec);
 }
 
 std::string CampaignCellCache::entry_path(
@@ -139,6 +178,11 @@ std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
   }
 
   ++stats_.hits;
+  // LRU re-touch: the authoritative order is the monotonic counter (mtime
+  // has 1 s granularity on some filesystems, which let a hit tie with a
+  // cold store and lose to the path tie-break); the mtime refresh stays as
+  // the fallback signal for entries handled by older builds.
+  touch_locked(path.string());
   std::error_code ec;
   fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   return result;
@@ -171,6 +215,7 @@ void CampaignCellCache::store(const experiments::CampaignSpec& spec,
     return;
   }
   ++stats_.stores;
+  touch_locked(path.string());
 
   if (config_.max_bytes > 0) {
     stats_.evictions += evict_locked(config_.max_bytes);
@@ -190,6 +235,7 @@ std::size_t CampaignCellCache::evict_to_limit() {
 
 std::size_t CampaignCellCache::evict_locked(std::size_t limit_bytes) {
   struct Entry {
+    std::uint64_t touch;  ///< 0 = no counter, order by mtime
     fs::file_time_type mtime;
     std::uintmax_t size;
     fs::path path;
@@ -208,14 +254,18 @@ std::size_t CampaignCellCache::evict_locked(std::size_t limit_bytes) {
     const auto mtime = fs::last_write_time(de.path(), fec);
     if (fec) continue;
     total += size;
-    entries.push_back({mtime, size, de.path()});
+    entries.push_back({read_touch(de.path()), mtime, size, de.path()});
   }
   if (total <= limit_bytes) return 0;
 
-  // Oldest access first (hits re-touch mtime, so this is LRU); path as a
-  // deterministic tie-break on coarse-granularity filesystems.
+  // Oldest access first. Primary key: the monotonic touch counter (every
+  // store and every hit bumps it), immune to the 1 s mtime granularity that
+  // used to let a just-hit entry tie with — and evict before — a cold one.
+  // Counterless entries sort first among themselves by mtime; path is the
+  // final deterministic tie-break.
   std::sort(entries.begin(), entries.end(), [](const Entry& a,
                                                const Entry& b) {
+    if (a.touch != b.touch) return a.touch < b.touch;
     if (a.mtime != b.mtime) return a.mtime < b.mtime;
     return a.path < b.path;
   });
@@ -226,6 +276,7 @@ std::size_t CampaignCellCache::evict_locked(std::size_t limit_bytes) {
     if (fs::remove(e.path, rec)) {
       total -= e.size;
       ++removed;
+      fs::remove(touch_sidecar(e.path), rec);  // evicted entry's sidecar too
     }
   }
   return removed;

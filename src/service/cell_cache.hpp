@@ -65,7 +65,9 @@ class CampaignCellCache {
   explicit CampaignCellCache(CacheConfig config);
 
   /// The cached result for this exact spec (at this cache's code version),
-  /// or nullopt. A hit re-touches the file's mtime for LRU.
+  /// or nullopt. A hit re-touches the entry for LRU: its `.touch` sidecar
+  /// gets the next monotonic access counter (and the mtime is refreshed as
+  /// a best-effort fallback).
   [[nodiscard]] std::optional<experiments::CampaignResult> lookup(
       const experiments::CampaignSpec& spec);
 
@@ -91,9 +93,22 @@ class CampaignCellCache {
   /// Sweep body; caller holds mutex_. Returns files removed.
   std::size_t evict_locked(std::size_t limit_bytes);
 
+  /// Writes `cell_<hash>.rtcr.touch` with the next access counter; caller
+  /// holds mutex_.
+  void touch_locked(const std::string& entry_path);
+
   CacheConfig config_;
   mutable std::mutex mutex_;
   CacheStats stats_;
+  /// Monotonic access sequence for LRU ordering. fs::last_write_time has
+  /// 1 s granularity on some filesystems, so a hit and a cold store within
+  /// the same second used to tie and fall through to the path tie-break —
+  /// which could evict the just-hit entry before a cold one. Counters are
+  /// persisted in per-entry `.touch` sidecars and re-seeded from their max
+  /// at construction, so ordering survives process restarts; entries
+  /// without a sidecar (legacy, or a lost write) fall back to mtime and
+  /// sort before any counter-bearing entry.
+  std::uint64_t touch_seq_{0};
 };
 
 }  // namespace rt::service

@@ -1,5 +1,13 @@
 #include "stats/rng.hpp"
 
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "stats/fit.hpp"
+
 namespace rt::stats {
 
 namespace {
@@ -10,7 +18,31 @@ std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+bool legacy_normal_from_env() {
+  const char* v = std::getenv("RT_LEGACY_NOISE");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& legacy_normal_flag() {
+  static std::atomic<bool> flag{legacy_normal_from_env()};
+  return flag;
+}
+
+[[noreturn]] void throw_nan(const char* what) {
+  throw std::invalid_argument(std::string("Rng::") + what +
+                              ": NaN parameter");
+}
 }  // namespace
+
+void Rng::set_legacy_normal(bool on) {
+  legacy_normal_flag().store(on, std::memory_order_relaxed);
+}
+
+bool Rng::legacy_normal() {
+  return legacy_normal_flag().load(std::memory_order_relaxed);
+}
 
 Rng Rng::from_stream(std::uint64_t seed, std::uint64_t stream) {
   // Two rounds of the splitmix64 finalizer over (seed, stream). Unlike
@@ -30,6 +62,7 @@ Rng Rng::derive(std::uint64_t stream) const {
 }
 
 double Rng::uniform(double lo, double hi) {
+  if (std::isnan(lo) || std::isnan(hi)) throw_nan("uniform");
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);
 }
@@ -40,16 +73,34 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::normal(double mean, double stddev) {
-  std::normal_distribution<double> d(mean, stddev);
-  return d(engine_);
+  if (std::isnan(mean) || std::isnan(stddev)) throw_nan("normal");
+  if (legacy_normal()) {
+    // Historical path (pre counter-based migration): a fresh
+    // std::normal_distribution per call, i.e. a Marsaglia-polar rejection
+    // loop with a value-dependent engine advance. Kept only until the
+    // re-pinned goldens have soaked; see the header.
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+  // Counter-based draw: one engine word -> u strictly inside (0, 1) (the
+  // top 53 bits, centered on the half-ulp grid so u can reach neither
+  // endpoint) -> inverse CDF. Acklam's approximation stays in its central
+  // rational branch for ~95% of draws, so the common case is a handful of
+  // multiplies — no rejection loop, no log/sqrt.
+  const std::uint64_t word = engine_();
+  const double u =
+      (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;
+  return mean + stddev * normal_quantile(u);
 }
 
 double Rng::exponential(double rate) {
+  if (std::isnan(rate)) throw_nan("exponential");
   std::exponential_distribution<double> d(rate);
   return d(engine_);
 }
 
 bool Rng::bernoulli(double p) {
+  if (std::isnan(p)) throw_nan("bernoulli");
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   std::bernoulli_distribution d(p);

@@ -15,6 +15,16 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
 
+  /// Migration switch for the PR 8 counter-based Gaussian rewrite: when on,
+  /// `normal` runs the historical `std::normal_distribution` path instead
+  /// of the counter-based inverse-CDF draw. Process-wide, initialized once
+  /// from the RT_LEGACY_NOISE environment variable (any non-empty value
+  /// other than "0" enables it). Exists only until the re-pinned goldens
+  /// have soaked; scheduled for removal in a later PR — see README
+  /// "Performance".
+  static void set_legacy_normal(bool on);
+  [[nodiscard]] static bool legacy_normal();
+
   /// Deterministically derives an independent child generator. `stream`
   /// selects the child; the same (seed, stream) pair always yields the same
   /// child sequence.
@@ -28,15 +38,29 @@ class Rng {
   [[nodiscard]] static Rng from_stream(std::uint64_t seed,
                                        std::uint64_t stream);
 
-  /// Uniform double in [lo, hi).
+  /// Uniform double in [lo, hi). Throws `std::invalid_argument` on NaN
+  /// bounds (the std distribution underneath has undefined behaviour
+  /// there, and a NaN bound is always an upstream bug).
   double uniform(double lo, double hi);
   /// Uniform integer in [lo, hi] (inclusive).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Gaussian with the given mean and standard deviation.
+  ///
+  /// Counter-based draw: consumes exactly ONE engine word per call — the
+  /// word's top 53 bits map to u in (0, 1), which feeds the standard-normal
+  /// inverse CDF (stats::normal_quantile). Compared to the historical
+  /// `std::normal_distribution` (a fresh Marsaglia-polar rejection loop per
+  /// call), this is both cheaper and *stream-pure*: the engine advance per
+  /// draw is a constant, independent of the values drawn, so interleaving
+  /// normal draws with other draws is reproducible by construction. Throws
+  /// `std::invalid_argument` on NaN parameters. The legacy path remains
+  /// reachable via `set_legacy_normal` / RT_LEGACY_NOISE during the golden
+  /// migration window.
   double normal(double mean, double stddev);
-  /// Exponential with the given rate (mean 1/rate).
+  /// Exponential with the given rate (mean 1/rate). Throws on NaN rate.
   double exponential(double rate);
-  /// Bernoulli trial.
+  /// Bernoulli trial. Throws `std::invalid_argument` on NaN p (the std
+  /// distribution would be undefined behaviour).
   bool bernoulli(double p);
 
   std::mt19937_64& engine() { return engine_; }

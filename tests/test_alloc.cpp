@@ -211,5 +211,41 @@ TEST(AllocationPins, SafetyOraclePredictIsAllocationFreeAfterWarmup) {
       << sink << ")";
 }
 
+TEST(AllocationPins, SafetyOraclePredictBatchIsAllocationFreeAfterWarmup) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  core::SafetyOracle oracle(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  stats::Rng rng(4);
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back({rng.uniform(0.0, 40.0), -5.0, 0.0, 0.0, 0.0,
+                  rng.uniform(3.0, 70.0)});
+    ys.push_back(xs.back()[0] - 0.3 * xs.back()[5]);
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  oracle.train(nn::Dataset::from_samples(xs, ys), cfg);
+  constexpr std::size_t kBatch = 32;
+  std::vector<core::OracleQuery> queries(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    queries[i] = {20.0 + 0.1 * static_cast<double>(i), {-5.0, 0.1},
+                  {0.1, 0.0}, 30.0};
+  }
+  std::vector<double> out(kBatch);
+  // Warm the thread-local gather matrix + workspace at this batch width.
+  oracle.predict_batch(queries, out);
+  oracle.predict_batch(queries, out);
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    queries[0].delta = 20.0 + 0.01 * i;
+    oracle.predict_batch(queries, out);
+    sink += out[0];
+  }
+  EXPECT_EQ(allocations(), before)
+      << "SafetyOracle::predict_batch allocated on the steady-state path "
+      << "(sink " << sink << ")";
+}
+
 }  // namespace
 }  // namespace rt

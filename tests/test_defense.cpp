@@ -505,16 +505,22 @@ TEST(DefenseCampaign, DetectionSemanticsAreConsistent) {
 // Rng::from_stream derivation (exact, not statistical — drift means run or
 // monitor semantics changed; re-measure and update in the same PR, noting
 // it in CHANGES.md).
+//
+// Re-pinned for the PR 8 counter-based noise migration: Rng::normal now
+// draws one engine word through the inverse CDF, so every run's sensor
+// noise moved. Old pins (std::normal_distribution noise, still reachable
+// via RT_LEGACY_NOISE=1): DS-1 detected 12/12 with median 12 frames,
+// cut-in detected 11/12 with median 13 frames.
 TEST(GoldenDefense, Ds1NoShSensorConsistencyPins) {
   experiments::LoopConfig loop;
   experiments::CampaignRunner runner(loop, {});
   const auto result =
       runner.run(nosh_spec("DS-1", "sensor-consistency", 12, 4242));
   EXPECT_EQ(result.triggered_count(), 12);
-  EXPECT_EQ(result.detected_count(), 12);
+  EXPECT_EQ(result.detected_count(), 10);
   EXPECT_EQ(result.false_alarm_count(), 0);
-  EXPECT_NEAR(result.detection_rate(), 1.0, 1e-12);
-  EXPECT_NEAR(result.median_frames_to_detection(), 12.0, 1e-9);
+  EXPECT_NEAR(result.detection_rate(), 10.0 / 12.0, 1e-12);
+  EXPECT_NEAR(result.median_frames_to_detection(), 11.0, 1e-9);
 }
 
 TEST(GoldenDefense, CutInNoShSensorConsistencyPins) {
@@ -523,9 +529,9 @@ TEST(GoldenDefense, CutInNoShSensorConsistencyPins) {
   const auto result =
       runner.run(nosh_spec("cut-in", "sensor-consistency", 12, 4242));
   EXPECT_EQ(result.triggered_count(), 12);
-  EXPECT_EQ(result.detected_count(), 11);
+  EXPECT_EQ(result.detected_count(), 10);
   EXPECT_EQ(result.false_alarm_count(), 0);
-  EXPECT_NEAR(result.median_frames_to_detection(), 13.0, 1e-9);
+  EXPECT_NEAR(result.median_frames_to_detection(), 12.5, 1e-9);
 }
 
 TEST(GoldenDefense, FalsePositivePinsOnNoAttackBaselines) {

@@ -118,15 +118,19 @@ TEST(GoldenTableII, Ds1DisappearMiniCampaign) {
   ASSERT_EQ(result.n(), 8);
   EXPECT_EQ(result.spec.name, "DS-1-Disappear-R");
 
-  // Pinned aggregates (see header comment before updating). The mini
-  // oracle launches aggressively with the minimal k, so every run triggers
-  // but none reaches emergency braking — the full-scale rates live in
-  // bench/table2_attack_summary, not here.
+  // Pinned aggregates (see header comment before updating). Every run
+  // triggers but none reaches emergency braking — the full-scale rates
+  // live in bench/table2_attack_summary, not here.
+  //
+  // median_k re-pinned for the PR 8 counter-based noise migration: the
+  // mini oracle trains on different noise draws and now launches at
+  // mid-range k instead of the minimal k. Old pin (std::normal_distribution
+  // noise, still reachable via RT_LEGACY_NOISE=1): median_k == 3.0.
   EXPECT_EQ(result.triggered_count(), 8);
   EXPECT_EQ(result.eb_count(), 0);
   EXPECT_EQ(result.crash_count(), 0);
   EXPECT_EQ(result.ids_flagged_count(), 0);
-  EXPECT_NEAR(result.median_k(), 3.0, 1e-9);
+  EXPECT_NEAR(result.median_k(), 15.5, 1e-9);
 
   // Every triggered run reports a usable min-delta sample (Fig. 6 input).
   EXPECT_EQ(result.min_deltas().size(), 8u);

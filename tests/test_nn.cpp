@@ -400,6 +400,40 @@ TEST(MlpWorkspace, ForwardIntoMatchesForwardBitwise) {
   }
 }
 
+// PR 8 batched-serving contract: a D x B batch through one matrix-matrix
+// forward yields, column for column, EXACTLY the bits of B width-1
+// forwards. Guaranteed by the kernel contract in math/matrix.hpp (ordered
+// ascending-k accumulation per output element, independent of batch width).
+TEST(MlpWorkspace, PredictBatchColumnsMatchSingleColumnsBitwise) {
+  stats::Rng rng(22);
+  Mlp net = make_safety_hijacker_net(rng, 6, /*dropout_rate=*/0.0);
+  Mlp::Workspace batch_ws;
+  Mlp::Workspace single_ws;
+  for (const std::size_t batch : {1u, 2u, 7u, 32u}) {
+    math::Matrix x(6, batch);
+    for (double& v : x.data()) v = rng.uniform(-2.0, 2.0);
+    const math::Matrix batched = net.predict_batch_into(x, batch_ws);
+    ASSERT_EQ(batched.cols(), batch);
+    math::Matrix col(6, 1);
+    for (std::size_t j = 0; j < batch; ++j) {
+      for (std::size_t i = 0; i < 6; ++i) col(i, 0) = x(i, j);
+      const math::Matrix& single = net.predict_batch_into(col, single_ws);
+      for (std::size_t i = 0; i < batched.rows(); ++i) {
+        const double bv = batched(i, j);
+        const double sv = single(i, 0);
+        std::uint64_t bb = 0;
+        std::uint64_t sb = 0;
+        std::memcpy(&bb, &bv, sizeof bb);
+        std::memcpy(&sb, &sv, sizeof sb);
+        EXPECT_EQ(bb, sb) << "batch " << batch << " col " << j << " row "
+                          << i;
+      }
+    }
+    // predict_batch (thread-local workspace) serves the same bits.
+    EXPECT_TRUE(bits_equal(net.predict_batch(x), batched));
+  }
+}
+
 TEST(MlpWorkspace, BackwardIntoMatchesLegacyGradientsBitwise) {
   // Two identical nets (same seed, dropout disabled so training forwards
   // are deterministic): one driven through the legacy cache-based path,

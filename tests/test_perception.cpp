@@ -533,6 +533,12 @@ TEST(MotTracker, UpdateIntoMatchesUpdate) {
 // allocating Matrix operators): a 200-step noisy BboxTrack walk, folding
 // the post-step state estimate and the Mahalanobis gate value. The
 // scratch-based Kalman step must reproduce it bit for bit.
+//
+// Re-pinned for the PR 8 counter-based noise migration (Rng::normal is now
+// one engine word through the inverse CDF): the trace's noise draws moved,
+// the KF algebra did not — under RT_LEGACY_NOISE=1 this walk still hashes
+// to the previous pin 0x9d97ae90dde06aacULL, which also proves the PR 8
+// fixed-dimension matrix kernels are bit-identical to the generic paths.
 TEST(KalmanFilter, GoldenTrackTraceIsBitIdenticalToPreRefactor) {
   Detection d;
   d.bbox = {100.0, 100.0, 40.0, 40.0};
@@ -554,7 +560,10 @@ TEST(KalmanFilter, GoldenTrackTraceIsBitIdenticalToPreRefactor) {
     }
     h = stats::fnv1a_double(h, track.mahalanobis2(d.bbox));
   }
-  EXPECT_EQ(h, 0x9d97ae90dde06aacULL);
+  const std::uint64_t expected = stats::Rng::legacy_normal()
+                                     ? 0x9d97ae90dde06aacULL
+                                     : 0x52ffad82edfddd8aULL;
+  EXPECT_EQ(h, expected);
 }
 
 }  // namespace

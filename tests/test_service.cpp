@@ -313,6 +313,102 @@ TEST(CellCache, LruEvictionRemovesOldestFirst) {
   EXPECT_FALSE(fs::exists(cache.entry_path(specs[3])));
 }
 
+TEST(CellCache, TouchCounterLruBeatsCoarseMtimeTies) {
+  // Regression (PR 8): eviction order used to be (mtime, path). On a
+  // filesystem with 1 s timestamp granularity a hit and a cold store land
+  // on the SAME mtime, so the just-hit entry could lose the path tie-break
+  // and be evicted before a cold one. The persisted monotonic touch
+  // counter orders accesses exactly even when every mtime is equal.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const std::string dir = scratch_dir("cache_touch");
+  std::vector<CampaignSpec> specs;
+  std::size_t hit = 0;
+  {
+    CampaignCellCache cache({dir, /*max_bytes=*/0});
+    for (int i = 0; i < 3; ++i) {
+      specs.push_back(
+          small_spec("touch", 3000 + static_cast<std::uint64_t>(i)));
+      cache.store(specs.back(), runner.run(specs.back()));
+    }
+    // Worst case: every entry carries the identical mtime.
+    const auto now = fs::file_time_type::clock::now();
+    for (const auto& s : specs) {
+      fs::last_write_time(cache.entry_path(s), now);
+    }
+    // Hit the entry whose path sorts FIRST — exactly the entry the old
+    // (mtime, path) ordering would pick as the eviction victim.
+    for (std::size_t i = 1; i < specs.size(); ++i) {
+      if (cache.entry_path(specs[i]) < cache.entry_path(specs[hit])) {
+        hit = i;
+      }
+    }
+    ASSERT_TRUE(cache.lookup(specs[hit]).has_value());
+    const auto entry_size = fs::file_size(cache.entry_path(specs[0]));
+    cache.evict_to_limit(static_cast<std::size_t>(entry_size) * 2 +
+                         static_cast<std::size_t>(entry_size) / 2);
+    EXPECT_TRUE(fs::exists(cache.entry_path(specs[hit])))
+        << "just-hit entry was evicted before a cold one";
+    // The evicted entry takes its sidecar with it.
+    std::size_t rtcr = 0;
+    std::size_t touch = 0;
+    for (const auto& de : fs::directory_iterator(dir)) {
+      rtcr += de.path().extension() == ".rtcr" ? 1 : 0;
+      touch += de.path().extension() == ".touch" ? 1 : 0;
+    }
+    EXPECT_EQ(rtcr, 2u);
+    EXPECT_EQ(touch, 2u);
+  }
+  // A reopened cache reseeds its counter from the persisted max, so a hit
+  // in the new process still outranks every access of the old one.
+  {
+    CampaignCellCache cache({dir, /*max_bytes=*/0});
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (fs::exists(cache.entry_path(specs[i]))) alive.push_back(i);
+    }
+    ASSERT_EQ(alive.size(), 2u);
+    const auto now = fs::file_time_type::clock::now();
+    for (const std::size_t i : alive) {
+      fs::last_write_time(cache.entry_path(specs[i]), now);
+    }
+    ASSERT_TRUE(cache.lookup(specs[alive[0]]).has_value());
+    const auto entry_size = fs::file_size(cache.entry_path(specs[alive[0]]));
+    cache.evict_to_limit(static_cast<std::size_t>(entry_size) +
+                         static_cast<std::size_t>(entry_size) / 2);
+    EXPECT_TRUE(fs::exists(cache.entry_path(specs[alive[0]])));
+    EXPECT_FALSE(fs::exists(cache.entry_path(specs[alive[1]])));
+  }
+}
+
+TEST(CellCache, EvictionFallsBackToMtimeForCounterlessEntries) {
+  // Entries as an older build left them (no .touch sidecar) still evict in
+  // mtime order, and sort before any counter-bearing entry.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const std::string dir = scratch_dir("cache_mtime_fallback");
+  CampaignCellCache cache({dir, /*max_bytes=*/0});
+  std::vector<CampaignSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(
+        small_spec("fallback", 4000 + static_cast<std::uint64_t>(i)));
+    cache.store(specs.back(), runner.run(specs.back()));
+  }
+  for (const auto& s : specs) {
+    fs::remove(fs::path(cache.entry_path(s) + ".touch"));
+  }
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& s : specs) fs::last_write_time(cache.entry_path(s), now);
+  fs::last_write_time(cache.entry_path(specs[1]),
+                      now - std::chrono::hours(2));
+  const auto entry_size = fs::file_size(cache.entry_path(specs[0]));
+  cache.evict_to_limit(static_cast<std::size_t>(entry_size) * 2 +
+                       static_cast<std::size_t>(entry_size) / 2);
+  EXPECT_FALSE(fs::exists(cache.entry_path(specs[1])));
+  EXPECT_TRUE(fs::exists(cache.entry_path(specs[0])));
+  EXPECT_TRUE(fs::exists(cache.entry_path(specs[2])));
+}
+
 TEST(CellCache, StoreSweepsToConfiguredBudget) {
   LoopConfig loop;
   CampaignRunner runner(loop, {});

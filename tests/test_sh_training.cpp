@@ -21,8 +21,11 @@ using core::AttackVector;
 
 // Small launch grid: 8 launches per vector, sub-second even under ASan.
 // (Seed 123, not the GoldenTableII 99: at seed 99 one DS-1 Move_Out launch
-// sits on an optimization-level-sensitive branch, so its bit pattern is not
-// pinnable across the Release and Debug/ASan suites.)
+// sat on an optimization-level-sensitive branch, so its bits were not
+// pinnable across the Release and Debug/ASan suites. The divergence was
+// traced to the planner's std::pow(., 2.0), which gcc folds to a multiply
+// at -O2 but routes through libm at -O0; it is squared explicitly now, and
+// 123 is kept only to avoid re-pinning.)
 ShTrainingConfig small_config() {
   ShTrainingConfig cfg;
   cfg.delta_triggers = {12.0, 20.0};
@@ -120,6 +123,13 @@ TEST(GenerateShDataset, CurriculumChangesTheDataset) {
 // small-grid hashes pin the same streams at a faster grid). If one of
 // these moves, cached oracles and the §IV-B training data changed
 // meaning — re-measure on purpose and say so in CHANGES.md.
+//
+// Re-pinned for the PR 8 counter-based noise migration (Rng::normal now
+// draws one engine word through the inverse CDF; the historical
+// std::normal_distribution stream is reachable via RT_LEGACY_NOISE=1).
+// Old pins, for the record: Move_Out 0x84698609b1dde15e, Disappear
+// 0xca61304a2a8a193f, Move_In 0x4e840efd0ccf25ba; full default Move_Out
+// grid 293 rows / 0xfb0b3087230ddd77.
 
 TEST(GenerateShDataset, GoldenSmallGridHashes) {
   LoopConfig loop;
@@ -130,9 +140,9 @@ TEST(GenerateShDataset, GoldenSmallGridHashes) {
     std::uint64_t hash;
   };
   const Pin pins[] = {
-      {AttackVector::kMoveOut, 8, 0x84698609b1dde15eULL},
-      {AttackVector::kDisappear, 8, 0xca61304a2a8a193fULL},
-      {AttackVector::kMoveIn, 8, 0x4e840efd0ccf25baULL},
+      {AttackVector::kMoveOut, 8, 0x2ae70a0aaf7fd7c4ULL},
+      {AttackVector::kDisappear, 8, 0x2cf1f2d4cc5f3a5dULL},
+      {AttackVector::kMoveIn, 8, 0x246671554a54ae05ULL},
   };
   for (const Pin& pin : pins) {
     const nn::Dataset d = generate_sh_dataset(pin.v, loop, cfg);
@@ -147,8 +157,8 @@ TEST(GenerateShDataset, GoldenDefaultCurriculumReproducesCachedOracleData) {
   LoopConfig loop;
   const ShTrainingConfig cfg;  // paper defaults end to end
   const nn::Dataset d = generate_sh_dataset(AttackVector::kMoveOut, loop, cfg);
-  EXPECT_EQ(d.size(), 293u);
-  EXPECT_EQ(d.content_hash(), 0xfb0b3087230ddd77ULL);
+  EXPECT_EQ(d.size(), 296u);
+  EXPECT_EQ(d.content_hash(), 0xc3f227283a163b3fULL);
 }
 
 // ------------------------------------------------- curriculum-keyed cache
@@ -292,6 +302,12 @@ TEST(OracleProvenance, LegacyFilesLoadWithEmptyProvenance) {
 // Pins computed on the pre-kernel-refactor implementation (allocating
 // Matrix operators, per-batch trainer allocations, serial pipelines). The
 // workspace/kernel rewrite must leave every trained bit unchanged.
+//
+// Re-pinned for the PR 8 counter-based noise migration: the campaign noise
+// feeding the training grids moved, the trainer itself did not. Old pins:
+// small grid net 0x251492c33d2bb186 / oracle 0x95b4a0960a1ca157 (val loss
+// 69.758052867208917), paper-default net 0x9674b244dddd74e1 / oracle
+// 0x4c3c5ac199f83a3e.
 
 TEST(TrainedOracleGolden, SmallGridMoveOutWeightsAreBitIdentical) {
   LoopConfig loop;
@@ -303,9 +319,9 @@ TEST(TrainedOracleGolden, SmallGridMoveOutWeightsAreBitIdentical) {
   cfg.threads = 1;
   nn::TrainResult result;
   auto oracle = train_oracle(AttackVector::kMoveOut, loop, cfg, &result);
-  EXPECT_EQ(oracle->net().content_hash(), 0x251492c33d2bb186ULL);
-  EXPECT_EQ(oracle->content_hash(), 0x95b4a0960a1ca157ULL);
-  EXPECT_EQ(result.final_val_loss, 69.758052867208917);
+  EXPECT_EQ(oracle->net().content_hash(), 0x821e0dd461efde73ULL);
+  EXPECT_EQ(oracle->content_hash(), 0x93767914af91bdd8ULL);
+  EXPECT_EQ(result.final_val_loss, 153.18231636430434);
 }
 
 TEST(TrainedOracleGolden, DefaultMoveOutOracleIsUnchangedByTheRefactor) {
@@ -315,8 +331,8 @@ TEST(TrainedOracleGolden, DefaultMoveOutOracleIsUnchangedByTheRefactor) {
   ShTrainingConfig cfg;
   cfg.threads = 1;
   auto oracle = train_oracle(AttackVector::kMoveOut, loop, cfg);
-  EXPECT_EQ(oracle->net().content_hash(), 0x9674b244dddd74e1ULL);
-  EXPECT_EQ(oracle->content_hash(), 0x4c3c5ac199f83a3eULL);
+  EXPECT_EQ(oracle->net().content_hash(), 0x30df666f2c66b46fULL);
+  EXPECT_EQ(oracle->content_hash(), 0xc2210ec90aefa063ULL);
 }
 
 // ------------------------------------------------ pooled oracle training
@@ -368,3 +384,4 @@ TEST(PooledTraining, CachedFilesRoundTripThroughThePool) {
 
 }  // namespace
 }  // namespace rt::experiments
+

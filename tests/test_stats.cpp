@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <random>
 #include <vector>
 
 #include "stats/fit.hpp"
@@ -54,6 +57,101 @@ TEST(Rng, UniformIntBounds) {
     EXPECT_GE(v, 3);
     EXPECT_LE(v, 7);
   }
+}
+
+// PR 8 noise migration: `normal` is a counter-based draw — exactly ONE
+// engine word per call, mapped through the inverse CDF. These tests pin
+// the definition, the stream-purity it buys, and the legacy escape hatch.
+
+TEST(Rng, NormalConsumesExactlyOneEngineWord) {
+  // The draw must equal the inverse-CDF map of the engine's next word, and
+  // the engine must advance by exactly one word — no value-dependent
+  // rejection loop. That makes draw sequences reproducible regardless of
+  // what distributions are interleaved (stream purity).
+  Rng a(2024);
+  std::mt19937_64 shadow(2024);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t word = shadow();
+    const double u = (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;
+    const double expected = 1.5 + 0.6 * normal_quantile(u);
+    EXPECT_DOUBLE_EQ(a.normal(1.5, 0.6), expected) << "draw " << i;
+  }
+  // Engines are in lockstep after any number of draws.
+  EXPECT_EQ(a.engine()(), shadow());
+}
+
+TEST(Rng, NormalStreamPureUnderInterleaving) {
+  // Interleaving normal draws with other draws shifts the stream by a
+  // CONSTANT offset per draw: n normals always consume exactly n words.
+  Rng interleaved(77);
+  Rng plain(77);
+  (void)interleaved.normal(0.0, 1.0);
+  (void)interleaved.normal(5.0, 2.0);
+  (void)plain.engine()();
+  (void)plain.engine()();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(interleaved.uniform(0.0, 1.0),
+                     plain.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, NormalCounterBasedStatisticalSanity) {
+  // 1e6 draws: fitted mean/sigma must recover the parameters well within
+  // Monte-Carlo tolerance (3 sigma of the estimator's own stddev is about
+  // 0.002 at this n; 0.01 leaves margin).
+  Rng rng(13);
+  std::vector<double> xs;
+  xs.reserve(1000000);
+  for (int i = 0; i < 1000000; ++i) xs.push_back(rng.normal(1.5, 0.6));
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_NEAR(fit.mu, 1.5, 0.01);
+  EXPECT_NEAR(fit.sigma, 0.6, 0.01);
+  // Tail sanity: the inverse-CDF map must produce two-sided tails (about
+  // 1350 draws beyond +/-3 sigma each at this n).
+  int lo_tail = 0;
+  int hi_tail = 0;
+  for (const double x : xs) {
+    if (x < 1.5 - 3.0 * 0.6) ++lo_tail;
+    if (x > 1.5 + 3.0 * 0.6) ++hi_tail;
+  }
+  EXPECT_GT(lo_tail, 900);
+  EXPECT_LT(lo_tail, 1900);
+  EXPECT_GT(hi_tail, 900);
+  EXPECT_LT(hi_tail, 1900);
+}
+
+TEST(Rng, LegacyNormalFlagRestoresHistoricalDraws) {
+  // The migration window: with the flag on, normal runs the historical
+  // std::normal_distribution path. The flag is scheduled for removal once
+  // the re-pinned goldens have soaked (see README "Performance").
+  ASSERT_FALSE(Rng::legacy_normal());
+  Rng::set_legacy_normal(true);
+  Rng a(42);
+  std::mt19937_64 shadow(42);
+  for (int i = 0; i < 64; ++i) {
+    // Fresh distribution per draw, exactly like the historical Rng::normal
+    // body (so no cached second polar value carries across calls).
+    std::normal_distribution<double> d(2.0, 3.0);
+    EXPECT_DOUBLE_EQ(a.normal(2.0, 3.0), d(shadow)) << "draw " << i;
+  }
+  Rng::set_legacy_normal(false);
+  ASSERT_FALSE(Rng::legacy_normal());
+}
+
+TEST(Rng, NanParametersThrow) {
+  // NaN parameters put the std distributions into undefined behaviour;
+  // every draw API rejects them loudly instead.
+  Rng r(3);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)r.uniform(nan, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)r.uniform(0.0, nan), std::invalid_argument);
+  EXPECT_THROW((void)r.normal(nan, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)r.normal(0.0, nan), std::invalid_argument);
+  EXPECT_THROW((void)r.exponential(nan), std::invalid_argument);
+  EXPECT_THROW((void)r.bernoulli(nan), std::invalid_argument);
+  // The generator stays usable after a rejected call.
+  EXPECT_NO_THROW((void)r.normal(0.0, 1.0));
+  EXPECT_NO_THROW((void)r.bernoulli(0.5));
 }
 
 TEST(NormalQuantile, KnownValues) {

@@ -77,11 +77,16 @@ TEST(TransferMatrix, TwoByTwoGoldenPinnedAndThreadInvariant) {
             (std::vector<std::string>{"DS-1", "cut-in"}));
 
   // Pinned values (measured at commit time; exact, not statistical — the
-  // whole pipeline is deterministic at a fixed seed). Accuracy discriminates
-  // at the 10 m tolerance: the DS-1-trained oracle transfers to cut-in
-  // better than the cut-in-trained oracle fits even its own family on this
-  // tiny grid. Any drift means launch, split, training or campaign
-  // semantics changed.
+  // whole pipeline is deterministic at a fixed seed). Any drift means
+  // launch, split, training or campaign semantics changed.
+  //
+  // Re-pinned for the PR 8 counter-based noise migration (one engine word
+  // per Rng::normal through the inverse CDF; the historical
+  // std::normal_distribution stream stays reachable via RT_LEGACY_NOISE=1).
+  // Old pins on this grid: mae DS-1->DS-1 8.4733690983661347 (acc 0.5),
+  // DS-1->cut-in 7.5470456983593621 (acc 1.0), cut-in->DS-1
+  // 14.114461896810651 (acc 0.5), cut-in->cut-in 17.376726977518665
+  // (acc 0.0), and no cell triggered its 2-run campaign.
   struct Pin {
     const char* train;
     const char* eval;
@@ -90,10 +95,10 @@ TEST(TransferMatrix, TwoByTwoGoldenPinnedAndThreadInvariant) {
     double mae_m;
   };
   const Pin pins[] = {
-      {"DS-1", "DS-1", 2, 0.5, 8.4733690983661347},
-      {"DS-1", "cut-in", 1, 1.0, 7.5470456983593621},
-      {"cut-in", "DS-1", 2, 0.5, 14.114461896810651},
-      {"cut-in", "cut-in", 1, 0.0, 17.376726977518665},
+      {"DS-1", "DS-1", 2, 0.0, 20.077491194220428},
+      {"DS-1", "cut-in", 1, 0.0, 24.20696423505046},
+      {"cut-in", "DS-1", 2, 0.0, 23.934925207792965},
+      {"cut-in", "cut-in", 1, 0.0, 34.06416160743732},
   };
   for (const Pin& pin : pins) {
     const TransferCell& cell = one.at(pin.train, pin.eval);
@@ -103,10 +108,10 @@ TEST(TransferMatrix, TwoByTwoGoldenPinnedAndThreadInvariant) {
     EXPECT_NEAR(cell.mae_m, pin.mae_m, 1e-9)
         << pin.train << "->" << pin.eval;
     EXPECT_GT(cell.ttc_err_s, 0.0);
-    // Behavioral columns ran (2 campaign runs; at this tiny grid the
-    // oracles decline to launch — also pinned).
+    // Behavioral columns ran (2 campaign runs; under the counter-based
+    // noise the tiny-grid oracles launch in every run — also pinned).
     EXPECT_EQ(cell.campaign_n, 2);
-    EXPECT_DOUBLE_EQ(cell.triggered_rate, 0.0);
+    EXPECT_DOUBLE_EQ(cell.triggered_rate, 1.0);
   }
 
   // The determinism contract: bit-identical at 8 threads and on a re-run.
