@@ -1,9 +1,12 @@
-// Campaign-service benchmark: runs the Table II grid twice through one
-// content-hash result cache — a cold pass (all misses, real simulation)
-// and a warm pass (all hits, pure cache reads) — and enforces the service
-// contract: the warm pass must be >= 10x faster and bit-identical to the
-// cold pass. With --workers N the cold pass additionally exercises the
-// forked multi-process sharder.
+// Campaign-service benchmark: runs the Table II grid through one
+// content-hash result cache — a cold pass (all misses, real simulation), a
+// warm pass (all hits, pure cache reads) and a chaos pass (fresh cache,
+// deterministic fault injection on the cache-write and pipe-write sites) —
+// and enforces the service contract: the warm pass must be >= 10x faster
+// and bit-identical to the cold pass, and the chaos pass must absorb every
+// injected fault and still reproduce the cold bytes. With --workers N the
+// cold and chaos passes additionally exercise the forked multi-process
+// sharder.
 
 #include <chrono>
 #include <cstdio>
@@ -14,6 +17,7 @@
 #include "bench_util.hpp"
 #include "experiments/campaign_serde.hpp"
 #include "experiments/reporting.hpp"
+#include "service/fault_injection.hpp"
 
 using namespace rt;
 
@@ -39,10 +43,10 @@ int main(int argc, char** argv) {
   std::error_code ec;
   if (owned) fs::remove_all(cache_dir, ec);
 
-  auto run_pass = [&](const char* label, double& elapsed_s,
-                      std::size_t& hits) {
+  auto run_pass = [&](const char* label, const std::string& dir,
+                      double& elapsed_s, std::size_t& hits) {
     bench::BenchOptions pass = opts;
-    pass.cache_dir = cache_dir;
+    pass.cache_dir = dir;
     auto svc = bench::make_service(runner, pass);
     const auto specs = experiments::table2_campaigns(opts.runs, opts.seed);
     const auto t0 = std::chrono::steady_clock::now();
@@ -68,9 +72,37 @@ int main(int argc, char** argv) {
   double warm_s = 0.0;
   std::size_t cold_hits = 0;
   std::size_t warm_hits = 0;
-  const std::string cold = run_pass("cold", cold_s, cold_hits);
-  const std::string warm = run_pass("warm", warm_s, warm_hits);
+  const std::string cold = run_pass("cold", cache_dir, cold_s, cold_hits);
+  const std::string warm = run_pass("warm", cache_dir, warm_s, warm_hits);
   if (owned) fs::remove_all(cache_dir, ec);
+
+  // Chaos pass: a fresh cache directory with the deterministic fault
+  // injector armed against the cache-write and pipe-write sites at 50%.
+  // Every fault must be absorbed (stores decline, dead workers re-run) and
+  // the grid must still come back byte-identical to the cold pass.
+  const std::string chaos_dir =
+      (fs::temp_directory_path() /
+       ("rt_table_service_chaos_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(chaos_dir, ec);
+  double chaos_s = 0.0;
+  std::size_t chaos_hits = 0;
+  std::string chaos;
+  std::uint64_t chaos_faults = 0;
+  {
+    service::FaultPlan plan;
+    plan.seed = opts.seed;
+    plan.rules.push_back({service::FaultSite::kCacheWrite,
+                          service::FaultType::kIoError, 0.5, -1, 0});
+    plan.rules.push_back({service::FaultSite::kPipeWrite,
+                          service::FaultType::kIoError, 0.5, -1, 0});
+    service::ArmedFaults armed(std::move(plan));
+    chaos = run_pass("chaos", chaos_dir, chaos_s, chaos_hits);
+    chaos_faults = service::FaultInjector::instance().injected_total();
+  }
+  fs::remove_all(chaos_dir, ec);
+  std::printf("chaos: %llu faults injected (parent process)\n",
+              static_cast<unsigned long long>(chaos_faults));
 
   const auto specs = experiments::table2_campaigns(opts.runs, opts.seed);
   int grid_runs = 0;
@@ -84,6 +116,9 @@ int main(int argc, char** argv) {
         opts.seed},
        {"table_service_warm", warm_s > 0.0 ? grid_runs / warm_s : 0.0,
         warm_s * 1000.0, opts.workers >= 1 ? opts.workers : opts.threads,
+        opts.seed},
+       {"table_service_chaos", chaos_s > 0.0 ? grid_runs / chaos_s : 0.0,
+        chaos_s * 1000.0, opts.workers >= 1 ? opts.workers : opts.threads,
         opts.seed}});
 
   bool ok = true;
@@ -102,6 +137,15 @@ int main(int argc, char** argv) {
   }
   if (speedup < 10.0) {
     std::printf("FAIL: warm pass only %.1fx faster than cold\n", speedup);
+    ok = false;
+  }
+  if (chaos != cold) {
+    std::printf("FAIL: chaos results differ from cold results\n");
+    ok = false;
+  }
+  if (chaos_hits != 0) {
+    std::printf("FAIL: chaos pass hit its fresh cache (%zu hits)\n",
+                chaos_hits);
     ok = false;
   }
   std::printf("%s\n", ok ? "service contract holds" : "service contract VIOLATED");

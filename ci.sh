@@ -15,7 +15,7 @@ ctest --test-dir build-release --output-on-failure -j "$jobs"
 # suite must fail CI, not pass vacuously.
 for required in test_golden_regression test_sh_training test_transfer_matrix \
                 test_defense test_scenario_fuzz test_campaign_serde \
-                test_service; do
+                test_service test_service_faults; do
   count="$(ctest --test-dir build-release -N -R "$required" | grep -c "Test *#" || true)"
   if [ "$count" -lt 1 ]; then
     echo "ERROR: required golden test binary '$required' missing from the suite" >&2
@@ -48,14 +48,6 @@ echo "==> bench smoke (BENCH_campaign.json)"
 ./build-release/bench/table2_attack_summary --runs 8 --threads 1 \
   --json BENCH_campaign.json
 cat BENCH_campaign.json
-
-# Legacy-noise migration window (PR 8): while the RT_LEGACY_NOISE escape
-# hatch exists, the historical std::normal_distribution path must stay
-# green too — smoke one grid driver under it. Remove together with the
-# flag once the re-pinned goldens have soaked.
-echo "==> legacy-noise smoke (RT_LEGACY_NOISE=1)"
-RT_LEGACY_NOISE=1 ./build-release/bench/table2_attack_summary \
-  --runs 2 --threads 1 >/dev/null
 
 # The attack-vs-defense matrix: smoke the full scenario x mode x monitor
 # grid (2 runs per cell keeps all 8 families to a few seconds) and track
@@ -104,6 +96,56 @@ grep -q 'hits=4 misses=0' build-release/server_pass2.log || {
   exit 1
 }
 
+# Concurrent-server determinism gate: one long-lived server on a Unix
+# socket, two requests run serially and then from two simultaneous clients.
+# Concurrent responses must be byte-identical to the serial ones (the
+# single-executor barrier is what makes the service deterministic under
+# concurrency), and the SIGTERM drain must exit 0 and unlink the socket.
+echo "==> campaign_server concurrent determinism"
+server_sock="/tmp/rt_ci_server_$$.sock"
+req_a='run scenarios=DS-1 modes=RwoSH runs=3 seed=11'
+req_b='run scenarios=DS-1 modes=Golden runs=3 seed=22'
+rm -f "$server_sock"
+./build-release/examples/campaign_server --no-oracles \
+  --socket "$server_sock" 2>build-release/server_socket.log &
+server_pid=$!
+for _ in $(seq 1 200); do
+  [ -S "$server_sock" ] && break
+  sleep 0.05
+done
+[ -S "$server_sock" ] || { echo "ERROR: server socket never appeared" >&2; exit 1; }
+./build-release/examples/campaign_client --socket "$server_sock" \
+  "$req_a" >build-release/serial_a.csv
+./build-release/examples/campaign_client --socket "$server_sock" \
+  "$req_b" >build-release/serial_b.csv
+./build-release/examples/campaign_client --socket "$server_sock" \
+  "$req_a" >build-release/conc_a.csv &
+client_a=$!
+./build-release/examples/campaign_client --socket "$server_sock" \
+  "$req_b" >build-release/conc_b.csv &
+client_b=$!
+wait "$client_a" && wait "$client_b" || {
+  echo "ERROR: concurrent campaign_client failed" >&2
+  exit 1
+}
+cmp build-release/serial_a.csv build-release/conc_a.csv || {
+  echo "ERROR: concurrent response A differs from serial" >&2
+  exit 1
+}
+cmp build-release/serial_b.csv build-release/conc_b.csv || {
+  echo "ERROR: concurrent response B differs from serial" >&2
+  exit 1
+}
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+  echo "ERROR: campaign_server did not exit 0 on SIGTERM" >&2
+  exit 1
+}
+[ ! -e "$server_sock" ] || {
+  echo "ERROR: campaign_server left its socket behind" >&2
+  exit 1
+}
+
 if [ -x build-release/bench/bench_perception ]; then
   ./build-release/bench/bench_perception \
     --benchmark_filter='BM_CampaignSchedulerThroughput/1|BM_KalmanPredictUpdate' \
@@ -123,7 +165,10 @@ cmake --build build-asan -j "$jobs"
 # The fuzz sweep's closed-loop sample counts are sized for Release; under
 # the sanitizers run it separately with a reduced RT_FUZZ_SAMPLES (the test
 # floors the per-template count at 2, so every family is still exercised).
-ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE fuzz
+# Same deal for the chaos suite: RT_FAULT_SEEDS=1 keeps the fault-matrix
+# seed set to one per (site, type) pair under ASan.
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE 'fuzz|chaos'
 RT_FUZZ_SAMPLES=4 ctest --test-dir build-asan --output-on-failure -L fuzz
+RT_FAULT_SEEDS=1 ctest --test-dir build-asan --output-on-failure -L chaos
 
 echo "==> OK"

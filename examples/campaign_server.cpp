@@ -2,40 +2,66 @@
 // line-delimited campaign-grid requests against one shared content-hash
 // result cache (rt::service::CampaignService). Batch mode reads requests
 // from stdin; --socket PATH serves the same protocol on a Unix stream
-// socket. Result CSV goes to stdout (bit-deterministic: a repeated request
-// is byte-identical); timing and cache-hit stats go to stderr, so CI can
-// compare result bytes across passes while asserting on the hit counts.
+// socket to MANY concurrent clients: each connection gets a reader thread,
+// parsed requests land in a bounded queue (overflow is answered `busy`),
+// and a single executor thread runs grids one at a time — so results stay
+// bit-deterministic (a repeated request is byte-identical, whatever the
+// client interleaving) while parsing and IO overlap execution. Timing and
+// cache-hit stats go to stderr, so CI can compare result bytes across
+// passes while asserting on the hit counts.
 //
 // Request language (one request per line; '#' starts a comment):
 //   run scenarios=DS-1,DS-2 vectors=Disappear modes=RwoSH,Golden
 //       runs=6 seed=11 [monitors=m1,m2] [param=name:value]
-//       [sweep=name:v1,v2,...]       (all on ONE line)
+//       [sweep=name:v1,v2,...] [deadline_ms=N]      (all on ONE line)
 //   quit | shutdown
 // Vectors: Disappear, Move_Out, Move_In. Modes: R, RwoSH, Golden, Random.
 // `param` pins one scenario parameter (repeatable); `sweep` crosses a
-// parameter axis exactly like the grid builder's sweep().
+// parameter axis exactly like the grid builder's sweep(). `deadline_ms`
+// bounds one request (overriding --request-timeout-ms); on expiry the
+// response carries `error deadline-exceeded ...` records instead of rows
+// for the unfinished campaigns.
+//
+// Responses (socket mode) end with `end\n`; a request rejected by the full
+// queue is answered `busy\n` (and nothing else). A client line `shutdown`
+// — or SIGTERM/SIGINT — drains the queued requests, answers them, then
+// exits 0. RT_CHAOS arms the deterministic fault injector at startup (see
+// service/fault_injection.hpp), which is how the chaos suite drives
+// client-write failures through a real server.
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
-#include <iostream>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <iostream>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "experiments/campaign_grid.hpp"
 #include "experiments/sh_training.hpp"
 #include "service/campaign_service.hpp"
+#include "service/fault_injection.hpp"
 
 using namespace rt;
 
@@ -50,6 +76,9 @@ struct ServerOptions {
   std::string socket_path;     ///< empty = stdin batch mode
   bool no_oracles{false};      ///< skip oracle loading (R requests run
                                ///< without a safety hijacker model)
+  int backlog{16};             ///< listen(2) backlog
+  int queue_limit{8};          ///< pending requests before `busy` replies
+  double request_timeout_ms{0.0};  ///< default per-request deadline; 0 = off
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -58,9 +87,11 @@ struct ServerOptions {
       out,
       "usage: %s [--cache-dir PATH] [--cache-max-mb N] [--workers N]\n"
       "          [--threads N] [--json] [--socket PATH] [--no-oracles]\n"
+      "          [--backlog N] [--queue-limit N] [--request-timeout-ms N]\n"
       "Reads 'run ...' requests from stdin (or the Unix socket) and streams\n"
       "results; see the header of examples/campaign_server.cpp for the\n"
-      "request language. RT_CAMPAIGN_CACHE sets the default cache dir.\n",
+      "request language. RT_CAMPAIGN_CACHE sets the default cache dir;\n"
+      "RT_CHAOS arms the deterministic fault injector.\n",
       argv0);
   std::exit(code);
 }
@@ -104,6 +135,7 @@ struct Request {
   std::vector<std::string> monitors;
   int runs{8};
   std::uint64_t seed{20200613};
+  double deadline_ms{0.0};  ///< 0 = use the server default
   std::vector<std::pair<std::string, std::vector<double>>> sweeps;
 };
 
@@ -178,6 +210,13 @@ std::optional<Request> parse_request(const std::vector<std::string>& words) {
         return std::nullopt;
       }
       req.seed = *seed;
+    } else if (key == "deadline_ms") {
+      const auto ms = parse_uint(value, 1, 1ull << 40);
+      if (!ms) {
+        std::fprintf(stderr, "error: bad deadline_ms '%s'\n", value.c_str());
+        return std::nullopt;
+      }
+      req.deadline_ms = static_cast<double>(*ms);
     } else if (key == "param" || key == "sweep") {
       const std::size_t colon = value.find(':');
       if (colon == std::string::npos) {
@@ -241,12 +280,13 @@ const char* kCsvHeader =
     "name,scenario,vector,mode,runs,seed,n,triggered,eb,crash,detected,"
     "false_alarms,eb_rate,crash_rate,detection_rate,median_k\n";
 
-void emit_result(const experiments::CampaignResult& r, bool json,
-                 std::FILE* out) {
+void append_result(const experiments::CampaignResult& r, bool json,
+                   std::string& out) {
   const auto& s = r.spec;
+  char buf[512];
   if (json) {
-    std::fprintf(
-        out,
+    std::snprintf(
+        buf, sizeof buf,
         "{\"name\":\"%s\",\"scenario\":\"%s\",\"vector\":\"%s\","
         "\"mode\":\"%s\",\"runs\":%d,\"seed\":%" PRIu64 ",\"n\":%d,"
         "\"triggered\":%d,\"eb\":%d,\"crash\":%d,\"detected\":%d,"
@@ -258,22 +298,92 @@ void emit_result(const experiments::CampaignResult& r, bool json,
         r.false_alarm_count(), r.eb_rate(), r.crash_rate(),
         r.detection_rate(), r.median_k());
   } else {
-    std::fprintf(out,
-                 "%s,%s,%s,%s,%d,%" PRIu64 ",%d,%d,%d,%d,%d,%d,%.6f,%.6f,"
-                 "%.6f,%.6f\n",
-                 s.name.c_str(), s.scenario.c_str(),
-                 core::to_string(s.vector), to_string(s.mode), s.runs,
-                 s.seed, r.n(), r.triggered_count(), r.eb_count(),
-                 r.crash_count(), r.detected_count(), r.false_alarm_count(),
-                 r.eb_rate(), r.crash_rate(), r.detection_rate(),
-                 r.median_k());
+    std::snprintf(buf, sizeof buf,
+                  "%s,%s,%s,%s,%d,%" PRIu64 ",%d,%d,%d,%d,%d,%d,%.6f,%.6f,"
+                  "%.6f,%.6f\n",
+                  s.name.c_str(), s.scenario.c_str(),
+                  core::to_string(s.vector), to_string(s.mode), s.runs,
+                  s.seed, r.n(), r.triggered_count(), r.eb_count(),
+                  r.crash_count(), r.detected_count(), r.false_alarm_count(),
+                  r.eb_rate(), r.crash_rate(), r.detection_rate(),
+                  r.median_k());
   }
+  out += buf;
 }
 
-/// Handles one request line. Returns false when the connection/session
-/// should end (quit/shutdown).
-bool handle_line(const std::string& line, service::CampaignService& svc,
-                 const ServerOptions& opts, std::FILE* out) {
+/// Renders a checked grid response: one row per COMPLETED campaign, one
+/// typed `error <code> <name> <message>` line per incomplete one (same in
+/// JSON mode, as an error object). Deterministic: the same request against
+/// the same cache state renders the same bytes.
+std::string render_response(const service::GridResponse& response,
+                            bool json) {
+  std::string out;
+  if (!json && !response.results.empty()) out += kCsvHeader;
+  std::vector<char> errored(response.results.size(), 0);
+  for (const auto& err : response.errors) {
+    if (err.spec_index < errored.size()) errored[err.spec_index] = 1;
+  }
+  for (std::size_t i = 0; i < response.results.size(); ++i) {
+    if (!errored[i]) append_result(response.results[i], json, out);
+  }
+  for (const auto& err : response.errors) {
+    const std::string name = err.spec_index < response.results.size()
+                                 ? response.results[err.spec_index].spec.name
+                                 : std::string("?");
+    char buf[512];
+    if (json) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"error\":\"%s\",\"name\":\"%s\",\"message\":\"%s\"}\n",
+                    experiments::to_string(err.code), name.c_str(),
+                    err.message.c_str());
+    } else {
+      std::snprintf(buf, sizeof buf, "error %s %s %s\n",
+                    experiments::to_string(err.code), name.c_str(),
+                    err.message.c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void log_request_stats(const service::CampaignService& svc) {
+  const auto& rs = svc.last_request();
+  std::fprintf(
+      stderr,
+      "# request: specs=%zu hits=%zu misses=%zu errors=%zu wall_ms=%.1f\n",
+      rs.specs, rs.cache_hits, rs.specs - rs.cache_hits, rs.errors,
+      rs.wall_ms);
+}
+
+void print_cache_summary(const service::CampaignService& svc) {
+  const auto cs = svc.cache_stats();
+  std::fprintf(stderr,
+               "# cache: hits=%llu misses=%llu stale=%llu corrupt=%llu "
+               "stores=%llu evictions=%llu io_errors=%llu degraded=%d\n",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.stale),
+               static_cast<unsigned long long>(cs.corrupt),
+               static_cast<unsigned long long>(cs.stores),
+               static_cast<unsigned long long>(cs.evictions),
+               static_cast<unsigned long long>(cs.io_errors),
+               svc.cache_degraded() ? 1 : 0);
+}
+
+/// What one request line asked for.
+enum class Verb : std::uint8_t { kNone, kRun, kQuit, kShutdown };
+
+struct ParsedLine {
+  Verb verb{Verb::kNone};
+  std::vector<experiments::CampaignSpec> specs;  ///< kRun only
+  double deadline_ms{0.0};
+};
+
+/// Strips comments, tokenizes, parses. kNone covers blank lines AND
+/// malformed requests (which have already logged a diagnostic) — the
+/// caller answers `end` either way, so a client never waits on a typo.
+ParsedLine parse_line(const std::string& line, const ServerOptions& opts) {
+  ParsedLine out;
   std::string text = line;
   const std::size_t hash = text.find('#');
   if (hash != std::string::npos) text.resize(hash);
@@ -281,41 +391,28 @@ bool handle_line(const std::string& line, service::CampaignService& svc,
   std::vector<std::string> words;
   std::string word;
   while (in >> word) words.push_back(word);
-  if (words.empty()) return true;
-  if (words[0] == "quit" || words[0] == "shutdown") return false;
+  if (words.empty()) return out;
+  if (words[0] == "quit") {
+    out.verb = Verb::kQuit;
+    return out;
+  }
+  if (words[0] == "shutdown") {
+    out.verb = Verb::kShutdown;
+    return out;
+  }
   if (words[0] != "run") {
     std::fprintf(stderr, "error: unknown verb '%s'\n", words[0].c_str());
-    return true;
+    return out;
   }
   const auto req = parse_request(words);
-  if (!req) return true;
-  const auto specs = build_specs(*req);
-  if (!specs) return true;
-
-  const auto results = svc.run_grid(*specs);
-  if (!opts.json) std::fputs(kCsvHeader, out);
-  for (const auto& r : results) emit_result(r, opts.json, out);
-  std::fflush(out);
-
-  const auto& rs = svc.last_request();
-  std::fprintf(stderr,
-               "# request: specs=%zu hits=%zu misses=%zu wall_ms=%.1f\n",
-               rs.specs, rs.cache_hits, rs.specs - rs.cache_hits,
-               rs.wall_ms);
-  return true;
-}
-
-void print_cache_summary(const service::CampaignService& svc) {
-  const auto cs = svc.cache_stats();
-  std::fprintf(stderr,
-               "# cache: hits=%llu misses=%llu stale=%llu corrupt=%llu "
-               "stores=%llu evictions=%llu\n",
-               static_cast<unsigned long long>(cs.hits),
-               static_cast<unsigned long long>(cs.misses),
-               static_cast<unsigned long long>(cs.stale),
-               static_cast<unsigned long long>(cs.corrupt),
-               static_cast<unsigned long long>(cs.stores),
-               static_cast<unsigned long long>(cs.evictions));
+  if (!req) return out;
+  auto specs = build_specs(*req);
+  if (!specs) return out;
+  out.verb = Verb::kRun;
+  out.specs = std::move(*specs);
+  out.deadline_ms =
+      req->deadline_ms > 0.0 ? req->deadline_ms : opts.request_timeout_ms;
+  return out;
 }
 
 /// Serves the stdin batch: every line is a request, EOF or quit ends the
@@ -323,16 +420,189 @@ void print_cache_summary(const service::CampaignService& svc) {
 int serve_stdin(service::CampaignService& svc, const ServerOptions& opts) {
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (!handle_line(line, svc, opts, stdout)) break;
+    const ParsedLine parsed = parse_line(line, opts);
+    if (parsed.verb == Verb::kQuit || parsed.verb == Verb::kShutdown) break;
+    if (parsed.verb != Verb::kRun) continue;
+    service::GridRequest request{parsed.specs, parsed.deadline_ms};
+    const std::string body = render_response(svc.run_grid_checked(request),
+                                             opts.json);
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fflush(stdout);
+    log_request_stats(svc);
   }
   print_cache_summary(svc);
   return 0;
 }
 
-/// Serves the same protocol on a Unix stream socket, one client at a time
-/// (requests are CPU-bound grid runs; concurrency comes from --workers).
-/// A client line `shutdown` stops the server; `quit` only ends the
-/// connection.
+// ---------------------------------------------------------------------------
+// Socket mode: accept loop + per-connection reader threads + one executor.
+
+/// Self-pipe written by the SIGTERM/SIGINT handler (and the `shutdown`
+/// verb) to wake the accept loop's poll without races.
+int g_wake_pipe_w = -1;
+
+void wake_accept_loop() {
+  if (g_wake_pipe_w >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe_w, &byte, 1);
+  }
+}
+
+void on_terminate_signal(int) { wake_accept_loop(); }
+
+/// One client connection. The reader thread and the executor both write to
+/// it (replies vs results), serialized by `write_mu`. A failed write marks
+/// the connection dead; queued work for a dead client is skipped. The fd
+/// closes when the last reference drops, so the executor can never write
+/// into a recycled descriptor.
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Writes through the kClientWrite shim; detects (and latches) client
+  /// death instead of trusting fputs' ignored return.
+  void send(const std::string& bytes) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_relaxed)) return;
+    if (!service::write_all_fd(service::FaultSite::kClientWrite, fd,
+                               bytes.data(), bytes.size())) {
+      open.store(false, std::memory_order_relaxed);
+      ::shutdown(fd, SHUT_RDWR);  // unblocks the reader thread's poll
+      std::fprintf(stderr, "# client write failed (%s): dropping client\n",
+                   std::strerror(errno));
+    }
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+};
+
+struct Job {
+  std::shared_ptr<Connection> conn;
+  std::vector<experiments::CampaignSpec> specs;
+  double deadline_ms{0.0};
+};
+
+/// Bounded multi-producer single-consumer request queue. `push` fails when
+/// full (the caller answers `busy`); `close` lets the executor drain what
+/// is queued and then stop — the graceful-shutdown path.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t limit) : limit_(limit) {}
+
+  bool push(Job job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || jobs_.size() >= limit_) return false;
+      jobs_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next job; nullopt once closed AND drained.
+  std::optional<Job> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) return std::nullopt;
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  const std::size_t limit_;
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+/// Reads one connection: splits lines, parses, enqueues. Every `run` line
+/// is answered — `busy` on queue overflow, otherwise (eventually) the
+/// executor's rows + `end`. Malformed lines answer a bare `end` so clients
+/// never hang on a typo. Returns when the client disconnects, sends
+/// `quit`/`shutdown`, or the server begins draining.
+void reader_loop(const std::shared_ptr<Connection>& conn, JobQueue& queue,
+                 const ServerOptions& opts,
+                 const std::atomic<bool>& draining) {
+  std::string buffer;
+  char chunk[4096];
+  while (conn->open.load(std::memory_order_relaxed) &&
+         !draining.load(std::memory_order_relaxed)) {
+    struct pollfd pfd {};
+    pfd.fd = conn->fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;  // timeout: re-check the stop flags
+    const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed its end
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol = 0;
+    while ((eol = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      ParsedLine parsed = parse_line(line, opts);
+      switch (parsed.verb) {
+        case Verb::kQuit:
+          conn->open.store(false, std::memory_order_relaxed);
+          return;
+        case Verb::kShutdown:
+          wake_accept_loop();
+          conn->open.store(false, std::memory_order_relaxed);
+          return;
+        case Verb::kRun: {
+          Job job{conn, std::move(parsed.specs), parsed.deadline_ms};
+          if (!queue.push(std::move(job))) conn->send("busy\n");
+          break;
+        }
+        case Verb::kNone:
+          conn->send("end\n");
+          break;
+      }
+    }
+  }
+}
+
+/// Runs queued grids one at a time (the determinism barrier: concurrent
+/// clients share one execution order, so byte-level results never depend
+/// on scheduling) until the queue is closed and drained.
+void executor_loop(service::CampaignService& svc, JobQueue& queue,
+                   const ServerOptions& opts) {
+  while (auto job = queue.pop()) {
+    if (!job->conn->open.load(std::memory_order_relaxed)) continue;
+    service::GridRequest request{std::move(job->specs), job->deadline_ms};
+    std::string body = render_response(svc.run_grid_checked(request),
+                                       opts.json);
+    body += "end\n";
+    job->conn->send(body);
+    log_request_stats(svc);
+  }
+}
+
+/// Serves the Unix socket until `shutdown`, SIGTERM or SIGINT, then drains
+/// the queue (every accepted request is answered) and exits 0.
 int serve_socket(service::CampaignService& svc, const ServerOptions& opts) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -348,56 +618,95 @@ int serve_socket(service::CampaignService& svc, const ServerOptions& opts) {
   }
   std::strncpy(addr.sun_path, opts.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
-  ::unlink(opts.socket_path.c_str());
+  // A stale socket file is replaced; anything we CANNOT remove (EPERM, a
+  // directory, ...) would make bind() fail confusingly later or hijack
+  // traffic — refuse to start instead.
+  if (::unlink(opts.socket_path.c_str()) != 0 && errno != ENOENT) {
+    std::fprintf(stderr, "error: cannot remove stale socket %s: %s\n",
+                 opts.socket_path.c_str(), std::strerror(errno));
+    ::close(listener);
+    return 1;
+  }
   if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listener, 4) != 0) {
+      ::listen(listener, opts.backlog) != 0) {
     std::perror("bind/listen");
     ::close(listener);
     return 1;
   }
-  std::fprintf(stderr, "# listening on %s\n", opts.socket_path.c_str());
+  // Owner-only: campaign requests can cost minutes of CPU, so the socket
+  // is not a shared utility by default.
+  if (::chmod(opts.socket_path.c_str(), 0600) != 0) {
+    std::perror("chmod");
+    ::close(listener);
+    ::unlink(opts.socket_path.c_str());
+    return 1;
+  }
 
-  bool running = true;
-  while (running) {
+  int wake[2];
+  if (::pipe(wake) != 0) {
+    std::perror("pipe");
+    ::close(listener);
+    ::unlink(opts.socket_path.c_str());
+    return 1;
+  }
+  g_wake_pipe_w = wake[1];
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+
+  std::fprintf(stderr, "# listening on %s (backlog=%d queue=%d)\n",
+               opts.socket_path.c_str(), opts.backlog, opts.queue_limit);
+
+  JobQueue queue(static_cast<std::size_t>(opts.queue_limit));
+  std::atomic<bool> draining{false};
+  std::thread executor(
+      [&] { executor_loop(svc, queue, opts); });
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Connection>> connections;
+
+  for (;;) {
+    struct pollfd pfds[2] = {};
+    pfds[0].fd = listener;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake[0];
+    pfds[1].events = POLLIN;
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::perror("poll");
+      break;
+    }
+    if (pfds[1].revents != 0) break;  // shutdown verb or SIGTERM/SIGINT
+    if (pfds[0].revents == 0) continue;
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       std::perror("accept");
       break;
     }
-    std::FILE* out = ::fdopen(fd, "w");
-    if (out == nullptr) {
-      ::close(fd);
-      continue;
-    }
-    // Line-buffered reader over the same descriptor.
-    std::string buffer;
-    char chunk[4096];
-    ssize_t n = 0;
-    bool client_open = true;
-    while (client_open && (n = ::read(fd, chunk, sizeof chunk)) > 0) {
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t eol = 0;
-      while (client_open &&
-             (eol = buffer.find('\n')) != std::string::npos) {
-        const std::string line = buffer.substr(0, eol);
-        buffer.erase(0, eol + 1);
-        if (line == "shutdown") {
-          running = false;
-          client_open = false;
-        } else if (!handle_line(line, svc, opts, out)) {
-          client_open = false;
-        } else {
-          std::fputs("end\n", out);
-          std::fflush(out);
-        }
-      }
-    }
-    std::fclose(out);  // also closes fd
+    auto conn = std::make_shared<Connection>(fd);
+    connections.push_back(conn);
+    readers.emplace_back(
+        [conn, &queue, &opts, &draining] {
+          reader_loop(conn, queue, opts, draining);
+        });
   }
+
+  // Graceful drain: no new connections or requests, but everything already
+  // accepted is executed and answered before exit.
+  std::fprintf(stderr, "# draining\n");
+  draining.store(true, std::memory_order_relaxed);
   ::close(listener);
   ::unlink(opts.socket_path.c_str());
+  for (auto& t : readers) t.join();
+  queue.close();
+  executor.join();
+  for (auto& conn : connections) {
+    conn->open.store(false, std::memory_order_relaxed);
+  }
+  connections.clear();
+  ::close(wake[0]);
+  ::close(wake[1]);
+  g_wake_pipe_w = -1;
   print_cache_summary(svc);
   return 0;
 }
@@ -440,6 +749,13 @@ int main(int argc, char** argv) {
       opts.workers = static_cast<unsigned>(uint_value(0, 4096));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opts.threads = static_cast<unsigned>(uint_value(0, 4096));
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      opts.backlog = static_cast<int>(uint_value(1, 4096));
+    } else if (std::strcmp(argv[i], "--queue-limit") == 0) {
+      opts.queue_limit = static_cast<int>(uint_value(1, 1 << 20));
+    } else if (std::strcmp(argv[i], "--request-timeout-ms") == 0) {
+      opts.request_timeout_ms =
+          static_cast<double>(uint_value(1, 1ull << 40));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opts.json = true;
     } else if (std::strcmp(argv[i], "--socket") == 0) {
@@ -455,6 +771,9 @@ int main(int argc, char** argv) {
     }
   }
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+  if (service::FaultInjector::instance().arm_from_env()) {
+    std::fprintf(stderr, "# chaos: fault injection armed from RT_CHAOS\n");
+  }
 
   experiments::LoopConfig loop;
   experiments::OracleSet oracles;

@@ -90,6 +90,33 @@ struct CampaignResult {
   [[nodiscard]] double median_frames_to_detection() const;
 };
 
+/// Why a campaign in a grid request could not be completed. Typed so
+/// clients can branch on the cause without parsing prose; the message is
+/// diagnostic detail only.
+enum class CampaignErrorCode : std::uint8_t {
+  kDeadlineExceeded,  ///< the request deadline expired at a cell boundary
+  kExecutionFailed,   ///< a run raised; retries/fallback could not finish
+};
+
+[[nodiscard]] constexpr const char* to_string(CampaignErrorCode c) {
+  switch (c) {
+    case CampaignErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case CampaignErrorCode::kExecutionFailed:
+      return "execution-failed";
+  }
+  return "?";
+}
+
+/// Per-campaign typed error record: spec `spec_index` of the request could
+/// not be completed. A campaign either appears complete in the results or
+/// carries one of these — never a silently partial result.
+struct CampaignError {
+  std::size_t spec_index{0};
+  CampaignErrorCode code{CampaignErrorCode::kExecutionFailed};
+  std::string message;
+};
+
 /// The trained per-vector oracles RoboTack deploys with.
 using OracleSet =
     std::map<core::AttackVector, std::shared_ptr<core::SafetyOracle>>;

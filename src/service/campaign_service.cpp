@@ -1,13 +1,96 @@
 #include "service/campaign_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <mutex>
+#include <stdexcept>
 #include <utility>
+
+#include "runtime/thread_pool.hpp"
 
 namespace rt::service {
 
+using experiments::CampaignError;
+using experiments::CampaignErrorCode;
 using experiments::CampaignResult;
 using experiments::CampaignSpec;
+using experiments::GridCell;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool expired(const RunControl& ctl) {
+  return ctl.deadline && Clock::now() >= *ctl.deadline;
+}
+
+/// In-process (threaded) analogue of the sharder's run_all_checked, for
+/// workers == 0: every cell into its pre-assigned slot, expiry skips cells
+/// at the boundary, a throwing cell becomes a typed error instead of
+/// unwinding the request.
+GridOutcome run_threaded_checked(const experiments::CampaignRunner& runner,
+                                 const std::vector<CampaignSpec>& specs,
+                                 unsigned threads, const RunControl& ctl) {
+  GridOutcome out;
+  out.results.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out.results[i].spec = specs[i];
+    out.results[i].runs.resize(
+        static_cast<std::size_t>(std::max(specs[i].runs, 0)));
+  }
+  const std::vector<GridCell> cells = experiments::grid_cells(specs);
+  std::vector<char> filled(cells.size(), 0);
+  if (!cells.empty()) {
+    std::mutex failure_mutex;
+    runtime::ThreadPool pool(threads);
+    pool.parallel_for(static_cast<int>(cells.size()), [&](int i) {
+      if (expired(ctl)) return;
+      const GridCell& c = cells[static_cast<std::size_t>(i)];
+      try {
+        out.results[c.spec].runs[static_cast<std::size_t>(c.run)] =
+            runner.run_one(specs[c.spec], c.run);
+        filled[static_cast<std::size_t>(i)] = 1;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!out.first_failure) out.first_failure = std::current_exception();
+      }
+    });
+  }
+  const bool deadline_expired = expired(ctl);
+  std::vector<int> spec_missing(specs.size(), 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!filled[i]) ++spec_missing[cells[i].spec];
+  }
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (spec_missing[s] == 0) continue;
+    const std::size_t total = out.results[s].runs.size();
+    out.results[s].runs.clear();
+    CampaignError err;
+    err.spec_index = s;
+    if (deadline_expired) {
+      err.code = CampaignErrorCode::kDeadlineExceeded;
+      err.message = "deadline expired with " +
+                    std::to_string(spec_missing[s]) + "/" +
+                    std::to_string(total) + " cells missing";
+    } else {
+      err.code = CampaignErrorCode::kExecutionFailed;
+      err.message = "campaign run failed";
+      if (out.first_failure) {
+        try {
+          std::rethrow_exception(out.first_failure);
+        } catch (const std::exception& ex) {
+          err.message = ex.what();
+        } catch (...) {
+        }
+      }
+    }
+    out.errors.push_back(std::move(err));
+  }
+  return out;
+}
+
+}  // namespace
 
 CampaignService::CampaignService(const experiments::CampaignRunner& runner,
                                  ServiceConfig config)
@@ -19,50 +102,87 @@ CampaignService::CampaignService(const experiments::CampaignRunner& runner,
 
 std::vector<CampaignResult> CampaignService::run_grid(
     const std::vector<CampaignSpec>& specs) {
-  const auto t0 = std::chrono::steady_clock::now();
+  GridRequest request;
+  request.specs = specs;
+  GridResponse response = run_grid_checked(request);
+  // Historical contract: an unbounded run_grid either completes in full or
+  // throws. Without a deadline, errors always stem from a failure below.
+  if (response.first_failure) std::rethrow_exception(response.first_failure);
+  if (!response.errors.empty()) {
+    throw std::runtime_error("CampaignService::run_grid: " +
+                             response.errors.front().message);
+  }
+  return std::move(response.results);
+}
+
+GridResponse CampaignService::run_grid_checked(const GridRequest& request) {
+  const auto t0 = Clock::now();
   request_stats_ = RequestStats{};
-  request_stats_.specs = specs.size();
+  request_stats_.specs = request.specs.size();
   shard_stats_ = ShardStats{};
 
-  std::vector<CampaignResult> results(specs.size());
+  RunControl ctl;
+  if (request.deadline_ms > 0.0) {
+    ctl.deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                request.deadline_ms));
+  }
+
+  GridResponse response;
+  response.results.resize(request.specs.size());
   std::vector<std::size_t> miss_indices;
   std::vector<CampaignSpec> miss_specs;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (cache_) {
-      if (auto cached = cache_->lookup(specs[i])) {
-        results[i] = std::move(*cached);
+  for (std::size_t i = 0; i < request.specs.size(); ++i) {
+    if (cache_ && !cache_degraded_) {
+      if (auto cached = cache_->lookup(request.specs[i])) {
+        response.results[i] = std::move(*cached);
         ++request_stats_.cache_hits;
         continue;
       }
     }
     miss_indices.push_back(i);
-    miss_specs.push_back(specs[i]);
+    miss_specs.push_back(request.specs[i]);
   }
 
   if (!miss_specs.empty()) {
-    std::vector<CampaignResult> fresh;
+    GridOutcome outcome;
     if (config_.workers >= 1) {
       ShardOptions shard = config_.shard;
       shard.workers = config_.workers;
       const ShardedCampaignScheduler sharded(runner_, shard);
-      fresh = sharded.run_all(miss_specs);
+      outcome = sharded.run_all_checked(miss_specs, ctl);
       shard_stats_ = sharded.stats();
     } else {
-      const experiments::CampaignScheduler scheduler(runner_,
-                                                     config_.threads);
-      fresh = scheduler.run_all(miss_specs);
+      outcome = run_threaded_checked(runner_, miss_specs,
+                                     config_.threads, ctl);
+    }
+    response.first_failure = outcome.first_failure;
+    for (CampaignError& err : outcome.errors) {
+      err.spec_index = miss_indices[err.spec_index];  // request indexing
+      response.errors.push_back(std::move(err));
     }
     for (std::size_t m = 0; m < miss_indices.size(); ++m) {
-      if (cache_) cache_->store(miss_specs[m], fresh[m]);
-      results[miss_indices[m]] = std::move(fresh[m]);
+      // Only complete campaigns are cached (an errored one has no runs and
+      // must be re-executed next time, not recalled empty).
+      const bool complete = !outcome.results[m].runs.empty() ||
+                            miss_specs[m].runs <= 0;
+      if (cache_ && !cache_degraded_ && complete) {
+        if (cache_->store(miss_specs[m], outcome.results[m])) {
+          cache_fail_streak_ = 0;
+        } else if (++cache_fail_streak_ >= config_.cache_fail_threshold) {
+          // Disk is persistently unhealthy: stop adding a failing write +
+          // fsync to every future spec. Execution continues uncached.
+          cache_degraded_ = true;
+        }
+      }
+      response.results[miss_indices[m]] = std::move(outcome.results[m]);
     }
   }
 
+  request_stats_.errors = response.errors.size();
   request_stats_.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
-  return results;
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return response;
 }
 
 CacheStats CampaignService::cache_stats() const {

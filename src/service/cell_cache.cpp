@@ -1,15 +1,20 @@
 #include "service/cell_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "experiments/campaign_serde.hpp"
+#include "service/fault_injection.hpp"
 #include "sim/scenario_registry.hpp"
 #include "stats/hash.hpp"
 
@@ -20,7 +25,9 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kCacheMagic = "RTCACHE";
-constexpr std::uint64_t kCacheHeaderVersion = 1;
+/// v2 added the content checksum column; v1 entries are counted `stale`
+/// (ignored and re-stored), exactly like a code-version bump.
+constexpr std::uint64_t kCacheHeaderVersion = 2;
 
 std::string fingerprint_hex(std::uint64_t fp) {
   char buf[17];
@@ -28,13 +35,34 @@ std::string fingerprint_hex(std::uint64_t fp) {
   return buf;
 }
 
-bool read_file(const fs::path& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return in.good() || in.eof();
+std::uint64_t content_checksum(std::string_view payload) {
+  return stats::fnv1a_str(stats::kFnv1aOffset, payload);
+}
+
+enum class ReadOutcome { kOk, kNotFound, kIoError };
+
+/// Whole-file read through the fault-injection shims, so a chaos schedule
+/// can hit cache lookups with EIO/EINTR like any other syscall site.
+ReadOutcome read_file(const fs::path& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? ReadOutcome::kNotFound : ReadOutcome::kIoError;
+  }
+  out.clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n =
+        sys_read(FaultSite::kCacheRead, fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ReadOutcome::kIoError;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return ReadOutcome::kOk;
 }
 
 fs::path touch_sidecar(const fs::path& entry) {
@@ -126,26 +154,47 @@ std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
       fs::path(config_.dir) / ("cell_" + fingerprint_hex(fp) + ".rtcr");
 
   std::string blob;
-  if (!read_file(path, blob)) {
-    ++stats_.misses;
-    return std::nullopt;
+  switch (read_file(path, blob)) {
+    case ReadOutcome::kOk:
+      break;
+    case ReadOutcome::kNotFound:
+      ++stats_.misses;
+      return std::nullopt;
+    case ReadOutcome::kIoError:
+      // Disk trouble reading an entry that exists: absorbed as a miss (the
+      // grid re-runs the cell), counted so the service layer can notice.
+      ++stats_.io_errors;
+      ++stats_.misses;
+      return std::nullopt;
   }
 
-  // Header line: RTCACHE <header version> <code_version> <fingerprint hex>
+  // Header line:
+  //   RTCACHE <header version> <code_version> <fingerprint> <content fnv>
   const std::size_t eol = blob.find('\n');
   if (eol == std::string::npos) {
     ++stats_.corrupt;
     return std::nullopt;
   }
+  const std::string header = blob.substr(0, eol);
   char magic[16] = {0};
   unsigned long long header_version = 0;
+  if (std::sscanf(header.c_str(), "%15s %llu", magic, &header_version) != 2 ||
+      std::string(magic) != kCacheMagic) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  if (header_version != kCacheHeaderVersion) {
+    // A well-formed entry from another header generation (e.g. pre-checksum
+    // v1): stale, not corrupt — nothing is damaged, the format just moved.
+    ++stats_.stale;
+    return std::nullopt;
+  }
   unsigned long long file_code_version = 0;
   unsigned long long file_fp = 0;
-  const std::string header = blob.substr(0, eol);
-  if (std::sscanf(header.c_str(), "%15s %llu %llu %llx", magic,
-                  &header_version, &file_code_version, &file_fp) != 4 ||
-      std::string(magic) != kCacheMagic ||
-      header_version != kCacheHeaderVersion) {
+  unsigned long long file_checksum = 0;
+  if (std::sscanf(header.c_str(), "%15s %llu %llu %llx %llx", magic,
+                  &header_version, &file_code_version, &file_fp,
+                  &file_checksum) != 5) {
     ++stats_.corrupt;
     return std::nullopt;
   }
@@ -156,6 +205,13 @@ std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
     return std::nullopt;
   }
   if (file_fp != fp) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  const std::string_view payload = std::string_view(blob).substr(eol + 1);
+  if (content_checksum(payload) != file_checksum) {
+    // Byte rot that might still parse (e.g. a flipped bit inside a hex
+    // double): without this check it would be served as a wrong result.
     ++stats_.corrupt;
     return std::nullopt;
   }
@@ -188,7 +244,7 @@ std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
   return result;
 }
 
-void CampaignCellCache::store(const experiments::CampaignSpec& spec,
+bool CampaignCellCache::store(const experiments::CampaignSpec& spec,
                               const experiments::CampaignResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t fp =
@@ -197,22 +253,42 @@ void CampaignCellCache::store(const experiments::CampaignSpec& spec,
       fs::path(config_.dir) / ("cell_" + fingerprint_hex(fp) + ".rtcr");
   const fs::path tmp = path.string() + ".tmp";
 
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << kCacheMagic << ' ' << kCacheHeaderVersion << ' '
-        << config_.code_version << ' ' << fingerprint_hex(fp) << '\n';
-    out << experiments::serialize_campaign_result(result);
-    if (!out.good()) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return;  // disk trouble: the cache silently declines to store
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
+  const std::string payload = experiments::serialize_campaign_result(result);
+  std::string blob = std::string(kCacheMagic) + ' ' +
+                     std::to_string(kCacheHeaderVersion) + ' ' +
+                     std::to_string(config_.code_version) + ' ' +
+                     fingerprint_hex(fp) + ' ' +
+                     fingerprint_hex(content_checksum(payload)) + '\n';
+  blob += payload;
+
+  // Crash-durable store: write the temp file, fsync IT, then rename over
+  // the final name, then (best effort) fsync the directory so the rename
+  // itself survives a power cut. Any failure declines the store — the tmp
+  // file is removed, the previous entry (if any) is untouched.
+  const auto decline = [&](int fd) {
+    if (fd >= 0) ::close(fd);
+    std::error_code ec;
     fs::remove(tmp, ec);
-    return;
+    ++stats_.io_errors;
+    return false;
+  };
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return decline(-1);
+  if (!write_all_fd(FaultSite::kCacheWrite, fd, blob.data(), blob.size())) {
+    return decline(fd);
+  }
+  if (sys_fsync(FaultSite::kCacheFsync, fd) != 0) return decline(fd);
+  if (::close(fd) != 0) return decline(-1);
+  if (sys_rename(FaultSite::kCacheRename, tmp.c_str(), path.c_str()) != 0) {
+    return decline(-1);
+  }
+  const int dirfd = ::open(config_.dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    // Directory fsync is best-effort: some filesystems refuse it, and the
+    // entry itself is already durable and complete either way.
+    (void)sys_fsync(FaultSite::kCacheFsync, dirfd);
+    ::close(dirfd);
   }
   ++stats_.stores;
   touch_locked(path.string());
@@ -220,6 +296,7 @@ void CampaignCellCache::store(const experiments::CampaignSpec& spec,
   if (config_.max_bytes > 0) {
     stats_.evictions += evict_locked(config_.max_bytes);
   }
+  return true;
 }
 
 std::size_t CampaignCellCache::evict_to_limit(std::size_t limit_bytes) {

@@ -31,11 +31,16 @@ inline constexpr std::uint64_t kCampaignCodeVersion = 1;
 /// Hit/miss/hygiene counters of one cache instance.
 struct CacheStats {
   std::uint64_t hits{0};
-  std::uint64_t misses{0};     ///< no entry on disk
-  std::uint64_t stale{0};      ///< entry ignored: other code version
+  std::uint64_t misses{0};     ///< no entry on disk (or unreadable)
+  std::uint64_t stale{0};      ///< entry ignored: other code/header version
   std::uint64_t corrupt{0};    ///< entry ignored: malformed/truncated/mismatched
   std::uint64_t evictions{0};  ///< files removed by the LRU size sweep
-  std::uint64_t stores{0};
+  std::uint64_t stores{0};     ///< entries durably written (store() == true)
+  /// IO failures (write/fsync/rename on store, read errors on lookup). The
+  /// cache absorbs these — a failed store declines, a failed read misses —
+  /// and the service layer watches this counter to latch the cache off
+  /// after repeated failures (see CampaignService).
+  std::uint64_t io_errors{0};
 
   [[nodiscard]] std::uint64_t lookups() const {
     return hits + misses + stale + corrupt;
@@ -53,13 +58,19 @@ struct CacheConfig {
 
 /// Content-addressed on-disk cache of campaign results:
 /// `<dir>/cell_<fingerprint hex16>.rtcr`, each file one header line
-/// (`RTCACHE 1 <code_version> <fingerprint>`) plus the serialized
-/// CampaignResult (experiments::serialize_campaign_result). Damaged, stale
-/// or mismatched files are counted misses — never wrong results — and the
-/// serde layer underneath throws on any truncation, so a partial write can
-/// never load as zeros. Stores are write-temp + rename, safe against
-/// concurrent readers in other processes. Instance methods are
-/// mutex-serialized, safe from concurrent threads.
+/// (`RTCACHE 2 <code_version> <fingerprint> <content fnv64>`) plus the
+/// serialized CampaignResult (experiments::serialize_campaign_result).
+/// Damaged, stale or mismatched files are counted misses — never wrong
+/// results: the header's FNV-1a content checksum catches byte corruption
+/// that would still parse (a flipped bit inside a hex-encoded double), and
+/// the serde layer underneath throws on any truncation, so a partial write
+/// can never load as zeros. Stores are crash-durable: write-temp, fsync,
+/// rename, then a best-effort fsync of the directory, so a power cut leaves
+/// either the old entry or the complete new one. All file IO goes through
+/// the rt::service fault-injection shims; IO failures are absorbed (a store
+/// declines, a lookup misses) and counted in CacheStats::io_errors, never
+/// thrown. Instance methods are mutex-serialized, safe from concurrent
+/// threads.
 class CampaignCellCache {
  public:
   explicit CampaignCellCache(CacheConfig config);
@@ -72,8 +83,11 @@ class CampaignCellCache {
       const experiments::CampaignSpec& spec);
 
   /// Serializes and stores the result under the spec's fingerprint, then
-  /// runs the LRU sweep if a byte budget is configured.
-  void store(const experiments::CampaignSpec& spec,
+  /// runs the LRU sweep if a byte budget is configured. Returns false (and
+  /// counts an io_error) when the entry could not be durably written; the
+  /// cache is unchanged in that case and the caller may decide to stop
+  /// trying (see CampaignService's cache-off latch).
+  bool store(const experiments::CampaignSpec& spec,
              const experiments::CampaignResult& result);
 
   /// Evicts oldest entries until the directory is within `limit_bytes`

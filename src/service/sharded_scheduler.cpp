@@ -4,62 +4,90 @@
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "experiments/campaign_serde.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/fault_injection.hpp"
+#include "stats/hash.hpp"
 
 namespace rt::service {
 
 namespace {
 
+using experiments::CampaignError;
+using experiments::CampaignErrorCode;
 using experiments::CampaignResult;
 using experiments::CampaignRunner;
 using experiments::CampaignSpec;
 using experiments::GridCell;
 
-constexpr std::uint64_t kFrameMagic = 0x52542d43454c4c31ull;  // "RT-CELL1"
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kFrameMagic = 0x52542d43454c4c32ull;  // "RT-CELL2"
 /// A RunResult frame is a few KB; anything near this is stream corruption.
 constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
-bool write_all(int fd, const void* data, std::size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
+std::uint64_t payload_checksum(const std::string& payload) {
+  return stats::fnv1a_str(stats::kFnv1aOffset, payload);
 }
 
-/// Reads exactly `len` bytes, polling (with timeout) before every read.
-/// Returns 1 on a full read, 0 on clean EOF at the first byte (nothing
-/// read), -1 on error, timeout, or EOF mid-buffer (a truncated frame).
-int read_exact(int fd, void* data, std::size_t len, int timeout_ms) {
+/// Milliseconds until `t`, clamped to [0, ~2^30].
+int ms_until(Clock::time_point t) {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      t - Clock::now())
+                      .count();
+  if (ms <= 0) return 0;
+  return static_cast<int>(std::min<long long>(ms, 1ll << 30));
+}
+
+bool expired(const RunControl& ctl) {
+  return ctl.deadline && Clock::now() >= *ctl.deadline;
+}
+
+void sleep_ms(int ms) {
+  struct timespec ts {};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// Reads exactly `len` bytes, polling before every read. The whole call
+/// shares ONE `timeout_ms` budget (an EINTR storm retries but cannot extend
+/// it), further clamped by the request deadline when one is set. Returns 1
+/// on a full read, 0 on clean EOF at the first byte (nothing read), -1 on
+/// error, timeout, deadline, or EOF mid-buffer (a truncated frame).
+int read_exact(int fd, void* data, std::size_t len, int timeout_ms,
+               const RunControl& ctl) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
+  const Clock::time_point budget_end =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (got < len) {
+    Clock::time_point wait_end = budget_end;
+    if (ctl.deadline && *ctl.deadline < wait_end) wait_end = *ctl.deadline;
+    const int remaining = ms_until(wait_end);
+    if (remaining <= 0) return -1;
     struct pollfd pfd {};
     pfd.fd = fd;
     pfd.events = POLLIN;
-    const int pr = ::poll(&pfd, 1, timeout_ms);
+    const int pr = sys_poll(FaultSite::kPipePoll, &pfd, 1, remaining);
     if (pr < 0) {
       if (errno == EINTR) continue;
       return -1;
     }
-    if (pr == 0) return -1;  // worker silent past the timeout
-    const ssize_t n = ::read(fd, p + got, len - got);
+    if (pr == 0) return -1;  // worker silent past the timeout / deadline
+    const ssize_t n = sys_read(FaultSite::kPipeRead, fd, p + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
       return -1;
@@ -75,28 +103,44 @@ struct Frame {
   std::string payload;
 };
 
-/// Same return convention as read_exact.
-int read_frame(int fd, int timeout_ms, Frame& out) {
-  std::uint64_t header[3] = {0, 0, 0};
-  const int hr = read_exact(fd, header, sizeof header, timeout_ms);
+/// Same return convention as read_exact. Header: {magic, cell index,
+/// payload length, payload FNV-1a}. The checksum is what turns a corrupted
+/// pipe byte from silent result corruption into a detected worker death
+/// (and thus a re-run of the affected cells).
+int read_frame(int fd, int timeout_ms, const RunControl& ctl, Frame& out) {
+  std::uint64_t header[4] = {0, 0, 0, 0};
+  const int hr = read_exact(fd, header, sizeof header, timeout_ms, ctl);
   if (hr <= 0) return hr;
   if (header[0] != kFrameMagic || header[2] > kMaxFramePayload) return -1;
   out.cell = header[1];
   out.payload.resize(static_cast<std::size_t>(header[2]));
   if (!out.payload.empty() &&
-      read_exact(fd, out.payload.data(), out.payload.size(), timeout_ms) !=
-          1) {
+      read_exact(fd, out.payload.data(), out.payload.size(), timeout_ms,
+                 ctl) != 1) {
     return -1;
   }
+  if (payload_checksum(out.payload) != header[3]) return -1;
   return 1;
 }
 
 void write_frame(int fd, std::uint64_t cell, const std::string& payload,
                  bool& ok) {
   if (!ok) return;
-  const std::uint64_t header[3] = {kFrameMagic, cell, payload.size()};
-  ok = write_all(fd, header, sizeof header) &&
-       write_all(fd, payload.data(), payload.size());
+  const std::uint64_t header[4] = {kFrameMagic, cell, payload.size(),
+                                   payload_checksum(payload)};
+  ok = write_all_fd(FaultSite::kPipeWrite, fd, header, sizeof header) &&
+       write_all_fd(FaultSite::kPipeWrite, fd, payload.data(),
+                    payload.size());
+}
+
+const char* exception_message(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 }  // namespace
@@ -105,17 +149,18 @@ ShardedCampaignScheduler::ShardedCampaignScheduler(
     const CampaignRunner& runner, ShardOptions opts)
     : runner_(runner), opts_(opts) {}
 
-std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
-    const std::vector<CampaignSpec>& specs) const {
+GridOutcome ShardedCampaignScheduler::run_all_checked(
+    const std::vector<CampaignSpec>& specs, const RunControl& ctl) const {
   stats_ = ShardStats{};
-  std::vector<CampaignResult> results(specs.size());
+  GridOutcome out;
+  out.results.resize(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    results[i].spec = specs[i];
-    results[i].runs.resize(
+    out.results[i].spec = specs[i];
+    out.results[i].runs.resize(
         static_cast<std::size_t>(std::max(specs[i].runs, 0)));
   }
   const std::vector<GridCell> cells = experiments::grid_cells(specs);
-  if (cells.empty()) return results;
+  if (cells.empty()) return out;
 
   unsigned workers = opts_.workers == 0
                          ? runtime::ThreadPool::default_threads()
@@ -127,15 +172,23 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
   std::vector<char> filled(cells.size(), 0);
   const auto fill = [&](std::size_t cell_index, experiments::RunResult rr) {
     const GridCell& c = cells[cell_index];
-    results[c.spec].runs[static_cast<std::size_t>(c.run)] = std::move(rr);
+    out.results[c.spec].runs[static_cast<std::size_t>(c.run)] =
+        std::move(rr);
     filled[cell_index] = 1;
   };
+
+  // Deterministic worker ids (fork order), folded into the fault-injection
+  // schedule stream so distinct workers draw distinct — but reproducible —
+  // fault sequences.
+  std::uint64_t worker_seq = 0;
 
   // Worker body: run the assigned cells, stream one frame per finished
   // cell, then _exit (no atexit/flush: nothing in the parent's state may be
   // touched). Never returns.
   const auto child_main = [&](const std::vector<std::size_t>& indices,
-                              int wfd, int crash_after) {
+                              int wfd, int crash_after,
+                              std::uint64_t worker_id) {
+    FaultInjector::instance().set_worker(worker_id);
     bool ok = true;
     int sent = 0;
     try {
@@ -159,7 +212,9 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
   // descriptor except its own write end — otherwise a sibling's surviving
   // write-end copy would keep a dead worker's pipe from ever reaching EOF.
   // The sequential drain cannot deadlock: an undrained worker blocked on
-  // pipe backpressure is merely paused, and its turn always comes.
+  // pipe backpressure is merely paused, and its turn always comes. A
+  // deadline expiry mid-drain kills every remaining worker instead of
+  // waiting out its stream.
   const auto run_wave = [&](const std::vector<std::vector<std::size_t>>&
                                 shards,
                             bool allow_crash_hook) {
@@ -176,8 +231,15 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
     }
     for (std::size_t s = 0; s < n; ++s) {
       if (wfds[s] < 0) continue;  // pipe() failed: shard handled as dead
-      const pid_t pid = ::fork();
-      if (pid < 0) continue;  // fork() failed: likewise
+      const std::uint64_t worker_id = ++worker_seq;
+      const pid_t pid = sys_fork();
+      if (pid < 0) {
+        // fork() failed (EAGAIN under pressure): shard handled as dead;
+        // the retry waves (with backoff) and the threaded in-process
+        // fallback below are the degradation path.
+        ++stats_.fork_failures;
+        continue;
+      }
       if (pid == 0) {
         for (std::size_t t = 0; t < n; ++t) {
           if (rfds[t] >= 0) ::close(rfds[t]);
@@ -187,7 +249,7 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
             (allow_crash_hook && static_cast<int>(s) == opts_.crash_shard)
                 ? opts_.crash_after_cells
                 : -1;
-        child_main(shards[s], wfds[s], crash_after);
+        child_main(shards[s], wfds[s], crash_after, worker_id);
       }
       pids[s] = pid;
     }
@@ -198,8 +260,13 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
       bool dead = pids[s] < 0;
       if (!dead) {
         while (true) {
+          if (expired(ctl)) {
+            stats_.deadline_expired = true;
+            dead = true;
+            break;
+          }
           Frame f;
-          const int fr = read_frame(rfds[s], opts_.read_timeout_ms, f);
+          const int fr = read_frame(rfds[s], opts_.read_timeout_ms, ctl, f);
           if (fr == 0) break;  // clean EOF: worker finished its stream
           if (fr < 0) {
             dead = true;
@@ -243,32 +310,96 @@ std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
   run_wave(shards, /*allow_crash_hook=*/true);
 
   // Shard retries: everything still missing goes to one recovery worker
-  // per attempt (the crash hook never fires on retries).
+  // per attempt (the crash hook never fires on retries), after a capped
+  // exponential backoff — a worker killed by resource pressure gets
+  // breathing room instead of an immediate re-fork into the same pressure.
   for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
     std::vector<std::size_t> missing;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (!filled[i]) missing.push_back(i);
     }
     if (missing.empty()) break;
+    if (expired(ctl)) break;
+    int backoff = opts_.retry_backoff_ms > 0
+                      ? std::min(opts_.retry_backoff_ms << attempt,
+                                 opts_.retry_backoff_max_ms)
+                      : 0;
+    if (ctl.deadline) backoff = std::min(backoff, ms_until(*ctl.deadline));
+    if (backoff > 0) sleep_ms(backoff);
+    if (expired(ctl)) break;
     ++stats_.shard_retries;
     run_wave({std::move(missing)}, /*allow_crash_hook=*/false);
   }
 
-  // Last resort: the parent runs whatever is still missing itself, so
-  // run_all always returns a complete (and still bit-identical) grid.
+  // Last resort: the parent runs whatever is still missing itself, fanned
+  // over a thread pool (so total fork failure degrades to threaded, not
+  // serial, execution). Each cell writes its pre-assigned slot, so the
+  // results are still bit-identical; a cell that throws or misses the
+  // deadline stays unfilled and becomes a typed error below.
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (!filled[i]) missing.push_back(i);
   }
-  if (!missing.empty()) {
+  if (!missing.empty() && !expired(ctl)) {
     stats_.cells_recovered_in_process += static_cast<int>(missing.size());
-    experiments::run_cells(
-        runner_, specs, cells, missing,
-        [&](std::size_t cell_index, const experiments::RunResult& run) {
-          fill(cell_index, run);
-        });
+    unsigned threads = opts_.fallback_threads == 0 ? workers
+                                                   : opts_.fallback_threads;
+    threads = std::max(
+        1u, std::min(threads, static_cast<unsigned>(missing.size())));
+    stats_.fallback_threads = threads;
+    std::mutex failure_mutex;
+    runtime::ThreadPool pool(threads);
+    pool.parallel_for(static_cast<int>(missing.size()), [&](int i) {
+      const std::size_t ci = missing[static_cast<std::size_t>(i)];
+      if (expired(ctl)) return;  // cancel cleanly at the cell boundary
+      try {
+        const GridCell& c = cells[ci];
+        experiments::RunResult rr = runner_.run_one(specs[c.spec], c.run);
+        fill(ci, std::move(rr));  // distinct slot per cell: no lock needed
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!out.first_failure) out.first_failure = std::current_exception();
+      }
+    });
   }
-  return results;
+  if (expired(ctl)) stats_.deadline_expired = true;
+
+  // Typed per-campaign error records for anything incomplete. An errored
+  // campaign's runs are cleared: a result is complete or absent, never
+  // silently partial (zero-filled RunResults would parse as real data).
+  std::vector<int> spec_missing(specs.size(), 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!filled[i]) ++spec_missing[cells[i].spec];
+  }
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (spec_missing[s] == 0) continue;
+    const std::size_t total = out.results[s].runs.size();
+    out.results[s].runs.clear();
+    CampaignError err;
+    err.spec_index = s;
+    if (stats_.deadline_expired) {
+      err.code = CampaignErrorCode::kDeadlineExceeded;
+      err.message = "deadline expired with " +
+                    std::to_string(spec_missing[s]) + "/" +
+                    std::to_string(total) + " cells missing";
+    } else {
+      err.code = CampaignErrorCode::kExecutionFailed;
+      err.message = out.first_failure
+                        ? exception_message(out.first_failure)
+                        : "cells missing after retries";
+    }
+    out.errors.push_back(std::move(err));
+  }
+  return out;
+}
+
+std::vector<CampaignResult> ShardedCampaignScheduler::run_all(
+    const std::vector<CampaignSpec>& specs) const {
+  GridOutcome out = run_all_checked(specs, RunControl{});
+  // Preserve the historical contract: no deadline means the grid either
+  // completes in full or the first underlying failure propagates.
+  if (out.first_failure) std::rethrow_exception(out.first_failure);
+  return std::move(out.results);
 }
 
 }  // namespace rt::service

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <exception>
+#include <optional>
 #include <vector>
 
 #include "experiments/campaign.hpp"
@@ -18,8 +21,20 @@ struct ShardOptions {
   /// parent).
   int max_retries{2};
   /// Per-read poll timeout on a worker pipe. A worker that goes silent for
-  /// longer is declared dead (killed + reaped) and its shard retried.
+  /// longer is declared dead (killed + reaped) and its shard retried. The
+  /// budget covers the whole read — EINTR storms cannot extend it.
   int read_timeout_ms{600000};
+  /// Capped exponential backoff before each retry wave: attempt k sleeps
+  /// min(retry_backoff_ms << k, retry_backoff_max_ms). A worker killed by
+  /// resource pressure (fork EAGAIN, OOM) gets breathing room instead of an
+  /// immediate re-fork into the same pressure.
+  int retry_backoff_ms{25};
+  int retry_backoff_max_ms{2000};
+  /// Threads of the in-process fallback that finishes cells no worker
+  /// delivered (fork exhaustion, retries exhausted). 0 = same as the
+  /// (clamped) worker count. Fork failure thereby degrades to threaded
+  /// execution rather than a serial crawl.
+  unsigned fallback_threads{0};
   /// Test hooks: the first-wave worker for shard `crash_shard` calls
   /// _exit(42) after streaming `crash_after_cells` results. Retries are
   /// never crashed, so the harness can prove death -> retry -> identical
@@ -28,12 +43,33 @@ struct ShardOptions {
   int crash_after_cells{0};
 };
 
+/// Per-request execution controls (deadline today; cancellation later).
+struct RunControl {
+  /// Hard deadline: execution stops at the next cell/frame boundary once
+  /// passed. Campaigns with missing cells become typed error records.
+  std::optional<std::chrono::steady_clock::time_point> deadline{};
+};
+
 /// What a sharded run observed about its workers.
 struct ShardStats {
   unsigned workers{0};          ///< workers actually forked in the first wave
   int worker_deaths{0};         ///< abnormal exits / truncated streams / timeouts
   int shard_retries{0};         ///< re-forked recovery workers
+  int fork_failures{0};         ///< fork() calls that failed (EAGAIN etc.)
   int cells_recovered_in_process{0};  ///< cells the parent ran itself
+  unsigned fallback_threads{0};  ///< threads of the in-process fallback (0 = unused)
+  bool deadline_expired{false};  ///< the RunControl deadline fired mid-grid
+};
+
+/// A checked grid run: complete campaigns in `results` (spec order; an
+/// errored spec's `runs` is left empty, never partially filled), one typed
+/// error per incomplete campaign in `errors` (spec_index ascending).
+struct GridOutcome {
+  std::vector<experiments::CampaignResult> results;
+  std::vector<experiments::CampaignError> errors;
+  /// First exception a fallback cell raised (run_all rethrows it to keep
+  /// its always-complete contract; run_all_checked types it instead).
+  std::exception_ptr first_failure{};
 };
 
 /// Multi-process campaign grid execution: forks N workers over disjoint,
@@ -44,21 +80,33 @@ struct ShardStats {
 /// Because every run's randomness is a pure function of (spec.seed,
 /// run_index) — the PR 1 counter-based contract — and doubles cross the
 /// pipe as raw bit patterns, a sharded run is bit-identical to the
-/// in-process CampaignScheduler at ANY worker count. Worker death (crash,
+/// in-process CampaignScheduler at ANY worker count. Every frame carries an
+/// FNV-1a payload checksum, so a corrupted pipe (bit flips, interposed
+/// garbage) is detected and re-run, never merged. Worker death (crash,
 /// kill, truncated frame, silence past the timeout) is detected per shard;
-/// the missing cells are re-forked up to `max_retries` times and finally
-/// run in-process, so results are complete and identical even under
-/// worker loss.
+/// the missing cells are re-forked up to `max_retries` times (with capped
+/// exponential backoff) and finally run in-process over a thread pool, so
+/// results are complete and identical even under worker loss or total fork
+/// failure. All syscalls go through the rt::service fault-injection shims
+/// (service/fault_injection.hpp); the chaos suite drives every failure path
+/// above deterministically.
 class ShardedCampaignScheduler {
  public:
   explicit ShardedCampaignScheduler(const experiments::CampaignRunner& runner,
                                     ShardOptions opts = {});
 
   /// Runs every spec to completion and returns results in spec order.
+  /// (Rethrows a runner exception, like the in-process scheduler.)
   [[nodiscard]] std::vector<experiments::CampaignResult> run_all(
       const std::vector<experiments::CampaignSpec>& specs) const;
 
-  /// Stats of the most recent run_all.
+  /// Like run_all, but honours `ctl` and converts failures into typed
+  /// per-campaign error records instead of throwing or hanging.
+  [[nodiscard]] GridOutcome run_all_checked(
+      const std::vector<experiments::CampaignSpec>& specs,
+      const RunControl& ctl) const;
+
+  /// Stats of the most recent run.
   [[nodiscard]] const ShardStats& stats() const { return stats_; }
 
  private:

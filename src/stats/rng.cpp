@@ -1,8 +1,6 @@
 #include "stats/rng.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -19,30 +17,11 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-bool legacy_normal_from_env() {
-  const char* v = std::getenv("RT_LEGACY_NOISE");
-  return v != nullptr && v[0] != '\0' &&
-         !(v[0] == '0' && v[1] == '\0');
-}
-
-std::atomic<bool>& legacy_normal_flag() {
-  static std::atomic<bool> flag{legacy_normal_from_env()};
-  return flag;
-}
-
 [[noreturn]] void throw_nan(const char* what) {
   throw std::invalid_argument(std::string("Rng::") + what +
                               ": NaN parameter");
 }
 }  // namespace
-
-void Rng::set_legacy_normal(bool on) {
-  legacy_normal_flag().store(on, std::memory_order_relaxed);
-}
-
-bool Rng::legacy_normal() {
-  return legacy_normal_flag().load(std::memory_order_relaxed);
-}
 
 Rng Rng::from_stream(std::uint64_t seed, std::uint64_t stream) {
   // Two rounds of the splitmix64 finalizer over (seed, stream). Unlike
@@ -74,14 +53,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 
 double Rng::normal(double mean, double stddev) {
   if (std::isnan(mean) || std::isnan(stddev)) throw_nan("normal");
-  if (legacy_normal()) {
-    // Historical path (pre counter-based migration): a fresh
-    // std::normal_distribution per call, i.e. a Marsaglia-polar rejection
-    // loop with a value-dependent engine advance. Kept only until the
-    // re-pinned goldens have soaked; see the header.
-    std::normal_distribution<double> d(mean, stddev);
-    return d(engine_);
-  }
   // Counter-based draw: one engine word -> u strictly inside (0, 1) (the
   // top 53 bits, centered on the half-ulp grid so u can reach neither
   // endpoint) -> inverse CDF. Acklam's approximation stays in its central

@@ -15,16 +15,6 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
 
-  /// Migration switch for the PR 8 counter-based Gaussian rewrite: when on,
-  /// `normal` runs the historical `std::normal_distribution` path instead
-  /// of the counter-based inverse-CDF draw. Process-wide, initialized once
-  /// from the RT_LEGACY_NOISE environment variable (any non-empty value
-  /// other than "0" enables it). Exists only until the re-pinned goldens
-  /// have soaked; scheduled for removal in a later PR — see README
-  /// "Performance".
-  static void set_legacy_normal(bool on);
-  [[nodiscard]] static bool legacy_normal();
-
   /// Deterministically derives an independent child generator. `stream`
   /// selects the child; the same (seed, stream) pair always yields the same
   /// child sequence.
@@ -53,9 +43,9 @@ class Rng {
   /// call), this is both cheaper and *stream-pure*: the engine advance per
   /// draw is a constant, independent of the values drawn, so interleaving
   /// normal draws with other draws is reproducible by construction. Throws
-  /// `std::invalid_argument` on NaN parameters. The legacy path remains
-  /// reachable via `set_legacy_normal` / RT_LEGACY_NOISE during the golden
-  /// migration window.
+  /// `std::invalid_argument` on NaN parameters. (The PR 8 migration window
+  /// and its RT_LEGACY_NOISE escape hatch are over; the legacy
+  /// `std::normal_distribution` path is gone — see README "Performance".)
   double normal(double mean, double stddev);
   /// Exponential with the given rate (mean 1/rate). Throws on NaN rate.
   double exponential(double rate);

@@ -508,8 +508,9 @@ TEST(DefenseCampaign, DetectionSemanticsAreConsistent) {
 //
 // Re-pinned for the PR 8 counter-based noise migration: Rng::normal now
 // draws one engine word through the inverse CDF, so every run's sensor
-// noise moved. Old pins (std::normal_distribution noise, still reachable
-// via RT_LEGACY_NOISE=1): DS-1 detected 12/12 with median 12 frames,
+// noise moved. Old pins (std::normal_distribution noise; that path and
+// its RT_LEGACY_NOISE switch are now removed): DS-1 detected 12/12 with
+// median 12 frames,
 // cut-in detected 11/12 with median 13 frames.
 TEST(GoldenDefense, Ds1NoShSensorConsistencyPins) {
   experiments::LoopConfig loop;

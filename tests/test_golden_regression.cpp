@@ -125,7 +125,7 @@ TEST(GoldenTableII, Ds1DisappearMiniCampaign) {
   // median_k re-pinned for the PR 8 counter-based noise migration: the
   // mini oracle trains on different noise draws and now launches at
   // mid-range k instead of the minimal k. Old pin (std::normal_distribution
-  // noise, still reachable via RT_LEGACY_NOISE=1): median_k == 3.0.
+  // noise; that path and RT_LEGACY_NOISE are now removed): median_k == 3.0.
   EXPECT_EQ(result.triggered_count(), 8);
   EXPECT_EQ(result.eb_count(), 0);
   EXPECT_EQ(result.crash_count(), 0);

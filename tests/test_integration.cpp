@@ -55,8 +55,8 @@ TEST(AttackedRun, ScriptedDisappearOnDs2CausesAccidents) {
   }
   // Re-pinned for the PR 8 counter-based noise migration: one of the six
   // seeds no longer dips below the 12 m trigger before the pedestrian
-  // clears (old std::normal_distribution pin, still reachable via
-  // RT_LEGACY_NOISE=1: triggered == 6).
+  // clears (old std::normal_distribution pin, from the now-removed
+  // legacy path: triggered == 6).
   EXPECT_EQ(triggered, 5);
   EXPECT_GE(crashes, 1);
 }

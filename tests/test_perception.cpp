@@ -536,8 +536,9 @@ TEST(MotTracker, UpdateIntoMatchesUpdate) {
 //
 // Re-pinned for the PR 8 counter-based noise migration (Rng::normal is now
 // one engine word through the inverse CDF): the trace's noise draws moved,
-// the KF algebra did not — under RT_LEGACY_NOISE=1 this walk still hashes
-// to the previous pin 0x9d97ae90dde06aacULL, which also proves the PR 8
+// the KF algebra did not — before the migration window closed, this walk
+// hashed to 0x9d97ae90dde06aacULL under the (now removed) legacy
+// std::normal_distribution path, which also proved the PR 8
 // fixed-dimension matrix kernels are bit-identical to the generic paths.
 TEST(KalmanFilter, GoldenTrackTraceIsBitIdenticalToPreRefactor) {
   Detection d;
@@ -560,10 +561,7 @@ TEST(KalmanFilter, GoldenTrackTraceIsBitIdenticalToPreRefactor) {
     }
     h = stats::fnv1a_double(h, track.mahalanobis2(d.bbox));
   }
-  const std::uint64_t expected = stats::Rng::legacy_normal()
-                                     ? 0x9d97ae90dde06aacULL
-                                     : 0x52ffad82edfddd8aULL;
-  EXPECT_EQ(h, expected);
+  EXPECT_EQ(h, 0x52ffad82edfddd8aULL);
 }
 
 }  // namespace

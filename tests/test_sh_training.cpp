@@ -126,7 +126,8 @@ TEST(GenerateShDataset, CurriculumChangesTheDataset) {
 //
 // Re-pinned for the PR 8 counter-based noise migration (Rng::normal now
 // draws one engine word through the inverse CDF; the historical
-// std::normal_distribution stream is reachable via RT_LEGACY_NOISE=1).
+// std::normal_distribution path and its RT_LEGACY_NOISE switch are now
+// removed).
 // Old pins, for the record: Move_Out 0x84698609b1dde15e, Disappear
 // 0xca61304a2a8a193f, Move_In 0x4e840efd0ccf25ba; full default Move_Out
 // grid 293 rows / 0xfb0b3087230ddd77.

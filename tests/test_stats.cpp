@@ -61,7 +61,8 @@ TEST(Rng, UniformIntBounds) {
 
 // PR 8 noise migration: `normal` is a counter-based draw — exactly ONE
 // engine word per call, mapped through the inverse CDF. These tests pin
-// the definition, the stream-purity it buys, and the legacy escape hatch.
+// the definition and the stream-purity it buys. (The RT_LEGACY_NOISE
+// escape hatch of the migration window has been removed.)
 
 TEST(Rng, NormalConsumesExactlyOneEngineWord) {
   // The draw must equal the inverse-CDF map of the engine's next word, and
@@ -118,24 +119,6 @@ TEST(Rng, NormalCounterBasedStatisticalSanity) {
   EXPECT_LT(lo_tail, 1900);
   EXPECT_GT(hi_tail, 900);
   EXPECT_LT(hi_tail, 1900);
-}
-
-TEST(Rng, LegacyNormalFlagRestoresHistoricalDraws) {
-  // The migration window: with the flag on, normal runs the historical
-  // std::normal_distribution path. The flag is scheduled for removal once
-  // the re-pinned goldens have soaked (see README "Performance").
-  ASSERT_FALSE(Rng::legacy_normal());
-  Rng::set_legacy_normal(true);
-  Rng a(42);
-  std::mt19937_64 shadow(42);
-  for (int i = 0; i < 64; ++i) {
-    // Fresh distribution per draw, exactly like the historical Rng::normal
-    // body (so no cached second polar value carries across calls).
-    std::normal_distribution<double> d(2.0, 3.0);
-    EXPECT_DOUBLE_EQ(a.normal(2.0, 3.0), d(shadow)) << "draw " << i;
-  }
-  Rng::set_legacy_normal(false);
-  ASSERT_FALSE(Rng::legacy_normal());
 }
 
 TEST(Rng, NanParametersThrow) {
