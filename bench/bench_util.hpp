@@ -14,6 +14,9 @@
 #include "experiments/campaign.hpp"
 #include "experiments/reporting.hpp"
 #include "experiments/sh_training.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/campaign_service.hpp"
 
 namespace rt::bench {
@@ -68,11 +71,13 @@ struct BenchOptions {
   std::string json_path;  ///< empty = no JSON perf records
   std::string cache_dir;  ///< empty = no result cache (env RT_CAMPAIGN_CACHE)
   unsigned workers{0};    ///< forked grid workers; 0 = in-process threads
+  std::string trace_path;    ///< Chrome trace JSON written on exit
+  std::string metrics_path;  ///< Prometheus metrics text written on exit
 };
 
 /// Parses --runs N, --seed S, --threads T, --csv PATH, --json PATH,
-/// --cache-dir PATH, --workers N (and --help). Unknown flags or missing
-/// values print usage and exit non-zero.
+/// --cache-dir PATH, --workers N, --trace PATH, --metrics PATH (and
+/// --help). Unknown flags or missing values print usage and exit non-zero.
 inline BenchOptions parse_options(int argc, char** argv,
                                   std::uint64_t default_seed) {
   BenchOptions opts;
@@ -93,7 +98,11 @@ inline BenchOptions parse_options(int argc, char** argv,
                  "  --cache-dir PATH  campaign result cache "
                  "(env RT_CAMPAIGN_CACHE; empty = off)\n"
                  "  --workers N  forked grid worker processes "
-                 "(0 = in-process threads)\n",
+                 "(0 = in-process threads)\n"
+                 "  --trace PATH    arm span tracing, write a Chrome trace "
+                 "JSON on exit (env RT_TRACE=PATH)\n"
+                 "  --metrics PATH  write the final metrics snapshot as "
+                 "Prometheus text on exit\n",
                  argv[0], opts.runs,
                  static_cast<unsigned long long>(default_seed));
   };
@@ -131,6 +140,10 @@ inline BenchOptions parse_options(int argc, char** argv,
       opts.cache_dir = value();
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       opts.workers = static_cast<unsigned>(numeric(value()));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opts.trace_path = value();
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opts.metrics_path = value();
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(stdout);
@@ -141,7 +154,46 @@ inline BenchOptions parse_options(int argc, char** argv,
       std::exit(2);
     }
   }
+  // Arm tracing before any instrumented work runs: RT_TRACE=PATH or
+  // --trace PATH (the flag wins for the output path).
+  if (!obs::Tracer::global().arm_from_env() && !opts.trace_path.empty()) {
+    obs::Tracer::global().arm();
+  }
+  if (opts.trace_path.empty()) {
+    opts.trace_path = obs::Tracer::global().env_path();
+  }
   return opts;
+}
+
+/// Shared observability epilogue: writes the Chrome trace (when tracing
+/// was armed) and/or the Prometheus metrics snapshot, confirming paths on
+/// stdout like the CSV/JSON epilogues do. Call once, after the last
+/// instrumented work of the driver.
+inline void finish_observability(const BenchOptions& opts) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.armed() && !opts.trace_path.empty()) {
+    if (tracer.write_chrome_trace(opts.trace_path)) {
+      std::printf("wrote %s (%zu spans, %llu dropped)\n",
+                  opts.trace_path.c_str(), tracer.span_count(),
+                  static_cast<unsigned long long>(tracer.dropped_spans()));
+    } else {
+      std::fprintf(stderr, "failed to write trace %s\n",
+                   opts.trace_path.c_str());
+    }
+  }
+  if (!opts.metrics_path.empty()) {
+    const std::string text =
+        obs::render_prometheus(obs::MetricsRegistry::global().snapshot());
+    std::FILE* f = std::fopen(opts.metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", opts.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics %s\n",
+                   opts.metrics_path.c_str());
+    }
+  }
 }
 
 /// Shared CSV epilogue of the grid drivers: writes the table when --csv

@@ -2,12 +2,12 @@
 // plus the paper's §VI headline aggregates (EB / crash rates, pedestrian vs
 // vehicle asymmetry).
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "experiments/reporting.hpp"
 #include "experiments/thread_pool.hpp"
+#include "obs/clock.hpp"
 
 using namespace rt;
 
@@ -70,18 +70,21 @@ int main(int argc, char** argv) {
   int random_crash = 0;
 
   const auto specs = experiments::table2_campaigns(n, opts.seed);
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const auto results = svc->run_grid(specs);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double elapsed = watch.elapsed_s();
   int grid_runs = 0;
   for (const auto& r : results) grid_runs += r.n();
   std::printf("grid: %d runs in %.2f s  (%.1f runs/sec at %u threads)\n",
               grid_runs, elapsed, grid_runs / elapsed, scheduler.threads());
   bench::report_service_stats(*svc);
+  // Traced runs get their own bench name so CI can keep the traced and
+  // untraced throughput side by side in BENCH_campaign.json.
+  const char* bench_name = obs::Tracer::global().armed()
+                               ? "table2_campaign_grid_traced"
+                               : "table2_campaign_grid";
   bench::maybe_write_bench_json(
-      opts, {{"table2_campaign_grid", grid_runs / elapsed, elapsed * 1000.0,
+      opts, {{bench_name, grid_runs / elapsed, elapsed * 1000.0,
               scheduler.threads(), opts.seed}});
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -143,5 +146,6 @@ int main(int argc, char** argv) {
   std::printf(
       "attack success, vehicles:    paper 31.7%%  measured %.1f%%\n",
       veh_runs ? 100.0 * veh_success / veh_runs : 0.0);
+  bench::finish_observability(opts);
   return 0;
 }

@@ -6,7 +6,6 @@
 // §VI-E); this table makes the claim measurable monitor by monitor — and
 // shows which defenses the crude baselines cannot evade.
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -48,11 +47,9 @@ int main(int argc, char** argv) {
               cfg.threads == 0 ? experiments::ThreadPool::default_threads()
                                : cfg.threads);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const auto grid = experiments::run_defense_grid(cfg, loop, oracles);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double elapsed = watch.elapsed_s();
   int total_runs = 0;
   for (const auto& c : grid.cells) total_runs += c.n;
   std::printf("grid: %zu cells, %d runs in %.2f s (%.1f runs/sec)\n",
@@ -132,5 +129,6 @@ int main(int argc, char** argv) {
       "rows are pure false-positive baselines). RoboTack is built to duck\n"
       "the per-frame gates; the CUSUM drift and sensor-consistency tests\n"
       "are the ones that make it pay for every perturbed frame.\n");
+  bench::finish_observability(opts);
   return 0;
 }

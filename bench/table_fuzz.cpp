@@ -8,7 +8,6 @@
 // by the clean-run invariant suite (a frontier corner is where the *attack*
 // hurts; the unattacked world must still be safe and alert-free).
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -23,12 +22,10 @@ namespace {
 experiments::ScenarioSearchResult run_search(
     experiments::ScenarioSearchConfig cfg, const experiments::LoopConfig& loop,
     double& elapsed_s) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const auto result =
       experiments::run_scenario_search(cfg, loop, /*oracles=*/{});
-  elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  elapsed_s = watch.elapsed_s();
   return result;
 }
 
@@ -132,5 +129,6 @@ int main(int argc, char** argv) {
   bench::report_service_stats(*svc);
   bench::maybe_write_csv(opts, csv_header, csv_rows);
   bench::maybe_write_bench_json(opts, records);
+  bench::finish_observability(opts);
   return violations == 0 ? 0 : 1;
 }

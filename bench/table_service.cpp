@@ -6,9 +6,9 @@
 // and bit-identical to the cold pass, and the chaos pass must absorb every
 // injected fault and still reproduce the cold bytes. With --workers N the
 // cold and chaos passes additionally exercise the forked multi-process
-// sharder.
+// sharder. Chaos accounting is asserted against the metrics registry
+// (rt_fault_injections_total, rt_shard_*), not scraped from stderr.
 
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -44,17 +44,17 @@ int main(int argc, char** argv) {
   if (owned) fs::remove_all(cache_dir, ec);
 
   auto run_pass = [&](const char* label, const std::string& dir,
-                      double& elapsed_s, std::size_t& hits) {
+                      double& elapsed_s, std::size_t& hits,
+                      service::ShardStats* shard_out = nullptr) {
     bench::BenchOptions pass = opts;
     pass.cache_dir = dir;
     auto svc = bench::make_service(runner, pass);
     const auto specs = experiments::table2_campaigns(opts.runs, opts.seed);
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch watch;
     const auto results = svc->run_grid(specs);
-    elapsed_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    elapsed_s = watch.elapsed_s();
     hits = svc->last_request().cache_hits;
+    if (shard_out != nullptr) *shard_out = svc->shard_stats();
     int grid_runs = 0;
     for (const auto& r : results) grid_runs += r.n();
     std::printf("%s: %zu specs, %d runs in %.3f s (hits=%zu)\n", label,
@@ -89,6 +89,11 @@ int main(int argc, char** argv) {
   std::size_t chaos_hits = 0;
   std::string chaos;
   std::uint64_t chaos_faults = 0;
+  service::ShardStats chaos_shards;
+  // The registry is cumulative, so the chaos pass is judged on deltas
+  // around it; the firing counter must agree with the injector's own
+  // tally (both count parent-process events only).
+  const auto before = obs::MetricsRegistry::global().snapshot();
   {
     service::FaultPlan plan;
     plan.seed = opts.seed;
@@ -97,9 +102,13 @@ int main(int argc, char** argv) {
     plan.rules.push_back({service::FaultSite::kPipeWrite,
                           service::FaultType::kIoError, 0.5, -1, 0});
     service::ArmedFaults armed(std::move(plan));
-    chaos = run_pass("chaos", chaos_dir, chaos_s, chaos_hits);
+    chaos = run_pass("chaos", chaos_dir, chaos_s, chaos_hits, &chaos_shards);
     chaos_faults = service::FaultInjector::instance().injected_total();
   }
+  const auto after = obs::MetricsRegistry::global().snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
   fs::remove_all(chaos_dir, ec);
   std::printf("chaos: %llu faults injected (parent process)\n",
               static_cast<unsigned long long>(chaos_faults));
@@ -148,6 +157,45 @@ int main(int argc, char** argv) {
                 chaos_hits);
     ok = false;
   }
+  // Chaos accounting through the metrics registry: every parent-process
+  // firing the injector counted must also have landed in
+  // rt_fault_injections_total, and the sharder's recovery counters must
+  // match the ShardStats of the chaos request.
+  if (delta("rt_fault_injections_total") != chaos_faults) {
+    std::printf("FAIL: rt_fault_injections_total moved %llu, injector "
+                "counted %llu\n",
+                static_cast<unsigned long long>(
+                    delta("rt_fault_injections_total")),
+                static_cast<unsigned long long>(chaos_faults));
+    ok = false;
+  }
+  if (chaos_faults == 0) {
+    std::printf("FAIL: chaos pass injected no faults\n");
+    ok = false;
+  }
+  if (opts.workers >= 1) {
+    const struct {
+      const char* metric;
+      std::uint64_t expect;
+    } shard_checks[] = {
+        {"rt_shard_worker_deaths_total",
+         static_cast<std::uint64_t>(chaos_shards.worker_deaths)},
+        {"rt_shard_retry_waves_total",
+         static_cast<std::uint64_t>(chaos_shards.shard_retries)},
+        {"rt_shard_cells_recovered_in_process_total",
+         static_cast<std::uint64_t>(chaos_shards.cells_recovered_in_process)},
+    };
+    for (const auto& check : shard_checks) {
+      if (delta(check.metric) != check.expect) {
+        std::printf("FAIL: %s moved %llu, ShardStats says %llu\n",
+                    check.metric,
+                    static_cast<unsigned long long>(delta(check.metric)),
+                    static_cast<unsigned long long>(check.expect));
+        ok = false;
+      }
+    }
+  }
   std::printf("%s\n", ok ? "service contract holds" : "service contract VIOLATED");
+  bench::finish_observability(opts);
   return ok ? 0 : 1;
 }

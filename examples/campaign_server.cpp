@@ -6,14 +6,17 @@
 // parsed requests land in a bounded queue (overflow is answered `busy`),
 // and a single executor thread runs grids one at a time — so results stay
 // bit-deterministic (a repeated request is byte-identical, whatever the
-// client interleaving) while parsing and IO overlap execution. Timing and
-// cache-hit stats go to stderr, so CI can compare result bytes across
-// passes while asserting on the hit counts.
+// client interleaving) while parsing and IO overlap execution. Operational
+// logs go to stderr as single-line JSONL records ({"ts":...,"event":...})
+// so CI can compare result bytes across passes while asserting on the
+// structured fields (request ids, hit counts, outcomes) instead of
+// scraping free text.
 //
 // Request language (one request per line; '#' starts a comment):
 //   run scenarios=DS-1,DS-2 vectors=Disappear modes=RwoSH,Golden
 //       runs=6 seed=11 [monitors=m1,m2] [param=name:value]
 //       [sweep=name:v1,v2,...] [deadline_ms=N]      (all on ONE line)
+//   stats            # one-line JSON metrics snapshot (obs registry)
 //   quit | shutdown
 // Vectors: Disappear, Move_Out, Move_In. Modes: R, RwoSH, Golden, Random.
 // `param` pins one scenario parameter (repeatable); `sweep` crosses a
@@ -28,6 +31,13 @@
 // exits 0. RT_CHAOS arms the deterministic fault injector at startup (see
 // service/fault_injection.hpp), which is how the chaos suite drives
 // client-write failures through a real server.
+//
+// Observability: `--trace PATH` (or the RT_TRACE env var, whose value is
+// the path) arms the span tracer and writes a Chrome trace-event JSON file
+// on exit; requests get queue-wait / execute / serialize spans on top of
+// the service- and scheduler-level ones. `--metrics PATH` dumps the final
+// registry snapshot as one JSONL line; the `stats` verb serves the same
+// snapshot in-band.
 
 #include <fcntl.h>
 #include <poll.h>
@@ -46,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <iostream>
 #include <limits>
@@ -60,6 +71,8 @@
 
 #include "experiments/campaign_grid.hpp"
 #include "experiments/sh_training.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/campaign_service.hpp"
 #include "service/fault_injection.hpp"
 
@@ -79,6 +92,8 @@ struct ServerOptions {
   int backlog{16};             ///< listen(2) backlog
   int queue_limit{8};          ///< pending requests before `busy` replies
   double request_timeout_ms{0.0};  ///< default per-request deadline; 0 = off
+  std::string trace_path;      ///< Chrome trace JSON written on exit
+  std::string metrics_path;    ///< final metrics snapshot (one JSONL line)
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -88,10 +103,13 @@ struct ServerOptions {
       "usage: %s [--cache-dir PATH] [--cache-max-mb N] [--workers N]\n"
       "          [--threads N] [--json] [--socket PATH] [--no-oracles]\n"
       "          [--backlog N] [--queue-limit N] [--request-timeout-ms N]\n"
+      "          [--trace PATH] [--metrics PATH]\n"
       "Reads 'run ...' requests from stdin (or the Unix socket) and streams\n"
       "results; see the header of examples/campaign_server.cpp for the\n"
       "request language. RT_CAMPAIGN_CACHE sets the default cache dir;\n"
-      "RT_CHAOS arms the deterministic fault injector.\n",
+      "RT_CHAOS arms the deterministic fault injector; RT_TRACE=PATH arms\n"
+      "the span tracer (same as --trace PATH). --metrics dumps the final\n"
+      "metrics snapshot; the `stats` verb serves it in-band.\n",
       argv0);
   std::exit(code);
 }
@@ -276,6 +294,55 @@ std::optional<std::vector<experiments::CampaignSpec>> build_specs(
   }
 }
 
+// ---------------------------------------------------------------------------
+// Structured stderr logging: every operational record is one JSON line with
+// a wall-clock timestamp (`ts`) and an `event` discriminator. Results stay
+// on stdout (or the socket); stderr is machine-parseable.
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits {"ts":"...","event":...} with `fields` spliced in after ts.
+/// Wall-clock (not monotonic) on purpose: log timestamps are for humans
+/// and log collectors; all measured durations use obs::MonotonicClock.
+void log_json(const std::string& fields) {
+  char ts[32];
+  const std::time_t now = std::time(nullptr);
+  struct tm tm_utc {};
+  ::gmtime_r(&now, &tm_utc);
+  std::strftime(ts, sizeof ts, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  std::fprintf(stderr, "{\"ts\":\"%s\",%s}\n", ts, fields.c_str());
+}
+
+/// Request ids are assigned in EXECUTION order (the executor is the single
+/// determinism barrier), so id N in the log is the N-th grid actually run,
+/// whatever the client interleaving.
+std::atomic<std::uint64_t> g_request_id{0};
+
+const obs::Histogram& request_latency_histogram() {
+  static const obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "rt_server_request_latency_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000},
+      "End-to-end grid request wall time in milliseconds");
+  return h;
+}
+
 const char* kCsvHeader =
     "name,scenario,vector,mode,runs,seed,n,triggered,eb,crash,detected,"
     "false_alarms,eb_rate,crash_rate,detection_rate,median_k\n";
@@ -346,32 +413,53 @@ std::string render_response(const service::GridResponse& response,
   return out;
 }
 
-void log_request_stats(const service::CampaignService& svc) {
+/// One JSONL record per executed request: id, sizes, cache hits, wall time
+/// and the outcome ("ok" or the first typed error code). Also feeds the
+/// request-latency histogram, so the `stats` verb and the log agree.
+void log_request_stats(const service::CampaignService& svc,
+                       const service::GridResponse& response,
+                       std::uint64_t id) {
   const auto& rs = svc.last_request();
-  std::fprintf(
-      stderr,
-      "# request: specs=%zu hits=%zu misses=%zu errors=%zu wall_ms=%.1f\n",
-      rs.specs, rs.cache_hits, rs.specs - rs.cache_hits, rs.errors,
-      rs.wall_ms);
+  request_latency_histogram().observe(rs.wall_ms);
+  const char* outcome = response.errors.empty()
+                            ? "ok"
+                            : experiments::to_string(
+                                  response.errors.front().code);
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "\"event\":\"request\",\"id\":%llu,\"specs\":%zu,"
+                "\"hits\":%zu,\"misses\":%zu,\"errors\":%zu,"
+                "\"wall_ms\":%.1f,\"outcome\":\"%s\"",
+                static_cast<unsigned long long>(id), rs.specs, rs.cache_hits,
+                rs.specs - rs.cache_hits, rs.errors, rs.wall_ms, outcome);
+  log_json(buf);
 }
 
 void print_cache_summary(const service::CampaignService& svc) {
   const auto cs = svc.cache_stats();
-  std::fprintf(stderr,
-               "# cache: hits=%llu misses=%llu stale=%llu corrupt=%llu "
-               "stores=%llu evictions=%llu io_errors=%llu degraded=%d\n",
-               static_cast<unsigned long long>(cs.hits),
-               static_cast<unsigned long long>(cs.misses),
-               static_cast<unsigned long long>(cs.stale),
-               static_cast<unsigned long long>(cs.corrupt),
-               static_cast<unsigned long long>(cs.stores),
-               static_cast<unsigned long long>(cs.evictions),
-               static_cast<unsigned long long>(cs.io_errors),
-               svc.cache_degraded() ? 1 : 0);
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "\"event\":\"cache_summary\",\"hits\":%llu,\"misses\":%llu,"
+                "\"stale\":%llu,\"corrupt\":%llu,\"stores\":%llu,"
+                "\"evictions\":%llu,\"io_errors\":%llu,\"degraded\":%s",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.stale),
+                static_cast<unsigned long long>(cs.corrupt),
+                static_cast<unsigned long long>(cs.stores),
+                static_cast<unsigned long long>(cs.evictions),
+                static_cast<unsigned long long>(cs.io_errors),
+                svc.cache_degraded() ? "true" : "false");
+  log_json(buf);
+}
+
+/// The `stats` verb body: the current registry snapshot as one JSON line.
+std::string render_stats() {
+  return obs::render_json(obs::MetricsRegistry::global().snapshot()) + "\n";
 }
 
 /// What one request line asked for.
-enum class Verb : std::uint8_t { kNone, kRun, kQuit, kShutdown };
+enum class Verb : std::uint8_t { kNone, kRun, kStats, kQuit, kShutdown };
 
 struct ParsedLine {
   Verb verb{Verb::kNone};
@@ -400,6 +488,10 @@ ParsedLine parse_line(const std::string& line, const ServerOptions& opts) {
     out.verb = Verb::kShutdown;
     return out;
   }
+  if (words[0] == "stats") {
+    out.verb = Verb::kStats;
+    return out;
+  }
   if (words[0] != "run") {
     std::fprintf(stderr, "error: unknown verb '%s'\n", words[0].c_str());
     return out;
@@ -422,13 +514,29 @@ int serve_stdin(service::CampaignService& svc, const ServerOptions& opts) {
   while (std::getline(std::cin, line)) {
     const ParsedLine parsed = parse_line(line, opts);
     if (parsed.verb == Verb::kQuit || parsed.verb == Verb::kShutdown) break;
+    if (parsed.verb == Verb::kStats) {
+      const std::string body = render_stats();
+      std::fwrite(body.data(), 1, body.size(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
     if (parsed.verb != Verb::kRun) continue;
+    const std::uint64_t id =
+        g_request_id.fetch_add(1, std::memory_order_relaxed) + 1;
     service::GridRequest request{parsed.specs, parsed.deadline_ms};
-    const std::string body = render_response(svc.run_grid_checked(request),
-                                             opts.json);
+    service::GridResponse response;
+    {
+      RT_TRACE_SPAN("request_execute", "server", id, "request");
+      response = svc.run_grid_checked(request);
+    }
+    std::string body;
+    {
+      RT_TRACE_SPAN("request_serialize", "server", id, "request");
+      body = render_response(response, opts.json);
+    }
     std::fwrite(body.data(), 1, body.size(), stdout);
     std::fflush(stdout);
-    log_request_stats(svc);
+    log_request_stats(svc, response, id);
   }
   print_cache_summary(svc);
   return 0;
@@ -472,8 +580,8 @@ struct Connection {
                                bytes.data(), bytes.size())) {
       open.store(false, std::memory_order_relaxed);
       ::shutdown(fd, SHUT_RDWR);  // unblocks the reader thread's poll
-      std::fprintf(stderr, "# client write failed (%s): dropping client\n",
-                   std::strerror(errno));
+      log_json("\"event\":\"client_drop\",\"error\":\"" +
+               json_escape(std::strerror(errno)) + "\"");
     }
   }
 
@@ -486,6 +594,8 @@ struct Job {
   std::shared_ptr<Connection> conn;
   std::vector<experiments::CampaignSpec> specs;
   double deadline_ms{0.0};
+  Verb verb{Verb::kRun};        ///< kRun or kStats
+  std::uint64_t enqueue_ns{0};  ///< for the request_queue_wait span
 };
 
 /// Bounded multi-producer single-consumer request queue. `push` fails when
@@ -493,13 +603,18 @@ struct Job {
 /// is queued and then stop — the graceful-shutdown path.
 class JobQueue {
  public:
-  explicit JobQueue(std::size_t limit) : limit_(limit) {}
+  explicit JobQueue(std::size_t limit)
+      : limit_(limit),
+        depth_(obs::MetricsRegistry::global().gauge(
+            "rt_server_queue_depth",
+            "Requests currently waiting in the executor queue")) {}
 
   bool push(Job job) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || jobs_.size() >= limit_) return false;
       jobs_.push_back(std::move(job));
+      depth_.set(static_cast<std::int64_t>(jobs_.size()));
     }
     ready_.notify_one();
     return true;
@@ -512,6 +627,7 @@ class JobQueue {
     if (jobs_.empty()) return std::nullopt;
     Job job = std::move(jobs_.front());
     jobs_.pop_front();
+    depth_.set(static_cast<std::int64_t>(jobs_.size()));
     return job;
   }
 
@@ -525,6 +641,7 @@ class JobQueue {
 
  private:
   const std::size_t limit_;
+  const obs::Gauge depth_;
   std::mutex mu_;
   std::condition_variable ready_;
   std::deque<Job> jobs_;
@@ -572,8 +689,10 @@ void reader_loop(const std::shared_ptr<Connection>& conn, JobQueue& queue,
           wake_accept_loop();
           conn->open.store(false, std::memory_order_relaxed);
           return;
-        case Verb::kRun: {
-          Job job{conn, std::move(parsed.specs), parsed.deadline_ms};
+        case Verb::kRun:
+        case Verb::kStats: {
+          Job job{conn, std::move(parsed.specs), parsed.deadline_ms,
+                  parsed.verb, obs::Tracer::now_ns()};
           if (!queue.push(std::move(job))) conn->send("busy\n");
           break;
         }
@@ -592,12 +711,30 @@ void executor_loop(service::CampaignService& svc, JobQueue& queue,
                    const ServerOptions& opts) {
   while (auto job = queue.pop()) {
     if (!job->conn->open.load(std::memory_order_relaxed)) continue;
+    if (job->verb == Verb::kStats) {
+      // Answered on the executor so a `stats` line queued after a `run`
+      // reflects that run — same ordering the client observes.
+      job->conn->send(render_stats() + "end\n");
+      continue;
+    }
+    const std::uint64_t id =
+        g_request_id.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::record_span("request_queue_wait", "server", job->enqueue_ns,
+                     obs::Tracer::now_ns(), id, "request");
     service::GridRequest request{std::move(job->specs), job->deadline_ms};
-    std::string body = render_response(svc.run_grid_checked(request),
-                                       opts.json);
-    body += "end\n";
+    service::GridResponse response;
+    {
+      RT_TRACE_SPAN("request_execute", "server", id, "request");
+      response = svc.run_grid_checked(request);
+    }
+    std::string body;
+    {
+      RT_TRACE_SPAN("request_serialize", "server", id, "request");
+      body = render_response(response, opts.json);
+      body += "end\n";
+    }
     job->conn->send(body);
-    log_request_stats(svc);
+    log_request_stats(svc, response, id);
   }
 }
 
@@ -654,8 +791,10 @@ int serve_socket(service::CampaignService& svc, const ServerOptions& opts) {
   std::signal(SIGTERM, on_terminate_signal);
   std::signal(SIGINT, on_terminate_signal);
 
-  std::fprintf(stderr, "# listening on %s (backlog=%d queue=%d)\n",
-               opts.socket_path.c_str(), opts.backlog, opts.queue_limit);
+  log_json("\"event\":\"listening\",\"socket\":\"" +
+           json_escape(opts.socket_path) +
+           "\",\"backlog\":" + std::to_string(opts.backlog) +
+           ",\"queue_limit\":" + std::to_string(opts.queue_limit));
 
   JobQueue queue(static_cast<std::size_t>(opts.queue_limit));
   std::atomic<bool> draining{false};
@@ -693,7 +832,7 @@ int serve_socket(service::CampaignService& svc, const ServerOptions& opts) {
 
   // Graceful drain: no new connections or requests, but everything already
   // accepted is executed and answered before exit.
-  std::fprintf(stderr, "# draining\n");
+  log_json("\"event\":\"draining\"");
   draining.store(true, std::memory_order_relaxed);
   ::close(listener);
   ::unlink(opts.socket_path.c_str());
@@ -762,6 +901,10 @@ int main(int argc, char** argv) {
       opts.socket_path = value();
     } else if (std::strcmp(argv[i], "--no-oracles") == 0) {
       opts.no_oracles = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opts.trace_path = value();
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opts.metrics_path = value();
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(argv[0], 0);
@@ -772,8 +915,14 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
   if (service::FaultInjector::instance().arm_from_env()) {
-    std::fprintf(stderr, "# chaos: fault injection armed from RT_CHAOS\n");
+    log_json("\"event\":\"chaos_armed\",\"source\":\"RT_CHAOS\"");
   }
+  // Tracing: RT_TRACE=PATH or --trace PATH arms the span tracer; an
+  // explicit flag wins for the output path.
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.arm_from_env() && !opts.trace_path.empty()) tracer.arm();
+  const std::string trace_out =
+      !opts.trace_path.empty() ? opts.trace_path : tracer.env_path();
 
   experiments::LoopConfig loop;
   experiments::OracleSet oracles;
@@ -793,9 +942,38 @@ int main(int argc, char** argv) {
   cfg.threads = opts.threads;
   service::CampaignService svc(runner, cfg);
 
-  std::fprintf(stderr, "# campaign server: cache=%s workers=%u oracles=%s\n",
-               opts.cache_dir.empty() ? "(off)" : opts.cache_dir.c_str(),
-               opts.workers, opts.no_oracles ? "off" : "on");
-  return opts.socket_path.empty() ? serve_stdin(svc, opts)
-                                  : serve_socket(svc, opts);
+  log_json(
+      "\"event\":\"start\",\"cache\":" +
+      (opts.cache_dir.empty() ? std::string("null")
+                              : "\"" + json_escape(opts.cache_dir) + "\"") +
+      ",\"workers\":" + std::to_string(opts.workers) + ",\"oracles\":" +
+      (opts.no_oracles ? "false" : "true"));
+  const int rc = opts.socket_path.empty() ? serve_stdin(svc, opts)
+                                          : serve_socket(svc, opts);
+
+  if (tracer.armed() && !trace_out.empty()) {
+    if (tracer.write_chrome_trace(trace_out)) {
+      log_json("\"event\":\"trace_written\",\"path\":\"" +
+               json_escape(trace_out) + "\",\"spans\":" +
+               std::to_string(tracer.span_count()) + ",\"dropped\":" +
+               std::to_string(tracer.dropped_spans()));
+    } else {
+      log_json("\"event\":\"trace_write_failed\",\"path\":\"" +
+               json_escape(trace_out) + "\"");
+    }
+  }
+  if (!opts.metrics_path.empty()) {
+    std::FILE* f = std::fopen(opts.metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string line = render_stats();
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+      log_json("\"event\":\"metrics_written\",\"path\":\"" +
+               json_escape(opts.metrics_path) + "\"");
+    } else {
+      log_json("\"event\":\"metrics_write_failed\",\"path\":\"" +
+               json_escape(opts.metrics_path) + "\"");
+    }
+  }
+  return rc;
 }

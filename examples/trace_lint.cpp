@@ -1,0 +1,55 @@
+// Trace linter: strictly parses a Chrome trace-event JSON file written by
+// the obs tracer and (optionally) requires named spans to be present.
+//
+//   trace_lint FILE [span ...]
+//
+// Exit 0: the file parses under the strict reader (full JSON grammar, no
+// trailing bytes, schema-checked events) and every required span name
+// occurs at least once. Exit 1 with a diagnostic otherwise. CI runs this
+// on the traces its smoke passes produce, so a regression in the exporter
+// (or a silently empty trace) fails the build instead of shipping a file
+// Perfetto rejects.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace_reader.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [required-span-name ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  rt::obs::ParsedTrace trace;
+  try {
+    trace = rt::obs::parse_chrome_trace_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
+    return 1;
+  }
+
+  std::size_t spans = 0;
+  for (const auto& ev : trace.events) {
+    if (ev.ph == "X") ++spans;
+  }
+  const auto pids = trace.span_pids();
+  std::printf("%s: %zu events, %zu spans, %zu pids, dropped=%llu, "
+              "absorb_failures=%llu\n",
+              argv[1], trace.events.size(), spans, pids.size(),
+              static_cast<unsigned long long>(trace.dropped_spans),
+              static_cast<unsigned long long>(trace.absorb_failures));
+
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::size_t n = trace.count_spans(argv[i]);
+    if (n == 0) {
+      std::fprintf(stderr, "%s: required span '%s' not found\n", argv[1],
+                   argv[i]);
+      ok = false;
+    } else {
+      std::printf("  span '%s': %zu\n", argv[i], n);
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -5,9 +5,26 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/hash.hpp"
 
 namespace rt::core {
+
+namespace {
+
+/// Batch-width distribution of oracle flushes: the capacity sweet spot is
+/// 32 (see BM_OracleBatchInference), so a healthy run's mass sits in the
+/// 17-32 bucket; a drift toward 1-2 means callers are flushing early and
+/// the matrix-matrix win is gone.
+const obs::Histogram& batch_width_histogram() {
+  static const obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "rt_oracle_batch_width", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0},
+      "Queries served per OracleBatchBuffer flush");
+  return h;
+}
+
+}  // namespace
 
 SafetyOracle::SafetyOracle(std::uint64_t seed) {
   stats::Rng rng(seed);
@@ -71,6 +88,11 @@ OracleBatchBuffer::OracleBatchBuffer(std::size_t capacity)
 }
 
 std::span<const double> OracleBatchBuffer::flush(SafetyOracle& oracle) {
+  RT_TRACE_SPAN("oracle_batch_flush", "oracle",
+                static_cast<std::uint64_t>(pending_.size()), "width");
+  if (!pending_.empty()) {
+    batch_width_histogram().observe(static_cast<double>(pending_.size()));
+  }
   results_.resize(pending_.size());
   oracle.predict_batch(pending_, results_);
   pending_.clear();

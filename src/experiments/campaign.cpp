@@ -5,9 +5,24 @@
 
 #include "experiments/campaign_grid.hpp"
 #include "experiments/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 
 namespace rt::experiments {
+
+namespace {
+
+/// Registered once per process; the handle itself is a trivially copyable
+/// pointer wrapper, so the per-cell cost is one relaxed fetch_add.
+const obs::Counter& campaign_cells_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::global().counter(
+      "rt_campaign_cells_total",
+      "Campaign cells (individual closed-loop runs) executed in-process");
+  return c;
+}
+
+}  // namespace
 
 int CampaignResult::eb_count() const {
   return static_cast<int>(
@@ -150,6 +165,9 @@ std::unique_ptr<core::Robotack> CampaignRunner::make_attacker(
 
 RunResult CampaignRunner::run_one(const CampaignSpec& spec,
                                   int run_index) const {
+  RT_TRACE_SPAN("campaign_cell", "campaign",
+                static_cast<std::uint64_t>(run_index), "run");
+  campaign_cells_counter().inc();
   // Counter-based: stream k is a pure function of (spec.seed, k), with no
   // parent generator shared between runs. This is what makes the parallel
   // scheduler's results independent of thread count and execution order.

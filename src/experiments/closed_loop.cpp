@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace rt::experiments {
 
 ClosedLoop::ClosedLoop(sim::Scenario scenario, LoopConfig config,
@@ -124,6 +126,15 @@ RunResult ClosedLoop::run() {
   result.ids_reason = ids.report().reason;
   if (!monitors.empty()) {
     result.defense = monitors.report();
+    static const obs::Counter monitor_alarms =
+        obs::MetricsRegistry::global().counter(
+            "rt_monitor_alarms_total",
+            "Alarm frames raised by runtime attack monitors");
+    std::uint64_t alarms = 0;
+    for (const auto& m : result.defense.monitors) {
+      if (m.alarms > 0) alarms += static_cast<std::uint64_t>(m.alarms);
+    }
+    if (alarms > 0) monitor_alarms.inc(alarms);
     // Ground-truth detection labels, judged PER MONITOR: an alert at/after
     // the launch of a triggered attack counts as a detection even when a
     // different monitor false-alarmed earlier (a stack-wide earliest-alert

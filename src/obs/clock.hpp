@@ -1,0 +1,68 @@
+#pragma once
+
+/// The one clock the repository measures time with.
+///
+/// Every wall_ms in the stack — request stats, bench drivers, trace
+/// timestamps — reads std::chrono::steady_clock through this header, so
+/// timings are monotonic (immune to NTP steps) and mutually comparable.
+/// On Linux steady_clock is CLOCK_MONOTONIC, which is system-wide: parent
+/// and forked worker timestamps share an epoch, which is what lets the
+/// tracer merge worker spans onto the parent timeline without offset
+/// bookkeeping. std::chrono::system_clock is reserved for human-facing log
+/// timestamps only (see examples/campaign_server.cpp) and must never feed
+/// a duration.
+
+#include <chrono>
+#include <cstdint>
+
+namespace rt::obs {
+
+struct MonotonicClock {
+  using clock = std::chrono::steady_clock;
+  using time_point = clock::time_point;
+
+  static time_point now() { return clock::now(); }
+
+  /// Nanoseconds since the (arbitrary, per-boot) steady epoch.
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now().time_since_epoch())
+            .count());
+  }
+
+  static double ms_between(time_point a, time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  }
+
+  static double s_between(time_point a, time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+};
+
+/// Started-at-construction timer for the common "how long did this block
+/// take" measurement. Replaces the per-driver steady_clock::now() pairs.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(MonotonicClock::now()) {}
+
+  void reset() { t0_ = MonotonicClock::now(); }
+
+  double elapsed_ms() const {
+    return MonotonicClock::ms_between(t0_, MonotonicClock::now());
+  }
+  double elapsed_s() const {
+    return MonotonicClock::s_between(t0_, MonotonicClock::now());
+  }
+  std::uint64_t start_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t0_.time_since_epoch())
+            .count());
+  }
+
+ private:
+  MonotonicClock::time_point t0_;
+};
+
+}  // namespace rt::obs

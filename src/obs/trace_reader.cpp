@@ -1,0 +1,368 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace rt::obs {
+
+namespace {
+
+/// Minimal JSON document model — small traces only ever reach the tests
+/// and trace_lint, so a DOM keeps the validation code straight-line.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw TraceParseError("trace JSON: " + why + " at byte " +
+                          std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      if (std::any_of(v.object.begin(), v.object.end(),
+                      [&](const auto& kv) { return kv.first == key; })) {
+        fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // The exporter only writes \u00XX control escapes; reject
+          // anything needing surrogate handling rather than mis-decode it.
+          if (code > 0xff) fail("unsupported \\u escape above U+00FF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNull;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad number: no digits after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("bad number: empty exponent");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+const JsonValue& require(const JsonValue& obj, std::string_view key,
+                         JsonValue::Kind kind, const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    throw TraceParseError(std::string("trace JSON: ") + what + " missing '" +
+                          std::string(key) + "'");
+  }
+  if (v->kind != kind) {
+    throw TraceParseError(std::string("trace JSON: ") + what + " field '" +
+                          std::string(key) + "' has wrong type");
+  }
+  return *v;
+}
+
+std::uint64_t as_u64(const JsonValue& v, const char* what) {
+  if (v.number < 0.0 || v.number != std::floor(v.number)) {
+    throw TraceParseError(std::string("trace JSON: ") + what +
+                          " is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v.number);
+}
+
+}  // namespace
+
+bool ParsedTrace::has_span(std::string_view name) const {
+  return count_spans(name) > 0;
+}
+
+std::size_t ParsedTrace::count_spans(std::string_view name) const {
+  std::size_t n = 0;
+  for (const auto& e : events) {
+    if (e.ph == "X" && e.name == name) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> ParsedTrace::span_pids() const {
+  std::vector<std::uint64_t> pids;
+  for (const auto& e : events) {
+    if (e.ph != "X") continue;
+    if (std::find(pids.begin(), pids.end(), e.pid) == pids.end()) {
+      pids.push_back(e.pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  return pids;
+}
+
+ParsedTrace parse_chrome_trace(std::string_view json) {
+  Parser parser(json);
+  const JsonValue doc = parser.parse_document();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    throw TraceParseError("trace JSON: top level is not an object");
+  }
+  for (const auto& [key, value] : doc.object) {
+    if (key != "traceEvents" && key != "displayTimeUnit" &&
+        key != "otherData") {
+      throw TraceParseError("trace JSON: unexpected top-level key '" + key +
+                            "'");
+    }
+    (void)value;
+  }
+
+  ParsedTrace out;
+  if (const JsonValue* other = doc.find("otherData")) {
+    if (other->kind != JsonValue::Kind::kObject) {
+      throw TraceParseError("trace JSON: otherData is not an object");
+    }
+    if (const JsonValue* d = other->find("dropped_spans")) {
+      out.dropped_spans = as_u64(*d, "dropped_spans");
+    }
+    if (const JsonValue* f = other->find("absorb_failures")) {
+      out.absorb_failures = as_u64(*f, "absorb_failures");
+    }
+  }
+
+  const JsonValue& events =
+      require(doc, "traceEvents", JsonValue::Kind::kArray, "document");
+  out.events.reserve(events.array.size());
+  for (const JsonValue& ev : events.array) {
+    if (ev.kind != JsonValue::Kind::kObject) {
+      throw TraceParseError("trace JSON: traceEvents entry is not an object");
+    }
+    TraceEvent e;
+    e.name = require(ev, "name", JsonValue::Kind::kString, "event").string;
+    e.ph = require(ev, "ph", JsonValue::Kind::kString, "event").string;
+    if (e.ph == "X") {
+      e.ts_us = require(ev, "ts", JsonValue::Kind::kNumber, "span").number;
+      e.dur_us = require(ev, "dur", JsonValue::Kind::kNumber, "span").number;
+      e.pid = as_u64(require(ev, "pid", JsonValue::Kind::kNumber, "span"),
+                     "pid");
+      e.tid = as_u64(require(ev, "tid", JsonValue::Kind::kNumber, "span"),
+                     "tid");
+      e.cat = require(ev, "cat", JsonValue::Kind::kString, "span").string;
+      if (e.ts_us < 0.0 || e.dur_us < 0.0) {
+        throw TraceParseError("trace JSON: span with negative ts/dur");
+      }
+    } else if (e.ph == "M") {
+      // Metadata events carry pid + args only; nothing further to check
+      // beyond JSON well-formedness.
+    } else {
+      throw TraceParseError("trace JSON: unsupported event phase '" + e.ph +
+                            "'");
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+ParsedTrace parse_chrome_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw TraceParseError("trace JSON: cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw TraceParseError("trace JSON: read error on '" + path + "'");
+  }
+  return parse_chrome_trace(text);
+}
+
+}  // namespace rt::obs

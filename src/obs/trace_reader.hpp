@@ -1,0 +1,53 @@
+#pragma once
+
+/// Strict reader for the Chrome trace-event JSON the tracer exports.
+///
+/// "Strict" is the point: the exporter's output is consumed by external
+/// tools (Perfetto), so CI and tests must fail on any malformation —
+/// trailing bytes, unterminated strings, bad numbers, events missing
+/// required fields — rather than shrug like a lenient parser would. The
+/// grammar is full JSON; the schema is the subset the exporter writes
+/// (top-level object with `traceEvents`, `ph: "X"` spans with ts/dur/
+/// pid/tid, `ph: "M"` metadata).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rt::obs {
+
+class TraceParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;        ///< "X" span or "M" metadata
+  double ts_us{0.0};
+  double dur_us{0.0};
+  std::uint64_t pid{0};
+  std::uint64_t tid{0};
+};
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped_spans{0};
+  std::uint64_t absorb_failures{0};
+
+  bool has_span(std::string_view name) const;
+  std::size_t count_spans(std::string_view name) const;
+  /// Distinct pids among ph=="X" span events (parent is pid 0, forked
+  /// workers their worker id).
+  std::vector<std::uint64_t> span_pids() const;
+};
+
+/// Parse a full trace document. Throws TraceParseError on any syntax or
+/// schema violation, including bytes after the closing brace.
+ParsedTrace parse_chrome_trace(std::string_view json);
+ParsedTrace parse_chrome_trace_file(const std::string& path);
+
+}  // namespace rt::obs

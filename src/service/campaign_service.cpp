@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace rt::service {
@@ -19,7 +22,27 @@ using experiments::GridCell;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = obs::MonotonicClock::clock;
+
+struct ServiceCounters {
+  obs::Counter requests;
+  obs::Counter spec_cache_hits;
+  obs::Counter spec_errors;
+};
+
+const ServiceCounters& service_counters() {
+  static const ServiceCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return ServiceCounters{
+        reg.counter("rt_service_requests_total",
+                    "Grid requests executed by CampaignService"),
+        reg.counter("rt_service_spec_cache_hits_total",
+                    "Request specs answered from the cell cache"),
+        reg.counter("rt_service_spec_errors_total",
+                    "Request specs that ended as typed errors")};
+  }();
+  return c;
+}
 
 bool expired(const RunControl& ctl) {
   return ctl.deadline && Clock::now() >= *ctl.deadline;
@@ -116,7 +139,10 @@ std::vector<CampaignResult> CampaignService::run_grid(
 }
 
 GridResponse CampaignService::run_grid_checked(const GridRequest& request) {
-  const auto t0 = Clock::now();
+  RT_TRACE_SPAN("grid_request", "service",
+                static_cast<std::uint64_t>(request.specs.size()), "specs");
+  service_counters().requests.inc();
+  const auto t0 = obs::MonotonicClock::now();
   request_stats_ = RequestStats{};
   request_stats_.specs = request.specs.size();
   shard_stats_ = ShardStats{};
@@ -181,7 +207,13 @@ GridResponse CampaignService::run_grid_checked(const GridRequest& request) {
 
   request_stats_.errors = response.errors.size();
   request_stats_.wall_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      obs::MonotonicClock::ms_between(t0, obs::MonotonicClock::now());
+  if (request_stats_.cache_hits > 0) {
+    service_counters().spec_cache_hits.inc(request_stats_.cache_hits);
+  }
+  if (request_stats_.errors > 0) {
+    service_counters().spec_errors.inc(request_stats_.errors);
+  }
   return response;
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "experiments/campaign_serde.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/fault_injection.hpp"
 #include "sim/scenario_registry.hpp"
 #include "stats/hash.hpp"
@@ -23,6 +25,67 @@ namespace rt::service {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// The registry mirror of CacheStats: one counter per field, process-wide
+/// across every CampaignCellCache instance. test_service pins that the
+/// registry deltas equal the per-instance CacheStats deltas.
+struct CacheCounters {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter stale;
+  obs::Counter corrupt;
+  obs::Counter evictions;
+  obs::Counter stores;
+  obs::Counter io_errors;
+};
+
+const CacheCounters& cache_counters() {
+  static const CacheCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return CacheCounters{
+        reg.counter("rt_campaign_cache_hits_total",
+                    "Cell-cache lookups served from disk"),
+        reg.counter("rt_campaign_cache_misses_total",
+                    "Cell-cache lookups that fell through to execution"),
+        reg.counter("rt_campaign_cache_stale_total",
+                    "Entries ignored for version mismatch"),
+        reg.counter("rt_campaign_cache_corrupt_total",
+                    "Entries rejected by checksum/parse validation"),
+        reg.counter("rt_campaign_cache_evictions_total",
+                    "Entries evicted by the LRU size budget"),
+        reg.counter("rt_campaign_cache_stores_total",
+                    "Entries durably stored"),
+        reg.counter("rt_campaign_cache_io_errors_total",
+                    "Cache reads/writes declined on I/O failure")};
+  }();
+  return c;
+}
+
+/// Mirrors whatever a cache method did to `live` into the registry when
+/// the scope exits, so each early return in lookup() stays one line.
+class StatsMirror {
+ public:
+  explicit StatsMirror(const CacheStats& live)
+      : live_(live), before_(live) {}
+  ~StatsMirror() {
+    const CacheCounters& c = cache_counters();
+    const auto bump = [](const obs::Counter& counter, std::uint64_t now,
+                         std::uint64_t then) {
+      if (now > then) counter.inc(now - then);
+    };
+    bump(c.hits, live_.hits, before_.hits);
+    bump(c.misses, live_.misses, before_.misses);
+    bump(c.stale, live_.stale, before_.stale);
+    bump(c.corrupt, live_.corrupt, before_.corrupt);
+    bump(c.evictions, live_.evictions, before_.evictions);
+    bump(c.stores, live_.stores, before_.stores);
+    bump(c.io_errors, live_.io_errors, before_.io_errors);
+  }
+
+ private:
+  const CacheStats& live_;
+  CacheStats before_;
+};
 
 constexpr const char* kCacheMagic = "RTCACHE";
 /// v2 added the content checksum column; v1 entries are counted `stale`
@@ -147,7 +210,9 @@ std::string CampaignCellCache::entry_path(
 
 std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
     const experiments::CampaignSpec& spec) {
+  RT_TRACE_SPAN("cache_lookup", "cache");
   std::lock_guard<std::mutex> lock(mutex_);
+  StatsMirror mirror(stats_);
   const std::uint64_t fp =
       campaign_cell_fingerprint(spec, config_.code_version);
   const fs::path path =
@@ -246,7 +311,9 @@ std::optional<experiments::CampaignResult> CampaignCellCache::lookup(
 
 bool CampaignCellCache::store(const experiments::CampaignSpec& spec,
                               const experiments::CampaignResult& result) {
+  RT_TRACE_SPAN("cache_store", "cache");
   std::lock_guard<std::mutex> lock(mutex_);
+  StatsMirror mirror(stats_);
   const std::uint64_t fp =
       campaign_cell_fingerprint(spec, config_.code_version);
   const fs::path path =
@@ -301,6 +368,7 @@ bool CampaignCellCache::store(const experiments::CampaignSpec& spec,
 
 std::size_t CampaignCellCache::evict_to_limit(std::size_t limit_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  StatsMirror mirror(stats_);
   const std::size_t removed = evict_locked(limit_bytes);
   stats_.evictions += removed;
   return removed;

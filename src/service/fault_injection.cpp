@@ -9,6 +9,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 
 namespace rt::service {
@@ -147,6 +148,14 @@ FaultDecision FaultInjector::next(FaultSite site) {
     stats::Rng rng = stats::Rng::from_stream(key, n);
     if (rule.rate >= 1.0 || rng.uniform(0.0, 1.0) < rule.rate) {
       injected_[si].fetch_add(1, std::memory_order_relaxed);
+      // Firings also go to the metrics registry so chaos harnesses can
+      // assert on a snapshot instead of scraping text. Same caveat as
+      // injected_total(): forked workers count in their own process.
+      static const obs::Counter fired =
+          obs::MetricsRegistry::global().counter(
+              "rt_fault_injections_total",
+              "Deterministic fault-injection firings in this process");
+      fired.inc();
       return {rule.type, n};
     }
   }

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "experiments/campaign_serde.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/fault_injection.hpp"
 #include "stats/hash.hpp"
@@ -36,6 +38,43 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint64_t kFrameMagic = 0x52542d43454c4c32ull;  // "RT-CELL2"
 /// A RunResult frame is a few KB; anything near this is stream corruption.
 constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+/// Sentinel cell index for the one trailing frame a worker sends when the
+/// tracer is armed: its payload is the worker's serialized span buffers,
+/// not a RunResult. Cell indices are bounded by the grid size, so the
+/// sentinel can never collide with a real cell.
+constexpr std::uint64_t kTraceFrameCell = ~0ull;
+
+/// Registry mirror of ShardStats, accumulated across every grid this
+/// process runs. The chaos pass in bench/table_service asserts on these
+/// instead of scraping stderr text.
+struct ShardCounters {
+  obs::Counter waves;
+  obs::Counter worker_deaths;
+  obs::Counter retry_waves;
+  obs::Counter fork_failures;
+  obs::Counter cells_recovered;
+  obs::Counter deadline_expirations;
+};
+
+const ShardCounters& shard_counters() {
+  static const ShardCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return ShardCounters{
+        reg.counter("rt_shard_waves_total",
+                    "Fork waves launched (first wave + retries)"),
+        reg.counter("rt_shard_worker_deaths_total",
+                    "Forked workers that died or corrupted their stream"),
+        reg.counter("rt_shard_retry_waves_total",
+                    "Recovery waves forked after worker deaths"),
+        reg.counter("rt_shard_fork_failures_total",
+                    "fork()/pipe() failures absorbed by degradation"),
+        reg.counter("rt_shard_cells_recovered_in_process_total",
+                    "Cells recovered by the threaded in-process fallback"),
+        reg.counter("rt_shard_deadline_expirations_total",
+                    "Grids cut short by a request deadline")};
+  }();
+  return c;
+}
 
 std::uint64_t payload_checksum(const std::string& payload) {
   return stats::fnv1a_str(stats::kFnv1aOffset, payload);
@@ -189,6 +228,10 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
                               int wfd, int crash_after,
                               std::uint64_t worker_id) {
     FaultInjector::instance().set_worker(worker_id);
+    // fork() duplicated the parent's span buffers; drop them or this
+    // worker would ship the parent's pre-fork spans back as its own.
+    obs::Tracer::global().clear();
+    const std::uint64_t span_start = obs::Tracer::now_ns();
     bool ok = true;
     int sent = 0;
     try {
@@ -202,6 +245,15 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
           });
     } catch (...) {
       ::_exit(3);
+    }
+    if (obs::Tracer::global().armed()) {
+      // One trailing sentinel frame carries this worker's span buffers to
+      // the parent. A worker that dies mid-stream simply never sends it —
+      // its spans are lost, its results re-run; observation stays passive.
+      obs::record_span("shard_worker", "shard", span_start,
+                       obs::Tracer::now_ns(), worker_id, "worker");
+      write_frame(wfd, kTraceFrameCell,
+                  obs::Tracer::global().serialize_and_clear(), ok);
     }
     ::close(wfd);
     ::_exit(ok ? 0 : 4);
@@ -218,10 +270,14 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
   const auto run_wave = [&](const std::vector<std::vector<std::size_t>>&
                                 shards,
                             bool allow_crash_hook) {
+    RT_TRACE_SPAN("shard_wave", "shard",
+                  static_cast<std::uint64_t>(shards.size()), "shards");
+    shard_counters().waves.inc();
     const std::size_t n = shards.size();
     std::vector<int> rfds(n, -1);
     std::vector<int> wfds(n, -1);
     std::vector<pid_t> pids(n, -1);
+    std::vector<std::uint64_t> wids(n, 0);
     for (std::size_t s = 0; s < n; ++s) {
       int fds[2];
       if (::pipe(fds) == 0) {
@@ -232,6 +288,7 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
     for (std::size_t s = 0; s < n; ++s) {
       if (wfds[s] < 0) continue;  // pipe() failed: shard handled as dead
       const std::uint64_t worker_id = ++worker_seq;
+      wids[s] = worker_id;
       const pid_t pid = sys_fork();
       if (pid < 0) {
         // fork() failed (EAGAIN under pressure): shard handled as dead;
@@ -259,6 +316,7 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
     for (std::size_t s = 0; s < n; ++s) {
       bool dead = pids[s] < 0;
       if (!dead) {
+        RT_TRACE_SPAN("shard_drain", "shard", wids[s], "worker");
         while (true) {
           if (expired(ctl)) {
             stats_.deadline_expired = true;
@@ -271,6 +329,13 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
           if (fr < 0) {
             dead = true;
             break;
+          }
+          if (f.cell == kTraceFrameCell) {
+            // The worker's span buffers. Absorption is strict but failure
+            // is absorbed observability-side (counted on the tracer) —
+            // a bad trace frame must never invalidate good results.
+            obs::Tracer::global().absorb(f.payload, wids[s]);
+            continue;
           }
           if (f.cell >= cells.size() || filled[f.cell]) {
             dead = true;  // out-of-range or duplicate cell: corrupt stream
@@ -328,6 +393,8 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
     if (backoff > 0) sleep_ms(backoff);
     if (expired(ctl)) break;
     ++stats_.shard_retries;
+    RT_TRACE_SPAN("shard_retry_wave", "shard",
+                  static_cast<std::uint64_t>(attempt) + 1, "attempt");
     run_wave({std::move(missing)}, /*allow_crash_hook=*/false);
   }
 
@@ -341,6 +408,8 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
     if (!filled[i]) missing.push_back(i);
   }
   if (!missing.empty() && !expired(ctl)) {
+    RT_TRACE_SPAN("shard_fallback", "shard",
+                  static_cast<std::uint64_t>(missing.size()), "cells");
     stats_.cells_recovered_in_process += static_cast<int>(missing.size());
     unsigned threads = opts_.fallback_threads == 0 ? workers
                                                    : opts_.fallback_threads;
@@ -363,6 +432,23 @@ GridOutcome ShardedCampaignScheduler::run_all_checked(
     });
   }
   if (expired(ctl)) stats_.deadline_expired = true;
+
+  // Mirror this grid's ShardStats into the process-wide registry (the
+  // wave counter is bumped live inside run_wave). Forked workers keep
+  // their metric increments to themselves — only their trace buffers are
+  // shipped back — so registry counts are parent-process events, matching
+  // FaultInjector::injected_total() semantics.
+  {
+    const ShardCounters& c = shard_counters();
+    if (stats_.worker_deaths > 0) c.worker_deaths.inc(stats_.worker_deaths);
+    if (stats_.shard_retries > 0) c.retry_waves.inc(stats_.shard_retries);
+    if (stats_.fork_failures > 0) c.fork_failures.inc(stats_.fork_failures);
+    if (stats_.cells_recovered_in_process > 0) {
+      c.cells_recovered.inc(
+          static_cast<std::uint64_t>(stats_.cells_recovered_in_process));
+    }
+    if (stats_.deadline_expired) c.deadline_expirations.inc();
+  }
 
   // Typed per-campaign error records for anything incomplete. An errored
   // campaign's runs are cleared: a result is complete or absent, never

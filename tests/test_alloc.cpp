@@ -15,6 +15,7 @@
 #include "defense/monitor_stack.hpp"
 #include "math/matrix.hpp"
 #include "nn/mlp.hpp"
+#include "obs/trace.hpp"
 #include "perception/bbox_track.hpp"
 #include "perception/detector_model.hpp"
 #include "perception/kalman_filter.hpp"
@@ -245,6 +246,82 @@ TEST(AllocationPins, SafetyOraclePredictBatchIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(allocations(), before)
       << "SafetyOracle::predict_batch allocated on the steady-state path "
       << "(sink " << sink << ")";
+}
+
+// Tracing must not buy observability with heap traffic: with the global
+// tracer ARMED, the instrumented hot paths stay allocation-free. The only
+// allocation tracing ever makes is the one-time per-thread ring
+// acquisition, which the warm-up span absorbs.
+
+TEST(AllocationPins, TracedKalmanFilterStepIsAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  obs::Tracer::global().arm(obs::TraceConfig{1 << 12});
+  perception::Detection d;
+  d.bbox = {100.0, 100.0, 40.0, 40.0};
+  perception::BboxTrack track(
+      1, d, 1.0 / 15.0,
+      perception::DetectorNoiseModel::paper_defaults().vehicle);
+  for (int i = 0; i < 3; ++i) {
+    RT_TRACE_SPAN("kf_step_warmup", "test");
+    track.predict();
+    track.update(d);
+    (void)track.mahalanobis2(d.bbox);
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 200; ++i) {
+    RT_TRACE_SPAN("kf_step", "test", static_cast<std::uint64_t>(i), "i");
+    track.predict();
+    d.bbox.cx += 0.25;
+    track.update(d);
+    (void)track.mahalanobis2(d.bbox);
+  }
+  EXPECT_EQ(allocations(), before)
+      << "traced KalmanFilter step allocated — span recording must be free";
+  EXPECT_GE(obs::Tracer::global().span_count(), 200u);
+  obs::Tracer::global().disarm();
+  obs::Tracer::global().clear();
+}
+
+TEST(AllocationPins, TracedOraclePredictBatchIsAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "allocation counts not meaningful";
+  core::SafetyOracle oracle(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  stats::Rng rng(4);
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back({rng.uniform(0.0, 40.0), -5.0, 0.0, 0.0, 0.0,
+                  rng.uniform(3.0, 70.0)});
+    ys.push_back(xs.back()[0] - 0.3 * xs.back()[5]);
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  oracle.train(nn::Dataset::from_samples(xs, ys), cfg);
+  constexpr std::size_t kBatch = 32;
+  std::vector<core::OracleQuery> queries(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    queries[i] = {20.0 + 0.1 * static_cast<double>(i), {-5.0, 0.1},
+                  {0.1, 0.0}, 30.0};
+  }
+  std::vector<double> out(kBatch);
+  obs::Tracer::global().arm(obs::TraceConfig{1 << 12});
+  {
+    RT_TRACE_SPAN("batch_warmup", "test");
+    oracle.predict_batch(queries, out);
+    oracle.predict_batch(queries, out);
+  }
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    RT_TRACE_SPAN("batch_predict", "test");
+    queries[0].delta = 20.0 + 0.01 * i;
+    oracle.predict_batch(queries, out);
+    sink += out[0];
+  }
+  EXPECT_EQ(allocations(), before)
+      << "traced predict_batch allocated on the steady-state path (sink "
+      << sink << ")";
+  obs::Tracer::global().disarm();
+  obs::Tracer::global().clear();
 }
 
 }  // namespace

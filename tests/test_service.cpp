@@ -11,6 +11,8 @@
 #include "experiments/campaign_serde.hpp"
 #include "experiments/defense_grid.hpp"
 #include "experiments/transfer_matrix.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "service/campaign_service.hpp"
 #include "service/cell_cache.hpp"
 #include "service/sharded_scheduler.hpp"
@@ -149,6 +151,45 @@ TEST(ShardedScheduler, ExhaustedRetriesFallBackInProcess) {
   EXPECT_EQ(sharded.stats().shard_retries, 0);
   EXPECT_GT(sharded.stats().cells_recovered_in_process, 0);
 }
+
+#if RT_OBS_TRACING
+TEST(ShardedScheduler, TwoWorkerTraceMergesParentAndBothWorkers) {
+  // Spans recorded inside forked workers ship back over the result pipe
+  // and land on the parent's timeline under their own pid lane — and an
+  // armed tracer must not move a single result byte.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const auto specs = family_grid(/*runs=*/2, /*seed=*/5566);
+  const std::string reference =
+      grid_bytes(CampaignScheduler(runner, 2).run_all(specs));
+  std::size_t cells = 0;
+  for (const auto& s : specs) cells += static_cast<std::size_t>(s.runs);
+
+  obs::Tracer::global().clear();
+  obs::Tracer::global().arm(obs::TraceConfig{1 << 12});
+  ShardOptions opts;
+  opts.workers = 2;
+  const ShardedCampaignScheduler sharded(runner, opts);
+  const auto results = sharded.run_all(specs);
+  obs::Tracer::global().disarm();
+
+  EXPECT_EQ(grid_bytes(results), reference) << "tracing changed the bytes";
+  EXPECT_EQ(obs::Tracer::global().absorb_failures(), 0u);
+  const obs::ParsedTrace parsed =
+      obs::parse_chrome_trace(obs::Tracer::global().render_chrome_trace());
+  EXPECT_TRUE(parsed.has_span("shard_wave"));
+  EXPECT_EQ(parsed.count_spans("shard_worker"), 2u);
+  // Every grid cell ran (exactly once) inside a worker.
+  EXPECT_EQ(parsed.count_spans("campaign_cell"), cells);
+  // pid 0 = parent, pids 1 and 2 = the two forked workers.
+  const auto pids = parsed.span_pids();
+  ASSERT_EQ(pids.size(), 3u);
+  for (const std::uint64_t pid : {0u, 1u, 2u}) {
+    EXPECT_EQ(std::count(pids.begin(), pids.end(), pid), 1) << "pid " << pid;
+  }
+  obs::Tracer::global().clear();
+}
+#endif  // RT_OBS_TRACING
 
 // ------------------------------------------------------------ fingerprint
 

@@ -35,6 +35,9 @@
 #include "experiments/campaign_grid.hpp"
 #include "experiments/campaign_serde.hpp"
 #include "experiments/transfer_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
 #include "service/campaign_service.hpp"
 #include "service/cell_cache.hpp"
 #include "service/fault_injection.hpp"
@@ -460,6 +463,59 @@ TEST(ShardedScheduler, DeadlineExpiryYieldsTypedErrorsNotHangs) {
         << "an errored campaign must never carry partial runs";
   }
 }
+
+#if RT_OBS_TRACING
+TEST(ShardedScheduler, TraceMergeSurvivesWorkerDeath) {
+  // A worker dies mid-shard with spans still in its ring: those spans are
+  // lost by design (the trace frame is the worker's LAST write), but the
+  // merge must stay clean — no absorb failures, spans from the survivor and
+  // the retry worker present, results bit-identical, and the death visible
+  // in the metrics registry, not just ShardStats.
+  LoopConfig loop;
+  CampaignRunner runner(loop, {});
+  const auto specs = chaos_grid();
+  const std::string reference =
+      grid_bytes(CampaignScheduler(runner, 1).run_all(specs));
+
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  obs::Tracer::global().clear();
+  obs::Tracer::global().arm(obs::TraceConfig{1 << 12});
+  ShardOptions opts;
+  opts.workers = 2;
+  opts.retry_backoff_ms = 1;
+  opts.crash_shard = 0;       // first-wave worker for shard 0 ...
+  opts.crash_after_cells = 1; // ... dies after streaming one cell
+  const ShardedCampaignScheduler sharded(runner, opts);
+  const auto results = sharded.run_all(specs);
+  obs::Tracer::global().disarm();
+  const auto after = obs::MetricsRegistry::global().snapshot();
+
+  EXPECT_EQ(grid_bytes(results), reference);
+  EXPECT_GE(sharded.stats().worker_deaths, 1);
+  EXPECT_GE(sharded.stats().shard_retries, 1);
+  EXPECT_EQ(obs::Tracer::global().absorb_failures(), 0u);
+
+  const obs::ParsedTrace parsed =
+      obs::parse_chrome_trace(obs::Tracer::global().render_chrome_trace());
+  // Survivor + retry worker each shipped a shard_worker span; the dead
+  // worker's ring never arrived.
+  EXPECT_EQ(parsed.count_spans("shard_worker"), 2u);
+  EXPECT_TRUE(parsed.has_span("shard_retry_wave"));
+  const auto pids = parsed.span_pids();
+  EXPECT_EQ(std::count(pids.begin(), pids.end(), 0u), 1) << "parent lane";
+  EXPECT_EQ(pids.size(), 3u) << "parent + survivor + retry worker";
+  obs::Tracer::global().clear();
+
+  // The same incidents flow through the registry (cumulative, so deltas).
+  const auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  EXPECT_EQ(delta("rt_shard_worker_deaths_total"),
+            static_cast<std::uint64_t>(sharded.stats().worker_deaths));
+  EXPECT_EQ(delta("rt_shard_retry_waves_total"),
+            static_cast<std::uint64_t>(sharded.stats().shard_retries));
+}
+#endif  // RT_OBS_TRACING
 
 // ------------------------------------------------------ cell cache chaos
 
